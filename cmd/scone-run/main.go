@@ -1,0 +1,107 @@
+// Command scone-run demonstrates the complete secure-container workflow
+// of paper §V-A (Figure 2) from the command line: build a secure image,
+// push it through an untrusted registry (optionally over HTTP), pull it on
+// an untrusted SGX node, attest, inject the SCF, execute, and read the
+// container's encrypted output. With -tamper, the registry corrupts the
+// image after push, and the run must fail verification.
+//
+// Usage:
+//
+//	scone-run [-nodes N] [-http] [-tamper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/container"
+	"securecloud/internal/core"
+	"securecloud/internal/fsshield"
+	"securecloud/internal/image"
+	"securecloud/internal/registry"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 2, "number of SGX nodes in the simulated cloud")
+	useHTTP := flag.Bool("http", false, "push/pull the image over the registry's HTTP API")
+	tamper := flag.Bool("tamper", false, "corrupt the image in the registry after push (must be detected)")
+	flag.Parse()
+
+	svc := attest.NewService()
+	cloud, err := core.NewCloud(*nodes, svc)
+	check(err)
+	owner, err := core.NewOwner(svc)
+	check(err)
+
+	fmt.Println("[owner ] building secure image demo/scone-run:1.0")
+	deployment, err := owner.Deploy(cloud, core.ServiceSpec{
+		Name: "demo/scone-run",
+		Tag:  "1.0",
+		Code: []byte("SCONE-RUN-DEMO-BINARY"),
+		Files: map[string][]byte{
+			"/etc/secret.conf": []byte("api-key=SECRET-123"),
+			"/etc/public.conf": []byte("log-level=info"),
+		},
+		Protect: map[string]fsshield.Mode{
+			"/etc/secret.conf": fsshield.ModeEncrypted,
+			"/etc/public.conf": fsshield.ModeIntegrityOnly,
+		},
+		Args: []string{"serve", "--port=8443"},
+	})
+	check(err)
+
+	if *useHTTP {
+		fmt.Println("[owner ] round-tripping image through the registry HTTP API")
+		srv := httptest.NewServer(cloud.Registry.Handler())
+		defer srv.Close()
+		client := registry.NewClient(srv.URL)
+		check(client.Push(deployment.Image))
+		img, err := client.Pull("demo/scone-run", "1.0")
+		check(err)
+		check(img.Verify())
+		fmt.Println("[cloud ] HTTP pull verified:", img.Ref())
+	}
+
+	if *tamper {
+		fmt.Println("[attack] registry operator corrupts the entrypoint layer")
+		cloud.Registry.TamperLayer(deployment.Image.Manifest.LayerDigests[0], func(l *image.Layer) {
+			l.Files[container.EntrypointPath] = []byte("BACKDOORED")
+		})
+		_, err := cloud.Run(0, deployment, owner)
+		if err == nil {
+			fmt.Println("FATAL: tampered image executed")
+			os.Exit(1)
+		}
+		fmt.Println("[cloud ] execution refused:", err)
+		return
+	}
+
+	c, err := cloud.Run(0, deployment, owner)
+	check(err)
+	fmt.Printf("[cloud ] container %s running on %s (TCB %d MiB)\n",
+		c.ID, cloud.Node(0).ID, c.Runtime.TCBBytes()>>20)
+
+	secret, err := c.Runtime.FS().ReadFile("/etc/secret.conf")
+	check(err)
+	fmt.Println("[enclave] read protected config:", string(secret))
+
+	check(c.Runtime.Stdout([]byte("listening on :8443")))
+	lines, err := cloud.ReadStdout(0, deployment)
+	check(err)
+	for _, l := range lines {
+		fmt.Println("[owner ] decrypted stdout:", string(l))
+	}
+	u := c.Usage()
+	fmt.Printf("[billing] %v, %d syscalls, %d page faults, %d AEX\n",
+		u.CPUCycles, u.Syscalls, u.PageFaults, u.AEX)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scone-run:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+// Package securecloud is a from-scratch Go reproduction of "SecureCloud:
+// Secure Big Data Processing in Untrusted Clouds" (Kelbert et al.,
+// DATE 2017): a layered platform for running big data applications as
+// attested micro-services inside (simulated) Intel SGX enclaves on
+// untrusted cloud infrastructure.
+//
+// The library lives under internal/ in bottom-up layers:
+//
+//   - sim, cryptbox, enclave, attest — the substrates: deterministic cycle
+//     accounting, authenticated encryption, a cycle-cost SGX v1 simulator
+//     (EPC paging, MEE, lifecycle, measurement, sealing) and remote
+//     attestation.
+//   - fsshield, shield, sconert, image, registry, container — the SCONE
+//     secure-container layer: protected file systems, shielded syscalls,
+//     the SCF/CAS startup protocol, and the secure Docker workflow.
+//   - eventbus, microsvc, scbr — the micro-service and messaging layer,
+//     including the SCBR content-based router whose EPC-paging behaviour
+//     is the paper's Figure 3.
+//   - kvstore, mapreduce, genpack, smartgrid — the big data layer: secure
+//     structured storage, secure map/reduce, the GenPack generational
+//     scheduler (the 23% energy claim) and the smart-grid use cases.
+//   - core — the top-level platform API gluing cloud and owner sides.
+//
+// The benchmarks in bench_test.go regenerate every quantitative statement
+// of the paper; see EXPERIMENTS.md for paper-vs-measured results.
+package securecloud

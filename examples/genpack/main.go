@@ -1,0 +1,50 @@
+// GenPack demo (paper §IV + §VI): schedule a synthetic day of data-centre
+// containers with the generational scheduler and compare its energy use
+// against the spread, random and first-fit strategies — reproducing the
+// paper's "up to 23% energy savings" claim and showing where the savings
+// come from (fewer powered servers at higher utilisation).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"securecloud/internal/genpack"
+)
+
+func main() {
+	traceCfg := genpack.DefaultTrace(42)
+	clusterCfg := genpack.ClusterConfig{Servers: 100}
+
+	fmt.Printf("cluster: %d servers, %d ticks (~1 day), ~%.1f container arrivals/min\n\n",
+		clusterCfg.Servers, traceCfg.Ticks, traceCfg.ArrivalsPerTick)
+
+	results := genpack.EnergyExperiment(clusterCfg, traceCfg)
+	genpack.WriteResults(os.Stdout, results)
+
+	// Show the generational structure after a standalone GenPack run.
+	cluster := genpack.NewCluster(clusterCfg)
+	sched := genpack.NewGenPack()
+	trace := genpack.GenerateTrace(traceCfg)
+	res := genpack.Simulate(cluster, sched, trace, traceCfg.Ticks)
+
+	fmt.Printf("\ngenpack end state (after %d promotions):\n", res.Migrations)
+	for _, gen := range []genpack.Generation{genpack.Nursery, genpack.Young, genpack.Old} {
+		servers := cluster.Generation(gen)
+		on, containers := 0, 0
+		var util float64
+		for _, s := range servers {
+			if s.On() {
+				on++
+				util += s.Utilization()
+			}
+			containers += s.Count()
+		}
+		mean := 0.0
+		if on > 0 {
+			mean = util / float64(on)
+		}
+		fmt.Printf("  %-8s %3d servers, %3d powered, %4d containers, mean util %.0f%%\n",
+			gen, len(servers), on, containers, 100*mean)
+	}
+}

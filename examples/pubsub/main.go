@@ -1,0 +1,117 @@
+// Secure content-based routing demo (paper §V-B): an SCBR broker runs its
+// matching engine inside an enclave; publishers and subscribers attest the
+// broker, establish session keys, and exchange encrypted publications and
+// subscriptions. The demo routes smart-grid events by content (feeder
+// scope and measurement ranges) and prints the containment index's
+// statistics — including how many comparisons the covering relations
+// saved versus a naive matcher.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/scbr"
+)
+
+func main() {
+	// Broker platform + attestation.
+	svc := attest.NewService()
+	p := enclave.NewPlatform(enclave.Config{})
+	quoter, err := svc.Provision(p, "broker-node")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var signer cryptbox.Digest
+	enc, err := p.ECreate(256<<20, signer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := enc.EAdd([]byte("scbr-broker-v1")); err != nil {
+		log.Fatal(err)
+	}
+	if err := enc.EInit(); err != nil {
+		log.Fatal(err)
+	}
+	broker, err := scbr.NewBroker(enc, scbr.DefaultBrokerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Clients attest the broker before trusting it with filters.
+	m, _ := enc.Measurement()
+	policy := attest.Policy{AllowedMREnclave: []cryptbox.Digest{m}}
+
+	operator, err := scbr.Connect(broker, "grid-operator", svc, quoter, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maintenance, err := scbr.Connect(broker, "maintenance-team", svc, quoter, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meters, err := scbr.Connect(broker, "meter-gateway", svc, quoter, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The operator wants all low-voltage events anywhere; maintenance
+	// only cares about feeder 7.
+	anyLowVoltage, _ := scbr.NewSubscription(0, map[string]scbr.Interval{
+		"voltage": {Lo: 0, Hi: 0.9 * 230},
+	})
+	feeder7LowVoltage, _ := scbr.NewSubscription(0, map[string]scbr.Interval{
+		"voltage": {Lo: 0, Hi: 0.9 * 230},
+		"feeder":  {Lo: 7, Hi: 7},
+	})
+	if _, err := operator.Subscribe(broker, anyLowVoltage); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := maintenance.Subscribe(broker, feeder7LowVoltage); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("index depth:", broker.Index().Depth(), "(feeder-7 filter nests under the general one)")
+
+	// Publications: a sag on feeder 7 and a normal reading on feeder 3.
+	events := []scbr.Event{
+		{Attrs: map[string]float64{"voltage": 195, "feeder": 7}, Payload: []byte("sag on feeder 7")},
+		{Attrs: map[string]float64{"voltage": 231, "feeder": 3}, Payload: []byte("nominal feeder 3")},
+		{Attrs: map[string]float64{"voltage": 188, "feeder": 3}, Payload: []byte("sag on feeder 3")},
+	}
+	for _, e := range events {
+		n, err := meters.Publish(broker, e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %q -> %d subscriber(s)\n", e.Payload, n)
+	}
+
+	opEvents, _ := operator.Receive(broker)
+	mtEvents, _ := maintenance.Receive(broker)
+	fmt.Printf("operator received %d events (all sags)\n", len(opEvents))
+	fmt.Printf("maintenance received %d event(s) (feeder 7 only)\n", len(mtEvents))
+
+	// Load the index with a synthetic filter population and show the
+	// containment ablation.
+	w := scbr.NewWorkload(scbr.DefaultWorkload(7))
+	for i := 0; i < 20000; i++ {
+		s := w.NextSubscription()
+		if _, err := meters.Subscribe(broker, s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	probe := w.NextEvent()
+	before := broker.Index().Checks()
+	broker.Index().Match(probe)
+	pruned := broker.Index().Checks() - before
+	before = broker.Index().Checks()
+	broker.Index().MatchNaive(probe)
+	naive := broker.Index().Checks() - before
+	fmt.Printf("matching over %d filters: containment forest %d comparisons vs naive %d (%.1fx fewer)\n",
+		broker.Index().Count(), pruned, naive, float64(naive)/float64(pruned))
+	fmt.Printf("broker enclave: %v, %d EPC faults\n",
+		enc.Memory().Cycles(), enc.Memory().Faults())
+}

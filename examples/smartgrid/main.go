@@ -1,0 +1,140 @@
+// Smart-grid demo: both use cases of paper §VI on the full SecureCloud
+// stack. A simulated metering fleet streams sub-minute readings through
+// the encrypted event bus into an enclave-hosted analytics micro-service,
+// which (1) detects power theft by comparing feeder instrumentation with
+// reported meter sums, and (2) raises power-quality events the moment a
+// feeder's voltage sags — while the cloud provider only ever sees
+// ciphertext.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/core"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/eventbus"
+	"securecloud/internal/microsvc"
+	"securecloud/internal/smartgrid"
+)
+
+// tickPayload is the bus message carrying one tick of fleet telemetry.
+type tickPayload struct {
+	Tick     int64               `json:"tick"`
+	Readings []smartgrid.Reading `json:"readings"`
+	FeederKW map[string]float64  `json:"feeder_kw"`
+}
+
+func main() {
+	svc := attest.NewService()
+	cloud, err := core.NewCloud(2, svc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner, err := core.NewOwner(svc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The analytics micro-service runs inside an enclave on node 0.
+	node := cloud.Node(0)
+	var signer cryptbox.Digest
+	enc, err := node.Platform.ECreate(64<<20, signer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := enc.EAdd([]byte("grid-analytics-v1")); err != nil {
+		log.Fatal(err)
+	}
+	if err := enc.EInit(); err != nil {
+		log.Fatal(err)
+	}
+
+	detector := smartgrid.NewTheftDetector()
+	quality := smartgrid.NewQualityMonitor()
+	reqKey, err := owner.TopicKey("analytics-req")
+	if err != nil {
+		log.Fatal(err)
+	}
+	analytics, err := microsvc.New("grid-analytics", enc, reqKey, func(req []byte) ([]byte, error) {
+		var p tickPayload
+		if err := json.Unmarshal(req, &p); err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, a := range detector.Observe(p.Tick, p.Readings, p.FeederKW) {
+			out = append(out, fmt.Sprintf("THEFT %s shortfall %.2f kW suspects %v", a.Feeder, a.GapKW, a.Suspects))
+		}
+		for _, e := range quality.Observe(p.Tick, p.Readings) {
+			out = append(out, "QUALITY "+e.String())
+		}
+		if out == nil {
+			return nil, nil
+		}
+		return json.Marshal(out)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wire it between the readings topic and the alerts topic.
+	worker, err := microsvc.NewBusWorker(analytics, cloud.Bus, owner.AppRoot, "grid/readings", "grid/alerts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	readingsKey, _ := owner.TopicKey("grid/readings")
+	pub, err := eventbus.NewPublisher(cloud.Bus, "grid/readings", readingsKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alertsKey, _ := owner.TopicKey("grid/alerts")
+	alerts, err := eventbus.NewSubscriber(cloud.Bus, "grid/alerts", alertsKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The fleet: 500 meters; a thief on feeder-002 and a voltage sag on
+	// feeder-004 midway through the run.
+	fleet := smartgrid.NewFleet(smartgrid.FleetConfig{
+		Seed: 42, Meters: 500, MetersPerFeeder: 50, TicksPerDay: 2880, BaseLoadKW: 0.8,
+	})
+	// The theft starts after the first detector window, once per-meter
+	// consumption profiles are established; the sag hits mid-run.
+	fleet.InjectTheft(2*50+7, 120, 0.25) // meter-00107 under-reports 75%
+	fleet.InjectSag(4, 180, 186, 0.82)   // 3-minute sag on feeder-004
+
+	const horizon = 3 * 120 // three detector windows
+	for tick := int64(0); tick < horizon; tick++ {
+		readings, feederKW := fleet.Tick(tick)
+		body, err := json.Marshal(tickPayload{Tick: tick, Readings: readings, FeederKW: feederKW})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := pub.Publish(body); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := worker.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Drain the alert topic — decrypted with the owner's topic key.
+	msgs, err := alerts.Receive()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processed %d ticks; %d alert batches:\n", horizon, len(msgs))
+	for _, m := range msgs {
+		var batch []string
+		if err := json.Unmarshal(m, &batch); err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range batch {
+			fmt.Println("  ", a)
+		}
+	}
+	fmt.Printf("enclave charged %v; %d EPC faults\n",
+		enc.Memory().Cycles(), enc.Memory().Faults())
+}

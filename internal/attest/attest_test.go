@@ -1,0 +1,220 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+)
+
+func signer(b byte) cryptbox.Digest {
+	var d cryptbox.Digest
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func buildEnclave(t *testing.T, p *enclave.Platform, code []byte, sgn cryptbox.Digest) *enclave.Enclave {
+	t.Helper()
+	e, err := p.ECreate(1<<20, sgn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EAdd(code); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EInit(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestQuoteVerifyHappyPath(t *testing.T) {
+	svc := NewService()
+	p := enclave.NewPlatform(enclave.Config{})
+	q, err := svc.Provision(p, "dc1-rack3-node7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := buildEnclave(t, p, []byte("microservice"), signer(1))
+	r, _ := e.CreateReport([]byte("tls-key-hash"))
+	quote, err := q.Quote(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := svc.Verify(quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.Measurement()
+	if v.MREnclave != m {
+		t.Fatal("verdict MRENCLAVE mismatch")
+	}
+	if v.MRSigner != signer(1) {
+		t.Fatal("verdict MRSIGNER mismatch")
+	}
+	if string(v.Data[:12]) != "tls-key-hash" {
+		t.Fatal("report data not carried through")
+	}
+}
+
+func TestQuoteRejectsForeignReport(t *testing.T) {
+	svc := NewService()
+	p1 := enclave.NewPlatform(enclave.Config{})
+	p2 := enclave.NewPlatform(enclave.Config{})
+	q1, _ := svc.Provision(p1, "node1")
+	e2 := buildEnclave(t, p2, []byte("x"), signer(1))
+	r, _ := e2.CreateReport(nil)
+	if _, err := q1.Quote(r); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("quoting a foreign report: err = %v, want ErrBadReport", err)
+	}
+}
+
+func TestVerifyRejectsUnknownPlatform(t *testing.T) {
+	svcA, svcB := NewService(), NewService()
+	p := enclave.NewPlatform(enclave.Config{})
+	q, _ := svcA.Provision(p, "node1")
+	e := buildEnclave(t, p, []byte("x"), signer(1))
+	r, _ := e.CreateReport(nil)
+	quote, _ := q.Quote(r)
+	if _, err := svcB.Verify(quote); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("err = %v, want ErrUnknownPlatform", err)
+	}
+}
+
+func TestVerifyRejectsTamperedQuote(t *testing.T) {
+	svc := NewService()
+	p := enclave.NewPlatform(enclave.Config{})
+	q, _ := svc.Provision(p, "node1")
+	e := buildEnclave(t, p, []byte("x"), signer(1))
+	r, _ := e.CreateReport(nil)
+	quote, _ := q.Quote(r)
+
+	bad := quote
+	bad.Report.MREnclave[0] ^= 1
+	if _, err := svc.Verify(bad); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered measurement: err = %v, want ErrBadSignature", err)
+	}
+	bad = quote
+	bad.Signature = append([]byte(nil), quote.Signature...)
+	bad.Signature[0] ^= 1
+	if _, err := svc.Verify(bad); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered signature: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsRevokedPlatform(t *testing.T) {
+	svc := NewService()
+	p := enclave.NewPlatform(enclave.Config{})
+	q, _ := svc.Provision(p, "node1")
+	e := buildEnclave(t, p, []byte("x"), signer(1))
+	r, _ := e.CreateReport(nil)
+	quote, _ := q.Quote(r)
+	svc.Revoke("node1")
+	if _, err := svc.Verify(quote); err == nil {
+		t.Fatal("revoked platform's quote verified")
+	}
+}
+
+func TestProvisionRejectsDuplicateID(t *testing.T) {
+	svc := NewService()
+	p := enclave.NewPlatform(enclave.Config{})
+	if _, err := svc.Provision(p, "node1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Provision(p, "node1"); err == nil {
+		t.Fatal("duplicate provisioning accepted")
+	}
+}
+
+func TestPolicyCheck(t *testing.T) {
+	svc := NewService()
+	p := enclave.NewPlatform(enclave.Config{})
+	q, _ := svc.Provision(p, "node1")
+	e := buildEnclave(t, p, []byte("svc-v1"), signer(7))
+	m, _ := e.Measurement()
+
+	byMeasurement := Policy{AllowedMREnclave: []cryptbox.Digest{m}}
+	bySigner := Policy{AllowedMRSigner: []cryptbox.Digest{signer(7)}}
+	denyAll := Policy{}
+
+	if _, err := AttestEnclave(e, q, svc, byMeasurement, nil); err != nil {
+		t.Fatalf("measurement policy rejected genuine enclave: %v", err)
+	}
+	if _, err := AttestEnclave(e, q, svc, bySigner, nil); err != nil {
+		t.Fatalf("signer policy rejected genuine enclave: %v", err)
+	}
+	if _, err := AttestEnclave(e, q, svc, denyAll, nil); !errors.Is(err, ErrPolicy) {
+		t.Fatalf("empty policy allowed enclave: %v", err)
+	}
+}
+
+func TestPolicyBlocksImpostorCode(t *testing.T) {
+	svc := NewService()
+	p := enclave.NewPlatform(enclave.Config{})
+	q, _ := svc.Provision(p, "node1")
+	genuine := buildEnclave(t, p, []byte("genuine"), signer(1))
+	impostor := buildEnclave(t, p, []byte("impostor"), signer(1))
+	m, _ := genuine.Measurement()
+	policy := Policy{AllowedMREnclave: []cryptbox.Digest{m}}
+	if _, err := AttestEnclave(impostor, q, svc, policy, nil); !errors.Is(err, ErrPolicy) {
+		t.Fatalf("impostor passed measurement policy: %v", err)
+	}
+}
+
+func TestPolicyMinSVNTCBRecovery(t *testing.T) {
+	svc := NewService()
+	p := enclave.NewPlatform(enclave.Config{})
+	q, _ := svc.Provision(p, "node1")
+
+	buildV := func(svn uint16, code string) *enclave.Enclave {
+		e, err := p.ECreate(1<<20, signer(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetSVN(svn); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.EAdd([]byte(code)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.EInit(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	vulnerable := buildV(1, "service-v1")
+	patched := buildV(2, "service-v2")
+
+	policy := Policy{AllowedMRSigner: []cryptbox.Digest{signer(1)}, MinSVN: 2}
+	if _, err := AttestEnclave(vulnerable, q, svc, policy, nil); !errors.Is(err, ErrPolicy) {
+		t.Fatalf("vulnerable SVN accepted: %v", err)
+	}
+	v, err := AttestEnclave(patched, q, svc, policy, nil)
+	if err != nil {
+		t.Fatalf("patched build rejected: %v", err)
+	}
+	if v.SVN != 2 {
+		t.Fatalf("verdict SVN = %d", v.SVN)
+	}
+}
+
+func TestSetSVNAfterInitRejected(t *testing.T) {
+	p := enclave.NewPlatform(enclave.Config{})
+	e := buildEnclave(t, p, []byte("x"), signer(1))
+	if err := e.SetSVN(3); err == nil {
+		t.Fatal("SVN change after EINIT accepted")
+	}
+}
+
+func TestAttestEnclaveUninitialised(t *testing.T) {
+	svc := NewService()
+	p := enclave.NewPlatform(enclave.Config{})
+	q, _ := svc.Provision(p, "node1")
+	e, _ := p.ECreate(1<<20, signer(1))
+	if _, err := AttestEnclave(e, q, svc, Policy{}, nil); err == nil {
+		t.Fatal("attested an uninitialised enclave")
+	}
+}

@@ -1,0 +1,81 @@
+package container
+
+import (
+	"crypto/ed25519"
+	"fmt"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/fsshield"
+	"securecloud/internal/image"
+	"securecloud/internal/sconert"
+	"securecloud/internal/shield"
+)
+
+// SCONEClient is the wrapper around the Docker client described in §V-A:
+// it builds protected images, registers their SCFs with the CAS, spawns
+// secure containers and communicates with them over encrypted streams. It
+// runs in the image owner's trusted environment; nothing it holds ever
+// reaches the cloud in plaintext.
+type SCONEClient struct {
+	signKey ed25519.PrivateKey
+	cas     *sconert.CAS
+}
+
+// NewSCONEClient builds a client signing with priv and provisioning SCFs
+// through cas.
+func NewSCONEClient(priv ed25519.PrivateKey, cas *sconert.CAS) *SCONEClient {
+	return &SCONEClient{signKey: priv, cas: cas}
+}
+
+// ErrEntrypointEncrypted is returned when a build tries to encrypt the
+// entrypoint: enclave code must stay measurable by SGX at load time, which
+// is why SCONE statically links and never hides the executable (only
+// integrity protection is possible there).
+var ErrEntrypointEncrypted = fmt.Errorf("container: %s cannot use ModeEncrypted (code must be measurable)", EntrypointPath)
+
+// BuildSecure converts a plain image into a secure image and returns it
+// with its build secrets. The caller picks which paths get which mode.
+func (c *SCONEClient) BuildSecure(plain *image.Image, protect map[string]fsshield.Mode) (*image.Image, *image.BuildSecrets, error) {
+	if m, ok := protect[EntrypointPath]; ok && m == fsshield.ModeEncrypted {
+		return nil, nil, ErrEntrypointEncrypted
+	}
+	rootKey, err := cryptbox.NewRandomKey()
+	if err != nil {
+		return nil, nil, err
+	}
+	return image.SecureBuild(plain, image.SecureBuildSpec{Protect: protect, RootKey: rootKey}, c.signKey)
+}
+
+// Deploy registers the SCF for a secure image with the CAS (bound to the
+// image's expected measurement) and returns the SCF for later secure
+// communication with the container. Push the image to the registry
+// separately; the registry never sees the SCF.
+func (c *SCONEClient) Deploy(img *image.Image, secrets *image.BuildSecrets, args []string, env map[string]string) (sconert.SCF, error) {
+	m, err := ExpectedMeasurement(img)
+	if err != nil {
+		return sconert.SCF{}, err
+	}
+	scf, err := sconert.NewSCF(secrets.ProtectionFileKey, secrets.ProtectionFileHash, args, env)
+	if err != nil {
+		return sconert.SCF{}, err
+	}
+	c.cas.Register(attest.Policy{AllowedMREnclave: []cryptbox.Digest{m}}, scf)
+	return scf, nil
+}
+
+// ReadStdout decrypts a container's stdout records from the untrusted host
+// using the deployer's copy of the SCF. This is the "secure communication
+// with containers" arrow of Figure 2.
+func ReadStdout(host *shield.Host, scf sconert.SCF) ([][]byte, error) {
+	recs := host.Records("stdio/stdout")
+	out := make([][]byte, 0, len(recs))
+	for seq, rec := range recs {
+		plain, err := shield.OpenRecord(scf.StdoutKey, "stdio/stdout", uint64(seq), rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, plain)
+	}
+	return out, nil
+}

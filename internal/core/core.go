@@ -1,0 +1,193 @@
+// Package core assembles the SecureCloud platform (the paper's primary
+// contribution): the untrusted cloud side — SGX nodes with container
+// engines, the image registry, the event bus — and the trusted owner side
+// — signing keys, the configuration and attestation service (CAS), and the
+// SCONE client. It is the top-level API a SecureCloud application uses:
+// build a secure image, deploy it, and run it on any node of an untrusted
+// cloud with end-to-end confidentiality and integrity.
+package core
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/container"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/eventbus"
+	"securecloud/internal/fsshield"
+	"securecloud/internal/image"
+	"securecloud/internal/registry"
+	"securecloud/internal/sconert"
+	"securecloud/internal/shield"
+)
+
+// Node is one SGX-capable machine of the untrusted cloud.
+type Node struct {
+	ID       string
+	Platform *enclave.Platform
+	Host     *shield.Host
+	Quoter   *attest.Quoter
+	Engine   *container.Engine
+}
+
+// Cloud is the untrusted provider side: nodes, the registry and the bus.
+// Everything here is assumed adversarial; the security of applications
+// rests on the enclaves and the cryptography, not on this code behaving.
+type Cloud struct {
+	Nodes    []*Node
+	Registry *registry.Registry
+	Bus      *eventbus.Bus
+}
+
+// NewCloud provisions n SGX nodes against the given attestation service
+// (each node's quoting enclave is registered with it at "manufacture").
+func NewCloud(n int, svc *attest.Service) (*Cloud, error) {
+	if n <= 0 {
+		n = 1
+	}
+	c := &Cloud{Registry: registry.New(), Bus: eventbus.New()}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("node-%02d", i)
+		p := enclave.NewPlatform(enclave.Config{})
+		q, err := svc.Provision(p, id)
+		if err != nil {
+			return nil, err
+		}
+		host := shield.NewHost()
+		c.Nodes = append(c.Nodes, &Node{
+			ID:       id,
+			Platform: p,
+			Host:     host,
+			Quoter:   q,
+			Engine:   container.NewEngine(p, host, c.Registry, q),
+		})
+	}
+	return c, nil
+}
+
+// Node returns a node by index (wrapping), for simple round-robin
+// placement in examples and tests.
+func (c *Cloud) Node(i int) *Node { return c.Nodes[i%len(c.Nodes)] }
+
+// Owner is the trusted environment of an application owner: the only
+// place where signing keys, SCFs and application root keys exist in
+// plaintext.
+type Owner struct {
+	SignKey ed25519.PrivateKey
+	CAS     *sconert.CAS
+	Client  *container.SCONEClient
+	// AppRoot derives topic keys and service request keys.
+	AppRoot cryptbox.Key
+}
+
+// NewOwner creates an owner trusting the given attestation service.
+func NewOwner(svc *attest.Service) (*Owner, error) {
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	root, err := cryptbox.NewRandomKey()
+	if err != nil {
+		return nil, err
+	}
+	cas := sconert.NewCAS(svc)
+	return &Owner{
+		SignKey: priv,
+		CAS:     cas,
+		Client:  container.NewSCONEClient(priv, cas),
+		AppRoot: root,
+	}, nil
+}
+
+// ServiceSpec describes one micro-service to deploy.
+type ServiceSpec struct {
+	Name string
+	Tag  string
+	// Code is the micro-service executable (the measured enclave
+	// content).
+	Code []byte
+	// Files are additional image files; Protect lists which of them get
+	// which protection mode.
+	Files   map[string][]byte
+	Protect map[string]fsshield.Mode
+	// Args / Env go into the SCF, never into the image.
+	Args []string
+	Env  map[string]string
+	// EnclaveSize requests the ELRANGE (default 64 MiB).
+	EnclaveSize uint64
+}
+
+// Deployment is the owner-side record of a deployed service.
+type Deployment struct {
+	Image *image.Image
+	SCF   sconert.SCF
+}
+
+// ErrNoCode rejects service specs without an executable.
+var ErrNoCode = errors.New("core: service spec has no code")
+
+// Deploy builds the secure image for spec, registers its SCF with the
+// owner's CAS, and pushes the image to the cloud registry. The returned
+// Deployment holds the owner's copy of the SCF for secure communication.
+func (o *Owner) Deploy(cloud *Cloud, spec ServiceSpec) (*Deployment, error) {
+	if len(spec.Code) == 0 {
+		return nil, ErrNoCode
+	}
+	files := map[string][]byte{container.EntrypointPath: spec.Code}
+	for p, b := range spec.Files {
+		files[p] = b
+	}
+	b := image.NewBuilder(spec.Name, orDefault(spec.Tag, "latest")).
+		AddLayer(files).
+		SetEntrypoint(container.EntrypointPath)
+	if spec.EnclaveSize > 0 {
+		b.SetEnclaveSize(spec.EnclaveSize)
+	}
+	for k, v := range spec.Env {
+		b.SetEnv(k, v)
+	}
+	plain, err := b.Build(o.SignKey)
+	if err != nil {
+		return nil, err
+	}
+	secured, secrets, err := o.Client.BuildSecure(plain, spec.Protect)
+	if err != nil {
+		return nil, err
+	}
+	scf, err := o.Client.Deploy(secured, secrets, spec.Args, spec.Env)
+	if err != nil {
+		return nil, err
+	}
+	if err := cloud.Registry.Push(secured); err != nil {
+		return nil, err
+	}
+	return &Deployment{Image: secured, SCF: scf}, nil
+}
+
+// Run starts a deployed service on a cloud node.
+func (c *Cloud) Run(node int, d *Deployment, o *Owner) (*container.Container, error) {
+	n := c.Node(node)
+	return n.Engine.Run(d.Image.Manifest.Name, d.Image.Manifest.Tag, o.CAS)
+}
+
+// ReadStdout decrypts a container's stdout from the node that hosts it,
+// using the owner's SCF copy.
+func (c *Cloud) ReadStdout(node int, d *Deployment) ([][]byte, error) {
+	return container.ReadStdout(c.Node(node).Host, d.SCF)
+}
+
+// TopicKey derives an application topic key for bus endpoints.
+func (o *Owner) TopicKey(topic string) (cryptbox.Key, error) {
+	return eventbus.TopicKey(o.AppRoot, topic)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/container"
+	"securecloud/internal/fsshield"
+	"securecloud/internal/image"
+)
+
+func setup(t *testing.T, nodes int) (*Cloud, *Owner) {
+	t.Helper()
+	svc := attest.NewService()
+	cloud, err := NewCloud(nodes, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := NewOwner(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cloud, owner
+}
+
+func theftSpec() ServiceSpec {
+	return ServiceSpec{
+		Name: "smartgrid/theft",
+		Tag:  "1.0",
+		Code: []byte("THEFT-DETECTOR-v1"),
+		Files: map[string][]byte{
+			"/etc/model": []byte("sensitivity=0.97"),
+		},
+		Protect: map[string]fsshield.Mode{"/etc/model": fsshield.ModeEncrypted},
+		Args:    []string{"serve"},
+		Env:     map[string]string{"REGION": "eu"},
+	}
+}
+
+func TestDeployAndRunEndToEnd(t *testing.T) {
+	cloud, owner := setup(t, 3)
+	d, err := owner.Deploy(cloud, theftSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cloud.Run(1, d, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := c.Runtime.FS().ReadFile("/etc/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(model) != "sensitivity=0.97" {
+		t.Fatalf("model = %q", model)
+	}
+	if c.Runtime.SCF().Env["REGION"] != "eu" {
+		t.Fatal("SCF env lost")
+	}
+	if err := c.Runtime.Stdout([]byte("alert feeder-1")); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := cloud.ReadStdout(1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || string(lines[0]) != "alert feeder-1" {
+		t.Fatalf("stdout = %q", lines)
+	}
+}
+
+func TestRunOnEveryNode(t *testing.T) {
+	cloud, owner := setup(t, 3)
+	d, err := owner.Deploy(cloud, theftSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cloud.Nodes {
+		if _, err := cloud.Run(i, d, owner); err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+}
+
+func TestDeployRejectsEmptyCode(t *testing.T) {
+	cloud, owner := setup(t, 1)
+	spec := theftSpec()
+	spec.Code = nil
+	if _, err := owner.Deploy(cloud, spec); !errors.Is(err, ErrNoCode) {
+		t.Fatalf("err = %v, want ErrNoCode", err)
+	}
+}
+
+func TestSecretsNeverReachRegistry(t *testing.T) {
+	cloud, owner := setup(t, 1)
+	d, err := owner.Deploy(cloud, theftSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := cloud.Registry.Pull("smartgrid/theft", "1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range img.Layers {
+		for path, data := range l.Files {
+			if bytes.Contains(data, []byte("sensitivity=0.97")) {
+				t.Fatalf("protected config visible in registry at %s", path)
+			}
+		}
+	}
+	_ = d
+}
+
+func TestForeignOwnerCannotRunImage(t *testing.T) {
+	// A second owner (different CAS) cannot obtain secrets for the first
+	// owner's image.
+	svc := attest.NewService()
+	cloud, err := NewCloud(1, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner1, _ := NewOwner(svc)
+	owner2, _ := NewOwner(svc)
+	d, err := owner1.Deploy(cloud, theftSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d
+	if _, err := cloud.Node(0).Engine.Run("smartgrid/theft", "1.0", owner2.CAS); err == nil {
+		t.Fatal("container booted against a CAS that never saw the SCF")
+	}
+}
+
+func TestTamperedRegistryBlocksBoot(t *testing.T) {
+	cloud, owner := setup(t, 1)
+	d, err := owner.Deploy(cloud, theftSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Registry.TamperLayer(d.Image.Manifest.LayerDigests[0], func(l *image.Layer) {
+		l.Files[container.EntrypointPath] = []byte("EVIL")
+	})
+	if _, err := cloud.Run(0, d, owner); err == nil {
+		t.Fatal("tampered image executed")
+	}
+}
+
+func TestTopicKeyDerivation(t *testing.T) {
+	_, owner := setup(t, 1)
+	a, err := owner.TopicKey("alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := owner.TopicKey("readings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("topic keys collide")
+	}
+}
+
+func TestUsageAccountingAcrossStack(t *testing.T) {
+	cloud, owner := setup(t, 1)
+	d, err := owner.Deploy(cloud, theftSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cloud.Run(0, d, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := c.Usage()
+	if u.CPUCycles == 0 || u.Syscalls == 0 {
+		t.Fatalf("usage empty: %+v", u)
+	}
+}

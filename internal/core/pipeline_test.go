@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/eventbus"
+	"securecloud/internal/microsvc"
+	"securecloud/internal/smartgrid"
+)
+
+// tickMsg is the bus payload of one telemetry tick.
+type tickMsg struct {
+	Tick     int64               `json:"tick"`
+	Readings []smartgrid.Reading `json:"readings"`
+	FeederKW map[string]float64  `json:"feeder_kw"`
+}
+
+// TestSmartGridPipelineFullStack is the §VI integration test: meter fleet
+// → encrypted bus → enclave-hosted analytics micro-service → encrypted
+// alert topic, with injected theft and a voltage sag that must both be
+// detected, and no plaintext on the bus.
+func TestSmartGridPipelineFullStack(t *testing.T) {
+	svc := attest.NewService()
+	cloud, err := NewCloud(1, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := NewOwner(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Analytics enclave on the node.
+	var signer cryptbox.Digest
+	enc, err := cloud.Node(0).Platform.ECreate(64<<20, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.EAdd([]byte("analytics")); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EInit(); err != nil {
+		t.Fatal(err)
+	}
+
+	detector := smartgrid.NewTheftDetector()
+	quality := smartgrid.NewQualityMonitor()
+	reqKey, err := owner.TopicKey("req")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytics, err := microsvc.New("analytics", enc, reqKey, func(req []byte) ([]byte, error) {
+		var p tickMsg
+		if err := json.Unmarshal(req, &p); err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, a := range detector.Observe(p.Tick, p.Readings, p.FeederKW) {
+			out = append(out, "THEFT "+a.Feeder+" "+fmt.Sprint(a.Suspects))
+		}
+		for _, e := range quality.Observe(p.Tick, p.Readings) {
+			out = append(out, "QUALITY "+e.String())
+		}
+		if out == nil {
+			return nil, nil
+		}
+		return json.Marshal(out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := microsvc.NewBusWorker(analytics, cloud.Bus, owner.AppRoot, "readings", "alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rk, _ := owner.TopicKey("readings")
+	pub, err := eventbus.NewPublisher(cloud.Bus, "readings", rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ak, _ := owner.TopicKey("alerts")
+	alertSub, err := eventbus.NewSubscriber(cloud.Bus, "alerts", ak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := smartgrid.NewFleet(smartgrid.FleetConfig{
+		Seed: 11, Meters: 150, MetersPerFeeder: 50, TicksPerDay: 2880,
+	})
+	const thief = 60 // feeder-001
+	fleet.InjectTheft(thief, 120, 0.2)
+	fleet.InjectSag(2, 150, 155, 0.8)
+
+	const horizon = 240
+	for tick := int64(0); tick < horizon; tick++ {
+		readings, feederKW := fleet.Tick(tick)
+		body, err := json.Marshal(tickMsg{Tick: tick, Readings: readings, FeederKW: feederKW})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pub.Publish(body); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := worker.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	msgs, err := alertSub.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTheft, sawQuality bool
+	for _, m := range msgs {
+		var batch []string
+		if err := json.Unmarshal(m, &batch); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range batch {
+			if bytes.HasPrefix([]byte(a), []byte("THEFT feeder-001")) {
+				sawTheft = true
+			}
+			if bytes.HasPrefix([]byte(a), []byte("QUALITY feeder-002 sag")) {
+				sawQuality = true
+			}
+		}
+	}
+	if !sawTheft {
+		t.Fatal("theft on feeder-001 not detected through the full stack")
+	}
+	if !sawQuality {
+		t.Fatal("voltage sag on feeder-002 not detected through the full stack")
+	}
+	// The analytics really ran inside the enclave.
+	if enc.Memory().Breakdown()[enclave.CauseTransition] == 0 {
+		t.Fatal("no enclave entries recorded for the pipeline")
+	}
+	if analytics.Served() != 0 {
+		// BusWorker bypasses Invoke's counter; Served counts direct calls.
+		t.Log("note: Served counts direct invocations only")
+	}
+	if cloud.Bus.Depth("readings") != 0 {
+		t.Fatal("readings left in the bus")
+	}
+}

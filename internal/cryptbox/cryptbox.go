@@ -1,0 +1,204 @@
+// Package cryptbox implements the cryptographic primitives shared across the
+// SecureCloud stack: authenticated encryption (AES-128-GCM), key derivation
+// (HKDF over HMAC-SHA256, RFC 5869), message authentication, and a small key
+// hierarchy used by the enclave sealing and file-system shield layers.
+//
+// Everything is built on the Go standard library only. The package exposes
+// value types with explicit key material rather than global state so that
+// tests can inject fixed keys and the simulator stays deterministic.
+package cryptbox
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the symmetric key size in bytes (AES-128).
+const KeySize = 16
+
+// MACSize is the size of an HMAC-SHA256 tag in bytes.
+const MACSize = sha256.Size
+
+// NonceSize is the AES-GCM nonce size in bytes.
+const NonceSize = 12
+
+// ErrAuth is returned when decryption or MAC verification fails. The caller
+// must treat the data as tampered with: in the SecureCloud threat model the
+// cloud provider controls all storage and networking.
+var ErrAuth = errors.New("cryptbox: authentication failed")
+
+// Key is a 128-bit symmetric key.
+type Key [KeySize]byte
+
+// NewRandomKey draws a key from crypto/rand.
+func NewRandomKey() (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return Key{}, fmt.Errorf("cryptbox: reading randomness: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromBytes builds a key from exactly KeySize bytes.
+func KeyFromBytes(b []byte) (Key, error) {
+	var k Key
+	if len(b) != KeySize {
+		return k, fmt.Errorf("cryptbox: key must be %d bytes, got %d", KeySize, len(b))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Box is an authenticated-encryption context bound to one key.
+type Box struct {
+	key  Key
+	aead cipher.AEAD
+	// nonceRand is the randomness source for nonces; tests may fix it.
+	nonceRand io.Reader
+}
+
+// NewBox returns an AES-128-GCM box for the key.
+func NewBox(key Key) (*Box, error) {
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptbox: %w", err)
+	}
+	aead, err := cipher.NewGCM(blk)
+	if err != nil {
+		return nil, fmt.Errorf("cryptbox: %w", err)
+	}
+	return &Box{key: key, aead: aead, nonceRand: rand.Reader}, nil
+}
+
+// SetNonceSource overrides the nonce randomness source. Intended for tests
+// that need bit-reproducible ciphertexts; never use a fixed source with the
+// same key for two different plaintexts in production paths.
+func (b *Box) SetNonceSource(r io.Reader) { b.nonceRand = r }
+
+// Seal encrypts plaintext with the given additional authenticated data.
+// The output layout is nonce || ciphertext+tag.
+func (b *Box) Seal(plaintext, aad []byte) ([]byte, error) {
+	nonce := make([]byte, NonceSize)
+	if _, err := io.ReadFull(b.nonceRand, nonce); err != nil {
+		return nil, fmt.Errorf("cryptbox: reading nonce: %w", err)
+	}
+	out := make([]byte, 0, NonceSize+len(plaintext)+b.aead.Overhead())
+	out = append(out, nonce...)
+	return b.aead.Seal(out, nonce, plaintext, aad), nil
+}
+
+// Open authenticates and decrypts data produced by Seal with the same AAD.
+func (b *Box) Open(sealed, aad []byte) ([]byte, error) {
+	if len(sealed) < NonceSize+b.aead.Overhead() {
+		return nil, ErrAuth
+	}
+	nonce, ct := sealed[:NonceSize], sealed[NonceSize:]
+	pt, err := b.aead.Open(nil, nonce, ct, aad)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	return pt, nil
+}
+
+// Overhead returns the ciphertext expansion of Seal in bytes.
+func (b *Box) Overhead() int { return NonceSize + b.aead.Overhead() }
+
+// MAC computes HMAC-SHA256 over data with the key.
+func MAC(key Key, data []byte) [MACSize]byte {
+	m := hmac.New(sha256.New, key[:])
+	m.Write(data)
+	var out [MACSize]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// VerifyMAC reports whether tag authenticates data under key, in constant
+// time.
+func VerifyMAC(key Key, data []byte, tag [MACSize]byte) bool {
+	want := MAC(key, data)
+	return hmac.Equal(want[:], tag[:])
+}
+
+// hkdfExtract implements the RFC 5869 extract step.
+func hkdfExtract(salt, ikm []byte) []byte {
+	if len(salt) == 0 {
+		salt = make([]byte, sha256.Size)
+	}
+	m := hmac.New(sha256.New, salt)
+	m.Write(ikm)
+	return m.Sum(nil)
+}
+
+// hkdfExpand implements the RFC 5869 expand step for up to 255 blocks.
+func hkdfExpand(prk, info []byte, length int) ([]byte, error) {
+	if length > 255*sha256.Size {
+		return nil, fmt.Errorf("cryptbox: hkdf length %d too large", length)
+	}
+	var out, prev []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		m := hmac.New(sha256.New, prk)
+		m.Write(prev)
+		m.Write(info)
+		m.Write([]byte{counter})
+		prev = m.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length], nil
+}
+
+// HKDF derives length bytes from the input key material, salt and context
+// info per RFC 5869 (HMAC-SHA256).
+func HKDF(ikm, salt, info []byte, length int) ([]byte, error) {
+	return hkdfExpand(hkdfExtract(salt, ikm), info, length)
+}
+
+// DeriveKey derives a labelled sub-key from a parent key. Labels partition
+// the key space: the enclave sealing key, the FS protection keys and the
+// stream keys of one container are all children of its root key under
+// distinct labels.
+func DeriveKey(parent Key, label string) (Key, error) {
+	raw, err := HKDF(parent[:], nil, []byte(label), KeySize)
+	if err != nil {
+		return Key{}, err
+	}
+	return KeyFromBytes(raw)
+}
+
+// StreamCipher returns an AES-128-CTR stream bound to key and a 16-byte IV
+// derived from the label and the 64-bit stream offset block. It is used by
+// the shield layer to encrypt stdio streams where records must be
+// independently decryptable.
+func StreamCipher(key Key, label string, block uint64) (cipher.Stream, error) {
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptbox: %w", err)
+	}
+	iv := sha256.Sum256(append([]byte(label), u64le(block)...))
+	return cipher.NewCTR(blk, iv[:aes.BlockSize]), nil
+}
+
+func u64le(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// Digest is a SHA-256 content hash, used for image content addressing and
+// enclave measurement.
+type Digest [sha256.Size]byte
+
+// Sum computes the SHA-256 digest of data.
+func Sum(data []byte) Digest { return sha256.Sum256(data) }
+
+// String renders the digest in hex, prefixed like a registry digest.
+func (d Digest) String() string { return fmt.Sprintf("sha256:%x", d[:]) }
+
+// IsZero reports whether the digest is all zeroes (unset).
+func (d Digest) IsZero() bool { return d == Digest{} }

@@ -1,0 +1,87 @@
+package enclave
+
+// llc is a set-associative last-level-cache simulator with LRU replacement
+// within each set. It tracks which cache lines are present so the memory
+// model can decide whether an access is served by the cache (same cost in
+// and out of an enclave) or goes to memory (where the MEE tax applies
+// inside enclaves).
+//
+// The simulator is shared between the trusted and untrusted views of one
+// platform, mirroring hardware: enclave and normal lines compete for the
+// same physical cache.
+type llc struct {
+	lineSize uint64
+	numSets  uint64
+	ways     int
+	// sets[s] is an LRU-ordered slice of line tags, most recent last.
+	sets [][]uint64
+}
+
+func newLLC(totalBytes, lineSize uint64, ways int) *llc {
+	if lineSize == 0 {
+		lineSize = 64
+	}
+	if ways <= 0 {
+		ways = 16
+	}
+	numLines := totalBytes / lineSize
+	numSets := numLines / uint64(ways)
+	if numSets == 0 {
+		numSets = 1
+	}
+	return &llc{
+		lineSize: lineSize,
+		numSets:  numSets,
+		ways:     ways,
+		sets:     make([][]uint64, numSets),
+	}
+}
+
+// access touches the line containing addr and reports whether it hit.
+func (c *llc) access(addr uint64) bool {
+	tag := addr / c.lineSize
+	s := tag % c.numSets
+	set := c.sets[s]
+	for i, t := range set {
+		if t == tag {
+			// Move to MRU position.
+			copy(set[i:], set[i+1:])
+			set[len(set)-1] = tag
+			return true
+		}
+	}
+	if len(set) < c.ways {
+		c.sets[s] = append(set, tag)
+		return false
+	}
+	// Evict LRU (front), insert at MRU (back).
+	copy(set, set[1:])
+	set[len(set)-1] = tag
+	return false
+}
+
+// invalidateRange drops all lines overlapping [addr, addr+size). Used when
+// EPC pages are evicted: their cached lines are flushed and re-encrypted.
+func (c *llc) invalidateRange(addr, size uint64) {
+	first := addr / c.lineSize
+	last := (addr + size - 1) / c.lineSize
+	for tag := first; tag <= last; tag++ {
+		s := tag % c.numSets
+		set := c.sets[s]
+		for i, t := range set {
+			if t == tag {
+				c.sets[s] = append(set[:i], set[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// lines returns the number of resident lines (test hook).
+func (c *llc) lines() int {
+	n := 0
+	for _, s := range c.sets {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,330 @@
+package enclave
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"securecloud/internal/cryptbox"
+)
+
+func testSigner(b byte) cryptbox.Digest {
+	var d cryptbox.Digest
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+// buildEnclave creates and initializes a small enclave for tests.
+func buildEnclave(t *testing.T, p *Platform, size uint64, code []byte) *Enclave {
+	t.Helper()
+	e, err := p.ECreate(size, testSigner(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EAdd(code); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EInit(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLifecycleHappyPath(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	if e.State() != StateInitialized {
+		t.Fatalf("state = %v, want initialized", e.State())
+	}
+	m, err := e.Measurement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsZero() {
+		t.Fatal("measurement is zero")
+	}
+	if err := e.EEnter(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Entered() {
+		t.Fatal("Entered() = false after EEnter")
+	}
+	if err := e.EExit(); err != nil {
+		t.Fatal(err)
+	}
+	e.Destroy()
+	if e.State() != StateDestroyed {
+		t.Fatal("not destroyed")
+	}
+}
+
+func TestECreateRejectsZeroSize(t *testing.T) {
+	p := NewPlatform(Config{})
+	if _, err := p.ECreate(0, testSigner(1)); err == nil {
+		t.Fatal("zero-size ECREATE accepted")
+	}
+}
+
+func TestEAddAfterInitRejected(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	if _, err := e.EAdd([]byte("more")); err == nil {
+		t.Fatal("EADD after EINIT accepted (SGX v1 has no EDMM)")
+	}
+}
+
+func TestEAddBeyondRangeRejected(t *testing.T) {
+	p := NewPlatform(Config{})
+	e, _ := p.ECreate(8192, testSigner(1))
+	if _, err := e.EAdd(make([]byte, 16384)); err == nil {
+		t.Fatal("EADD beyond ELRANGE accepted")
+	}
+}
+
+func TestMeasurementDependsOnContent(t *testing.T) {
+	p := NewPlatform(Config{})
+	a := buildEnclave(t, p, 1<<20, []byte("code-A"))
+	b := buildEnclave(t, p, 1<<20, []byte("code-B"))
+	c := buildEnclave(t, p, 1<<20, []byte("code-A"))
+	ma, _ := a.Measurement()
+	mb, _ := b.Measurement()
+	mc, _ := c.Measurement()
+	if ma == mb {
+		t.Fatal("different code produced identical MRENCLAVE")
+	}
+	if ma != mc {
+		t.Fatal("identical code produced different MRENCLAVE")
+	}
+}
+
+func TestMeasurementDependsOnSize(t *testing.T) {
+	p := NewPlatform(Config{})
+	a, _ := p.ECreate(1<<20, testSigner(1))
+	b, _ := p.ECreate(2<<20, testSigner(1))
+	for _, e := range []*Enclave{a, b} {
+		if _, err := e.EAdd([]byte("code")); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.EInit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ma, _ := a.Measurement()
+	mb, _ := b.Measurement()
+	if ma == mb {
+		t.Fatal("different ELRANGE sizes produced identical MRENCLAVE")
+	}
+}
+
+func TestMeasurementBeforeInitFails(t *testing.T) {
+	p := NewPlatform(Config{})
+	e, _ := p.ECreate(1<<20, testSigner(1))
+	if _, err := e.Measurement(); err == nil {
+		t.Fatal("Measurement before EINIT succeeded")
+	}
+}
+
+func TestEEnterBeforeInitFails(t *testing.T) {
+	p := NewPlatform(Config{})
+	e, _ := p.ECreate(1<<20, testSigner(1))
+	if err := e.EEnter(); err == nil {
+		t.Fatal("EENTER before EINIT succeeded")
+	}
+}
+
+func TestEExitWithoutEnterFails(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	if err := e.EExit(); err == nil {
+		t.Fatal("EEXIT without EENTER succeeded")
+	}
+}
+
+func TestTransitionCostCharged(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	before := e.Memory().Cycles()
+	if err := e.EEnter(); err != nil {
+		t.Fatal(err)
+	}
+	_ = e.EExit()
+	got := e.Memory().Cycles() - before
+	if got != p.Config().Cost.Transition {
+		t.Fatalf("transition charged %d cycles, want %d", got, p.Config().Cost.Transition)
+	}
+}
+
+func TestInterruptChargesAEX(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	before := e.AEXCount() // EADD already faulted pages in
+	e.Interrupt()
+	if e.AEXCount() != before+1 {
+		t.Fatalf("AEXCount = %d, want %d", e.AEXCount(), before+1)
+	}
+	if e.Memory().Breakdown()[CauseAEX] != p.Config().Cost.AEX {
+		t.Fatal("AEX cost not charged")
+	}
+}
+
+func TestAllocWithinHeap(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 64<<10, []byte("code"))
+	a1, err := e.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 <= a1 {
+		t.Fatal("allocations not monotone")
+	}
+	if a2-a1 < 100 {
+		t.Fatal("allocations overlap")
+	}
+	if _, err := e.Alloc(1 << 20); err == nil {
+		t.Fatal("oversized Alloc succeeded")
+	}
+}
+
+func TestHeapArena(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 64<<10, []byte("code"))
+	a, err := e.HeapArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() == 0 {
+		t.Fatal("empty heap arena")
+	}
+	addr := a.Alloc(64)
+	if addr < e.Base() || addr >= e.Base()+e.Size() {
+		t.Fatalf("arena address %#x outside ELRANGE [%#x,%#x)", addr, e.Base(), e.Base()+e.Size())
+	}
+	if a.Used() != 64 {
+		t.Fatalf("Used = %d, want 64", a.Used())
+	}
+	// The heap is consumed: further Alloc must fail.
+	if _, err := e.Alloc(8); err == nil {
+		t.Fatal("Alloc after HeapArena succeeded")
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	for _, policy := range []SealPolicy{SealToEnclave, SealToSigner} {
+		sealed, err := e.Seal([]byte("secret"), []byte("aad"), policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Unseal(sealed, []byte("aad"), policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte("secret")) {
+			t.Fatalf("policy %v: round trip mismatch", policy)
+		}
+	}
+}
+
+func TestSealToEnclaveIsolatesDifferentCode(t *testing.T) {
+	p := NewPlatform(Config{})
+	a := buildEnclave(t, p, 1<<20, []byte("code-A"))
+	b := buildEnclave(t, p, 1<<20, []byte("code-B"))
+	sealed, _ := a.Seal([]byte("secret"), nil, SealToEnclave)
+	if _, err := b.Unseal(sealed, nil, SealToEnclave); err == nil {
+		t.Fatal("different enclave unsealed MRENCLAVE-bound data")
+	}
+}
+
+func TestSealToSignerSharedAcrossVersions(t *testing.T) {
+	p := NewPlatform(Config{})
+	v1 := buildEnclave(t, p, 1<<20, []byte("service-v1"))
+	v2 := buildEnclave(t, p, 1<<20, []byte("service-v2"))
+	sealed, _ := v1.Seal([]byte("state"), nil, SealToSigner)
+	got, err := v2.Unseal(sealed, nil, SealToSigner)
+	if err != nil {
+		t.Fatalf("same-signer unseal failed: %v", err)
+	}
+	if !bytes.Equal(got, []byte("state")) {
+		t.Fatal("unsealed data mismatch")
+	}
+}
+
+func TestSealPlatformBound(t *testing.T) {
+	p1 := NewPlatform(Config{})
+	p2 := NewPlatform(Config{})
+	a := buildEnclave(t, p1, 1<<20, []byte("code"))
+	b := buildEnclave(t, p2, 1<<20, []byte("code"))
+	ma, _ := a.Measurement()
+	mb, _ := b.Measurement()
+	if ma != mb {
+		t.Fatal("identical enclaves measured differently across platforms")
+	}
+	sealed, _ := a.Seal([]byte("secret"), nil, SealToEnclave)
+	if _, err := b.Unseal(sealed, nil, SealToEnclave); err == nil {
+		t.Fatal("sealed data moved across platforms (device key leak)")
+	}
+}
+
+func TestReportVerifiesLocally(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	r, err := e.CreateReport([]byte("channel-binding"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.VerifyReport(r) {
+		t.Fatal("genuine report rejected")
+	}
+	r.Data[0] ^= 1
+	if p.VerifyReport(r) {
+		t.Fatal("tampered report accepted")
+	}
+}
+
+func TestReportRejectedCrossPlatform(t *testing.T) {
+	p1, p2 := NewPlatform(Config{}), NewPlatform(Config{})
+	e := buildEnclave(t, p1, 1<<20, []byte("code"))
+	r, _ := e.CreateReport(nil)
+	if p2.VerifyReport(r) {
+		t.Fatal("report verified on a different platform")
+	}
+}
+
+func TestReportMarshalRoundTrip(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	r, _ := e.CreateReport([]byte("data"))
+	got, ok := UnmarshalReport(r.Marshal())
+	if !ok {
+		t.Fatal("unmarshal failed")
+	}
+	if got != r {
+		t.Fatal("marshal round trip mismatch")
+	}
+	if _, ok := UnmarshalReport(r.Marshal()[:10]); ok {
+		t.Fatal("truncated report unmarshalled")
+	}
+}
+
+func TestPropSealRoundTripAnyData(t *testing.T) {
+	p := NewPlatform(Config{})
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	f := func(data, aad []byte) bool {
+		sealed, err := e.Seal(data, aad, SealToEnclave)
+		if err != nil {
+			return false
+		}
+		got, err := e.Unseal(sealed, aad, SealToEnclave)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package enclave
+
+// epc simulates the enclave page cache: the limited pool of physically
+// protected memory that all enclaves on a platform share. SGX v1 provisions
+// 128 MiB of processor-reserved memory, of which a substantial slice is
+// consumed by the enclave page cache map (EPCM) and other SGX metadata —
+// which is why, as the paper observes, "the performance drop is evident
+// before" the 128 MB line.
+//
+// Replacement is CLOCK (second chance), approximating the Linux SGX
+// driver's reclaim behaviour.
+type epc struct {
+	pageSize uint64
+	capacity int // usable pages
+
+	// resident maps page number -> index in the clock ring.
+	resident map[uint64]int
+	ring     []epcSlot
+	hand     int
+
+	evictions uint64
+	loads     uint64
+}
+
+type epcSlot struct {
+	page     uint64
+	refd     bool
+	occupied bool
+}
+
+func newEPC(totalBytes, reservedBytes, pageSize uint64) *epc {
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+	usable := int64(totalBytes) - int64(reservedBytes)
+	if usable < int64(pageSize) {
+		usable = int64(pageSize)
+	}
+	cap := int(uint64(usable) / pageSize)
+	return &epc{
+		pageSize: pageSize,
+		capacity: cap,
+		resident: make(map[uint64]int, cap),
+		ring:     make([]epcSlot, cap),
+	}
+}
+
+// touch ensures the page containing addr is EPC-resident. It returns
+// (faulted, evictedPage, evictedValid): faulted is true when the page had to
+// be loaded (an EPC page fault in SGX terms), and evictedPage identifies a
+// victim page written back to untrusted memory, if any.
+func (e *epc) touch(addr uint64) (faulted bool, evicted uint64, evictedValid bool) {
+	page := addr / e.pageSize
+	if idx, ok := e.resident[page]; ok {
+		e.ring[idx].refd = true
+		return false, 0, false
+	}
+	e.loads++
+	// Find a free or victim slot with CLOCK.
+	for {
+		slot := &e.ring[e.hand]
+		if !slot.occupied {
+			slot.page, slot.refd, slot.occupied = page, true, true
+			e.resident[page] = e.hand
+			e.hand = (e.hand + 1) % e.capacity
+			return true, 0, false
+		}
+		if slot.refd {
+			slot.refd = false
+			e.hand = (e.hand + 1) % e.capacity
+			continue
+		}
+		// Evict this page.
+		evicted, evictedValid = slot.page, true
+		delete(e.resident, slot.page)
+		e.evictions++
+		slot.page, slot.refd = page, true
+		e.resident[page] = e.hand
+		e.hand = (e.hand + 1) % e.capacity
+		return true, evicted, evictedValid
+	}
+}
+
+// release drops all resident pages in [base, base+size), e.g. on EREMOVE
+// when an enclave is destroyed.
+func (e *epc) release(base, size uint64) {
+	first := base / e.pageSize
+	last := (base + size - 1) / e.pageSize
+	for p := first; p <= last; p++ {
+		if idx, ok := e.resident[p]; ok {
+			e.ring[idx] = epcSlot{}
+			delete(e.resident, p)
+		}
+	}
+}
+
+// residentPages returns how many pages are currently resident.
+func (e *epc) residentPages() int { return len(e.resident) }

@@ -1,0 +1,153 @@
+package enclave
+
+import (
+	"fmt"
+
+	"securecloud/internal/sim"
+)
+
+// Memory is an accounting view of the platform memory hierarchy for one
+// protection domain: either the inside of a specific enclave or the
+// untrusted world. Higher layers run ordinary Go data structures but route
+// a simulated Access for every logical memory touch; the view charges
+// cache, MEE and paging costs into its ledger and advances the platform
+// clock.
+type Memory struct {
+	p   *Platform
+	enc *Enclave // nil for the untrusted view
+
+	ledger  sim.Counter
+	faults  uint64 // page faults (EPC faults inside, minor faults outside)
+	touched map[uint64]struct{}
+}
+
+// Access simulates a read (write=false) or write (write=true) of size bytes
+// at the simulated address addr.
+func (m *Memory) Access(addr uint64, size int, write bool) {
+	if size <= 0 {
+		return
+	}
+	p := m.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	line := p.cfg.LineSize
+	first := addr / line
+	last := (addr + uint64(size) - 1) / line
+	var lastPage uint64 = ^uint64(0)
+	for l := first; l <= last; l++ {
+		la := l * line
+		page := la / p.cfg.PageSize
+		if page != lastPage {
+			m.touchPageLocked(la)
+			lastPage = page
+		}
+		if p.cache.access(la) {
+			m.charge(CauseLLCHit, p.cfg.Cost.LLCHit)
+		} else if m.enc != nil {
+			m.charge(CauseMEE, p.cfg.Cost.MEEAccess)
+		} else {
+			m.charge(CauseDRAM, p.cfg.Cost.DRAMAccess)
+		}
+	}
+	_ = write // reads and writes cost the same in this model
+}
+
+// touchPageLocked handles page residency for the line address la.
+func (m *Memory) touchPageLocked(la uint64) {
+	p := m.p
+	if m.enc != nil {
+		faulted, evicted, ok := p.pager.touch(la)
+		if faulted {
+			m.faults++
+			m.charge(CauseEPCFault, p.cfg.Cost.EPCFault)
+			m.enc.aex++ // an EPC fault implies an asynchronous exit
+			if ok {
+				// The victim's cached lines are flushed on EWB.
+				p.cache.invalidateRange(evicted*p.cfg.PageSize, p.cfg.PageSize)
+			}
+		}
+		return
+	}
+	page := la / p.cfg.PageSize
+	if _, ok := m.touched[page]; !ok {
+		m.touched[page] = struct{}{}
+		m.faults++
+		m.charge(CauseMinorFault, p.cfg.Cost.MinorFault)
+	}
+}
+
+func (m *Memory) charge(cause string, c sim.Cycles) {
+	m.ledger.Charge(cause, c)
+	m.p.clock.Advance(c)
+}
+
+// CauseCPU labels pure computation charged via ChargeCPU.
+const CauseCPU = "cpu"
+
+// ChargeCPU charges pure computation cycles. Arithmetic costs the same
+// inside and outside an enclave — SGX taxes memory, not ALUs — so harness
+// code charges it symmetrically to both views.
+func (m *Memory) ChargeCPU(c sim.Cycles) { m.charge(CauseCPU, c) }
+
+// Cycles returns the total simulated cycles charged to this view.
+func (m *Memory) Cycles() sim.Cycles { return m.ledger.Total() }
+
+// Faults returns the number of page faults charged to this view.
+func (m *Memory) Faults() uint64 {
+	m.p.mu.Lock()
+	defer m.p.mu.Unlock()
+	return m.faults
+}
+
+// Breakdown returns the per-cause cycle ledger.
+func (m *Memory) Breakdown() map[string]sim.Cycles { return m.ledger.Snapshot() }
+
+// ResetAccounting zeroes the ledger and fault counter without touching
+// residency state, so a harness can warm up and then measure.
+func (m *Memory) ResetAccounting() {
+	m.p.mu.Lock()
+	m.faults = 0
+	m.p.mu.Unlock()
+	m.ledger.Reset()
+}
+
+// Arena is a bump allocator handing out simulated addresses from a fixed
+// region of one Memory view. Data-structure nodes in the higher layers
+// carry these addresses so their traversals can be charged to the memory
+// model.
+type Arena struct {
+	mem  *Memory
+	base uint64
+	next uint64
+	end  uint64
+}
+
+// NewArena returns an arena over [base, base+size).
+func NewArena(mem *Memory, base, size uint64) *Arena {
+	return &Arena{mem: mem, base: base, next: base, end: base + size}
+}
+
+// Alloc reserves size bytes (8-byte aligned) and returns the address.
+// It panics when the region is exhausted — a simulated out-of-memory.
+func (a *Arena) Alloc(size int) uint64 {
+	if size <= 0 {
+		size = 1
+	}
+	addr := a.next
+	a.next = align(a.next+uint64(size), 8)
+	if a.next > a.end {
+		panic(fmt.Sprintf("enclave: arena exhausted at %d bytes (capacity %d)",
+			a.next-a.base, a.end-a.base))
+	}
+	return addr
+}
+
+// Memory returns the accounting view this arena allocates from.
+func (a *Arena) Memory() *Memory { return a.mem }
+
+// Used returns the number of bytes allocated so far.
+func (a *Arena) Used() uint64 { return a.next - a.base }
+
+// Capacity returns the total arena size in bytes.
+func (a *Arena) Capacity() uint64 { return a.end - a.base }

@@ -1,0 +1,266 @@
+package enclave
+
+import (
+	"testing"
+)
+
+// smallPlatform returns a platform with a tiny EPC and LLC so paging
+// behaviour can be exercised quickly.
+func smallPlatform() *Platform {
+	return NewPlatform(Config{
+		EPCBytes:         64 * 4096, // 64 pages total
+		EPCReservedBytes: 16 * 4096, // 48 usable
+		LLCBytes:         16 << 10,  // 256 lines
+		LLCWays:          4,
+		LineSize:         64,
+		PageSize:         4096,
+	})
+}
+
+func TestUntrustedAccessChargesMinorFaultOnce(t *testing.T) {
+	p := smallPlatform()
+	m := p.UntrustedMemory()
+	base := p.AllocUntrusted(4096)
+	m.Access(base, 8, false)
+	if m.Faults() != 1 {
+		t.Fatalf("first touch faults = %d, want 1", m.Faults())
+	}
+	m.Access(base+64, 8, false)
+	if m.Faults() != 1 {
+		t.Fatalf("second touch on same page faulted again: %d", m.Faults())
+	}
+}
+
+func TestUntrustedLLCHitCheaperThanMiss(t *testing.T) {
+	p := smallPlatform()
+	m := p.UntrustedMemory()
+	base := p.AllocUntrusted(4096)
+	m.Access(base, 8, false) // cold: fault + DRAM
+	cold := m.Cycles()
+	m.Access(base, 8, false) // hot: LLC hit
+	hot := m.Cycles() - cold
+	if hot >= cold {
+		t.Fatalf("hot access (%d) not cheaper than cold (%d)", hot, cold)
+	}
+	if hot != p.Config().Cost.LLCHit {
+		t.Fatalf("hot access = %d cycles, want LLCHit %d", hot, p.Config().Cost.LLCHit)
+	}
+}
+
+func TestEnclaveAccessFaultsWhenExceedingEPC(t *testing.T) {
+	p := smallPlatform()
+	e := buildEnclave(t, p, 1<<20, []byte("code")) // 256 pages >> 48 EPC pages
+	a, err := e.HeapArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := e.Memory()
+	mem.ResetAccounting()
+
+	// Touch 100 distinct pages: more than the EPC can hold.
+	addrs := make([]uint64, 100)
+	for i := range addrs {
+		addrs[i] = a.Alloc(4096)
+		mem.Access(addrs[i], 8, true)
+	}
+	firstPass := mem.Faults()
+	if firstPass != 100 {
+		t.Fatalf("first pass faults = %d, want 100 (every page cold)", firstPass)
+	}
+	// Second pass must fault again for most pages (working set > EPC).
+	for _, addr := range addrs {
+		mem.Access(addr, 8, false)
+	}
+	secondPass := mem.Faults() - firstPass
+	if secondPass == 0 {
+		t.Fatal("no faults on second pass despite working set exceeding EPC")
+	}
+}
+
+func TestEnclaveAccessNoFaultsWhenFittingEPC(t *testing.T) {
+	p := smallPlatform()
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	a, _ := e.HeapArena()
+	mem := e.Memory()
+	mem.ResetAccounting()
+
+	// 20 pages fit comfortably in 48 EPC pages.
+	addrs := make([]uint64, 20)
+	for i := range addrs {
+		addrs[i] = a.Alloc(4096)
+		mem.Access(addrs[i], 8, true)
+	}
+	cold := mem.Faults()
+	for _, addr := range addrs {
+		mem.Access(addr, 8, false)
+	}
+	if mem.Faults() != cold {
+		t.Fatalf("re-touching resident pages faulted: %d -> %d", cold, mem.Faults())
+	}
+}
+
+func TestEPCFaultCostDominates(t *testing.T) {
+	p := smallPlatform()
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	a, _ := e.HeapArena()
+	mem := e.Memory()
+	mem.ResetAccounting()
+	addr := a.Alloc(4096)
+	mem.Access(addr, 8, true)
+	bd := mem.Breakdown()
+	if bd[CauseEPCFault] == 0 {
+		t.Fatal("EPC fault not charged for cold enclave access")
+	}
+	if bd[CauseEPCFault] <= bd[CauseMEE] {
+		t.Fatal("EPC fault cost should dominate the MEE line fill")
+	}
+}
+
+func TestEPCFaultCountsAsAEX(t *testing.T) {
+	p := smallPlatform()
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	a, _ := e.HeapArena()
+	before := e.AEXCount()
+	mem := e.Memory()
+	mem.Access(a.Alloc(4096), 8, true)
+	if e.AEXCount() != before+1 {
+		t.Fatalf("AEXCount = %d, want %d (EPC fault exits the enclave)", e.AEXCount(), before+1)
+	}
+}
+
+func TestAccessSpansMultipleLines(t *testing.T) {
+	p := smallPlatform()
+	m := p.UntrustedMemory()
+	base := p.AllocUntrusted(4096)
+	m.Access(base, 8, false)
+	one := m.ledger.Events(CauseDRAM) + m.ledger.Events(CauseLLCHit)
+	m.Access(base+1024, 256, false) // 4 lines
+	total := m.ledger.Events(CauseDRAM) + m.ledger.Events(CauseLLCHit)
+	if total-one != 4 {
+		t.Fatalf("256-byte access touched %d lines, want 4", total-one)
+	}
+}
+
+func TestResetAccountingKeepsResidency(t *testing.T) {
+	p := smallPlatform()
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	a, _ := e.HeapArena()
+	mem := e.Memory()
+	addr := a.Alloc(4096)
+	mem.Access(addr, 8, true) // fault in
+	mem.ResetAccounting()
+	mem.Access(addr, 8, false) // still resident: no fault
+	if mem.Faults() != 0 {
+		t.Fatal("ResetAccounting evicted pages")
+	}
+	if mem.Cycles() == 0 {
+		t.Fatal("no cycles charged after reset")
+	}
+}
+
+func TestDestroyReleasesEPC(t *testing.T) {
+	p := smallPlatform()
+	e := buildEnclave(t, p, 1<<20, []byte("code"))
+	a, _ := e.HeapArena()
+	mem := e.Memory()
+	for i := 0; i < 10; i++ {
+		mem.Access(a.Alloc(4096), 8, true)
+	}
+	if p.EPCResidentPages() == 0 {
+		t.Fatal("no resident pages before destroy")
+	}
+	before := p.EPCResidentPages()
+	e.Destroy()
+	if got := p.EPCResidentPages(); got >= before {
+		t.Fatalf("EPC pages not released: %d -> %d", before, got)
+	}
+}
+
+func TestEnclavesCompeteForEPC(t *testing.T) {
+	p := smallPlatform() // 48 usable pages
+	a := buildEnclave(t, p, 1<<20, []byte("A"))
+	b := buildEnclave(t, p, 1<<20, []byte("B"))
+	aa, _ := a.HeapArena()
+	ba, _ := b.HeapArena()
+
+	// A fills the EPC.
+	aAddrs := make([]uint64, 40)
+	for i := range aAddrs {
+		aAddrs[i] = aa.Alloc(4096)
+		a.Memory().Access(aAddrs[i], 8, true)
+	}
+	// B streams through, evicting A.
+	for i := 0; i < 40; i++ {
+		b.Memory().Access(ba.Alloc(4096), 8, true)
+	}
+	a.Memory().ResetAccounting()
+	for _, addr := range aAddrs {
+		a.Memory().Access(addr, 8, false)
+	}
+	if a.Memory().Faults() == 0 {
+		t.Fatal("enclave A kept all pages despite B streaming through the shared EPC")
+	}
+}
+
+func TestLLCSimBasics(t *testing.T) {
+	c := newLLC(1024, 64, 2) // 16 lines, 8 sets, 2-way
+	if c.access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.access(0) {
+		t.Fatal("warm access missed")
+	}
+	// Fill the set of address 0 (same set every 8 lines * 64B = 512B stride).
+	c.access(512)
+	c.access(1024) // evicts LRU (which is addr 0 after its last touch? order: 0 touched, 512, now 1024 evicts 0)
+	if c.access(0) {
+		t.Fatal("evicted line still present")
+	}
+}
+
+func TestLLCInvalidateRange(t *testing.T) {
+	c := newLLC(4096, 64, 4)
+	c.access(0)
+	c.access(64)
+	c.access(128)
+	n := c.lines()
+	c.invalidateRange(0, 128) // drops lines at 0 and 64
+	if got := c.lines(); got != n-2 {
+		t.Fatalf("lines after invalidate = %d, want %d", got, n-2)
+	}
+}
+
+func TestEPCSimCLOCK(t *testing.T) {
+	e := newEPC(4*4096, 0, 4096) // 4 pages
+	for p := uint64(0); p < 4; p++ {
+		faulted, _, evicted := e.touch(p * 4096)
+		if !faulted || evicted {
+			t.Fatalf("page %d: faulted=%v evicted=%v, want fault without eviction", p, faulted, evicted)
+		}
+	}
+	// Re-touch: all resident.
+	for p := uint64(0); p < 4; p++ {
+		if faulted, _, _ := e.touch(p * 4096); faulted {
+			t.Fatalf("resident page %d faulted", p)
+		}
+	}
+	// Fifth page evicts someone.
+	faulted, _, evicted := e.touch(4 * 4096)
+	if !faulted || !evicted {
+		t.Fatal("fifth page into 4-page EPC did not evict")
+	}
+	if e.residentPages() != 4 {
+		t.Fatalf("resident = %d, want 4", e.residentPages())
+	}
+}
+
+func TestUsableEPCBytes(t *testing.T) {
+	p := NewPlatform(Config{})
+	usable := p.UsableEPCBytes()
+	if usable >= 128<<20 {
+		t.Fatalf("usable EPC %d not below 128 MiB (metadata must be reserved)", usable)
+	}
+	if usable < 80<<20 {
+		t.Fatalf("usable EPC %d implausibly small", usable)
+	}
+}

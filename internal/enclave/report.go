@@ -1,0 +1,79 @@
+package enclave
+
+import (
+	"bytes"
+
+	"securecloud/internal/cryptbox"
+)
+
+// ReportDataSize is the caller-chosen payload bound into a report (SGX uses
+// 64 bytes; typically a hash of a public key or channel binding).
+const ReportDataSize = 64
+
+// Report is a locally verifiable attestation statement: "an enclave with
+// this MRENCLAVE/MRSIGNER, on this platform, produced this report data".
+// It is authenticated with the platform's symmetric report key, so it can
+// only be verified on the same machine — exactly SGX local attestation.
+// Remote attestation (package attest) wraps reports into quotes.
+type Report struct {
+	MREnclave cryptbox.Digest
+	MRSigner  cryptbox.Digest
+	SVN       uint16
+	Data      [ReportDataSize]byte
+	MAC       [cryptbox.MACSize]byte
+}
+
+// CreateReport produces a report binding up to ReportDataSize bytes of user
+// data to this enclave's identity.
+func (e *Enclave) CreateReport(userData []byte) (Report, error) {
+	if e.state != StateInitialized {
+		return Report{}, ErrNotInitialized
+	}
+	var r Report
+	r.MREnclave = e.mrenclave
+	r.MRSigner = e.signer
+	r.SVN = e.svn
+	copy(r.Data[:], userData)
+	r.MAC = cryptbox.MAC(e.p.reportKey, r.body())
+	return r, nil
+}
+
+// VerifyReport checks that a report was produced by an enclave on this
+// platform (local attestation, as performed by SGX's EREPORT/EGETKEY pair).
+func (p *Platform) VerifyReport(r Report) bool {
+	return cryptbox.VerifyMAC(p.reportKey, r.body(), r.MAC)
+}
+
+// body serializes the authenticated portion of the report.
+func (r Report) body() []byte {
+	var buf bytes.Buffer
+	buf.Write(r.MREnclave[:])
+	buf.Write(r.MRSigner[:])
+	buf.WriteByte(byte(r.SVN))
+	buf.WriteByte(byte(r.SVN >> 8))
+	buf.Write(r.Data[:])
+	return buf.Bytes()
+}
+
+// Marshal encodes the full report for transport.
+func (r Report) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.Write(r.body())
+	buf.Write(r.MAC[:])
+	return buf.Bytes()
+}
+
+// UnmarshalReport decodes a report produced by Marshal.
+func UnmarshalReport(b []byte) (Report, bool) {
+	const want = 32 + 32 + 2 + ReportDataSize + cryptbox.MACSize
+	if len(b) != want {
+		return Report{}, false
+	}
+	var r Report
+	copy(r.MREnclave[:], b[0:32])
+	copy(r.MRSigner[:], b[32:64])
+	r.SVN = uint16(b[64]) | uint16(b[65])<<8
+	copy(r.Data[:], b[66:66+ReportDataSize])
+	copy(r.MAC[:], b[66+ReportDataSize:])
+	return r, true
+}

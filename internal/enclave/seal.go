@@ -1,0 +1,79 @@
+package enclave
+
+import (
+	"fmt"
+
+	"securecloud/internal/cryptbox"
+)
+
+// SealPolicy selects the identity a sealing key is bound to, mirroring the
+// SGX KEYREQUEST policy bits.
+type SealPolicy int
+
+const (
+	// SealToEnclave binds the key to MRENCLAVE: only the exact same
+	// enclave code can unseal. Used for the FS protection file hash chain.
+	SealToEnclave SealPolicy = iota
+	// SealToSigner binds the key to MRSIGNER: any enclave from the same
+	// author (e.g. an upgraded micro-service) can unseal.
+	SealToSigner
+)
+
+func (sp SealPolicy) String() string {
+	if sp == SealToEnclave {
+		return "MRENCLAVE"
+	}
+	return "MRSIGNER"
+}
+
+// SealKey derives this enclave's sealing key under the given policy. The
+// key is a deterministic function of the platform device key and the chosen
+// identity, as with the SGX EGETKEY instruction: the same enclave on the
+// same platform always gets the same key, a different enclave or platform
+// never does.
+func (e *Enclave) SealKey(policy SealPolicy) (cryptbox.Key, error) {
+	if e.state != StateInitialized {
+		return cryptbox.Key{}, ErrNotInitialized
+	}
+	var ident cryptbox.Digest
+	switch policy {
+	case SealToEnclave:
+		ident = e.mrenclave
+	case SealToSigner:
+		ident = e.signer
+	default:
+		return cryptbox.Key{}, fmt.Errorf("enclave: unknown seal policy %d", policy)
+	}
+	raw, err := cryptbox.HKDF(e.p.deviceKey[:], ident[:], []byte("seal:"+policy.String()), cryptbox.KeySize)
+	if err != nil {
+		return cryptbox.Key{}, err
+	}
+	return cryptbox.KeyFromBytes(raw)
+}
+
+// Seal encrypts-and-authenticates data under the enclave's sealing key.
+func (e *Enclave) Seal(plaintext, aad []byte, policy SealPolicy) ([]byte, error) {
+	key, err := e.SealKey(policy)
+	if err != nil {
+		return nil, err
+	}
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	return box.Seal(plaintext, aad)
+}
+
+// Unseal reverses Seal. It fails with cryptbox.ErrAuth when the blob was
+// sealed by a different identity or tampered with.
+func (e *Enclave) Unseal(sealed, aad []byte, policy SealPolicy) ([]byte, error) {
+	key, err := e.SealKey(policy)
+	if err != nil {
+		return nil, err
+	}
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	return box.Open(sealed, aad)
+}

@@ -1,0 +1,284 @@
+// Package eventbus implements the event bus of Figure 1: the encrypted
+// topic-based transport that connects the micro-services of a SecureCloud
+// application. The bus itself is untrusted infrastructure — it stores and
+// forwards opaque sealed messages; only micro-services holding a topic key
+// (distributed through the CAS, not through the bus) can read them.
+//
+// For content-based (rather than topic-based) routing, applications use
+// the SCBR broker instead; the bus is the simpler substrate that carries
+// point-to-point and fan-out traffic between micro-services.
+package eventbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"securecloud/internal/cryptbox"
+)
+
+// Message is one sealed bus message. Topic and sequence number are visible
+// to the untrusted bus (it needs them to route and order); the body is not.
+type Message struct {
+	Topic  string
+	Seq    uint64
+	Sealed []byte
+}
+
+// Errors returned by the bus and endpoints.
+var (
+	ErrNoTopic  = errors.New("eventbus: topic does not exist")
+	ErrBadSeal  = errors.New("eventbus: message failed authentication")
+	ErrClosed   = errors.New("eventbus: bus closed")
+	ErrBackPres = errors.New("eventbus: subscriber queue full")
+)
+
+// QueueLimit bounds each subscriber queue; the bus applies back-pressure
+// beyond it rather than growing unboundedly.
+const QueueLimit = 4096
+
+// Bus is the untrusted message store-and-forward fabric.
+type Bus struct {
+	mu     sync.Mutex
+	seqs   map[string]uint64
+	queues map[string]map[int][]Message // topic -> subscriber handle -> queue
+	leased map[string]map[int]map[uint64]bool
+	nextID int
+	closed bool
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{
+		seqs:   make(map[string]uint64),
+		queues: make(map[string]map[int][]Message),
+	}
+}
+
+// Close shuts the bus down; further operations fail.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+}
+
+// subscribe registers a queue on a topic and returns its handle.
+func (b *Bus) subscribe(topic string) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	if b.queues[topic] == nil {
+		b.queues[topic] = make(map[int][]Message)
+	}
+	b.nextID++
+	b.queues[topic][b.nextID] = nil
+	return b.nextID, nil
+}
+
+// publish appends a sealed message to all subscriber queues of the topic.
+func (b *Bus) publish(topic string, sealed []byte) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	b.seqs[topic]++
+	seq := b.seqs[topic]
+	m := Message{Topic: topic, Seq: seq, Sealed: sealed}
+	for id, q := range b.queues[topic] {
+		if len(q) >= QueueLimit {
+			return 0, fmt.Errorf("%w: topic %s subscriber %d", ErrBackPres, topic, id)
+		}
+		b.queues[topic][id] = append(q, m)
+	}
+	return seq, nil
+}
+
+// drain pops all queued messages of a subscription handle.
+func (b *Bus) drain(topic string, id int) []Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queues[topic][id]
+	b.queues[topic][id] = nil
+	return q
+}
+
+// peek returns up to max queued messages, marking them leased (still
+// queued until acked).
+func (b *Bus) peek(topic string, id int, max int) []Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.leased == nil {
+		b.leased = make(map[string]map[int]map[uint64]bool)
+	}
+	if b.leased[topic] == nil {
+		b.leased[topic] = make(map[int]map[uint64]bool)
+	}
+	if b.leased[topic][id] == nil {
+		b.leased[topic][id] = make(map[uint64]bool)
+	}
+	var out []Message
+	for _, m := range b.queues[topic][id] {
+		if max > 0 && len(out) >= max {
+			break
+		}
+		if b.leased[topic][id][m.Seq] {
+			continue
+		}
+		b.leased[topic][id][m.Seq] = true
+		out = append(out, m)
+	}
+	return out
+}
+
+// ack drops a leased message permanently.
+func (b *Bus) ack(topic string, id int, seq uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queues[topic][id]
+	for i, m := range q {
+		if m.Seq == seq {
+			b.queues[topic][id] = append(q[:i:i], q[i+1:]...)
+			if l := b.leased[topic]; l != nil && l[id] != nil {
+				delete(l[id], seq)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// nack releases a lease so the message is delivered again.
+func (b *Bus) nack(topic string, id int, seq uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l := b.leased[topic]
+	if l == nil || l[id] == nil || !l[id][seq] {
+		return false
+	}
+	delete(l[id], seq)
+	return true
+}
+
+// Depth returns the queued message count of a topic across subscribers
+// (monitoring hook for the orchestration layer).
+func (b *Bus) Depth(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, q := range b.queues[topic] {
+		n += len(q)
+	}
+	return n
+}
+
+// TopicKey derives the key protecting one topic from an application root
+// key. Keys are provisioned to micro-services via their SCFs; the bus
+// never sees them.
+func TopicKey(appRoot cryptbox.Key, topic string) (cryptbox.Key, error) {
+	return cryptbox.DeriveKey(appRoot, "topic:"+topic)
+}
+
+// Publisher seals messages onto one topic.
+type Publisher struct {
+	bus   *Bus
+	topic string
+	box   *cryptbox.Box
+}
+
+// NewPublisher builds a publisher for topic with its topic key.
+func NewPublisher(bus *Bus, topic string, key cryptbox.Key) (*Publisher, error) {
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{bus: bus, topic: topic, box: box}, nil
+}
+
+// Publish seals body and hands it to the bus, returning its sequence
+// number. The seal binds the topic, so messages cannot be replayed across
+// topics by the bus.
+func (p *Publisher) Publish(body []byte) (uint64, error) {
+	sealed, err := p.box.Seal(body, []byte("topic|"+p.topic))
+	if err != nil {
+		return 0, err
+	}
+	return p.bus.publish(p.topic, sealed)
+}
+
+// Subscriber receives and opens messages from one topic.
+type Subscriber struct {
+	bus     *Bus
+	topic   string
+	box     *cryptbox.Box
+	handle  int
+	lastSeq uint64
+}
+
+// NewSubscriber registers a subscription on topic with its topic key.
+func NewSubscriber(bus *Bus, topic string, key cryptbox.Key) (*Subscriber, error) {
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	h, err := bus.subscribe(topic)
+	if err != nil {
+		return nil, err
+	}
+	return &Subscriber{bus: bus, topic: topic, box: box, handle: h}, nil
+}
+
+// Receive drains, authenticates and decrypts pending messages. It fails on
+// any tampered message and on sequence regression (a bus replaying or
+// reordering traffic).
+func (s *Subscriber) Receive() ([][]byte, error) {
+	msgs := s.bus.drain(s.topic, s.handle)
+	out := make([][]byte, 0, len(msgs))
+	for _, m := range msgs {
+		if m.Seq <= s.lastSeq {
+			return nil, fmt.Errorf("%w: sequence %d replayed", ErrBadSeal, m.Seq)
+		}
+		body, err := s.box.Open(m.Sealed, []byte("topic|"+m.Topic))
+		if err != nil {
+			return nil, fmt.Errorf("%w: topic %s seq %d", ErrBadSeal, m.Topic, m.Seq)
+		}
+		s.lastSeq = m.Seq
+		out = append(out, body)
+	}
+	return out, nil
+}
+
+// Pending is one unacknowledged message leased to a consumer.
+type Pending struct {
+	Seq  uint64
+	Body []byte
+}
+
+// Lease authenticates, decrypts and returns up to max pending messages
+// without consuming them: each must be Acked once processed, or Nacked to
+// requeue — the at-least-once consumption mode micro-services use when a
+// crash between receive and process must not lose grid telemetry.
+func (s *Subscriber) Lease(max int) ([]Pending, error) {
+	msgs := s.bus.peek(s.topic, s.handle, max)
+	out := make([]Pending, 0, len(msgs))
+	for _, m := range msgs {
+		body, err := s.box.Open(m.Sealed, []byte("topic|"+m.Topic))
+		if err != nil {
+			return nil, fmt.Errorf("%w: topic %s seq %d", ErrBadSeal, m.Topic, m.Seq)
+		}
+		out = append(out, Pending{Seq: m.Seq, Body: body})
+	}
+	return out, nil
+}
+
+// Ack removes a leased message permanently.
+func (s *Subscriber) Ack(seq uint64) bool {
+	return s.bus.ack(s.topic, s.handle, seq)
+}
+
+// Nack returns a leased message to the queue for redelivery.
+func (s *Subscriber) Nack(seq uint64) bool {
+	return s.bus.nack(s.topic, s.handle, seq)
+}

@@ -1,0 +1,353 @@
+package eventbus
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"securecloud/internal/cryptbox"
+)
+
+func appRoot() cryptbox.Key {
+	var k cryptbox.Key
+	k[0] = 0xA9
+	return k
+}
+
+func topicPair(t *testing.T, bus *Bus, topic string) (*Publisher, *Subscriber) {
+	t.Helper()
+	key, err := TopicKey(appRoot(), topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPublisher(bus, topic, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSubscriber(bus, topic, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func TestPublishReceive(t *testing.T) {
+	bus := New()
+	p, s := topicPair(t, bus, "meters/region-1")
+	for i := 0; i < 3; i++ {
+		if _, err := p.Publish([]byte(fmt.Sprintf("reading-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got[0]) != "reading-0" || string(got[2]) != "reading-2" {
+		t.Fatalf("received %q", got)
+	}
+	// Drained: next receive is empty.
+	got, err = s.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("drained queue returned messages")
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	bus := New()
+	key, _ := TopicKey(appRoot(), "alerts")
+	p, _ := NewPublisher(bus, "alerts", key)
+	var subs []*Subscriber
+	for i := 0; i < 3; i++ {
+		s, err := NewSubscriber(bus, "alerts", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, s)
+	}
+	if _, err := p.Publish([]byte("overload feeder-9")); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range subs {
+		got, err := s.Receive()
+		if err != nil || len(got) != 1 {
+			t.Fatalf("subscriber %d: got %d messages, err %v", i, len(got), err)
+		}
+	}
+}
+
+func TestCiphertextOnBus(t *testing.T) {
+	bus := New()
+	p, s := topicPair(t, bus, "secrets")
+	if _, err := p.Publish([]byte("CONSUMPTION-PROFILE")); err != nil {
+		t.Fatal(err)
+	}
+	bus.mu.Lock()
+	for _, q := range bus.queues["secrets"] {
+		for _, m := range q {
+			if bytes.Contains(m.Sealed, []byte("CONSUMPTION-PROFILE")) {
+				bus.mu.Unlock()
+				t.Fatal("plaintext on the bus")
+			}
+		}
+	}
+	bus.mu.Unlock()
+	if _, err := s.Receive(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperedMessageRejected(t *testing.T) {
+	bus := New()
+	p, s := topicPair(t, bus, "t")
+	if _, err := p.Publish([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	bus.mu.Lock()
+	for id, q := range bus.queues["t"] {
+		q[0].Sealed[5] ^= 1
+		bus.queues["t"][id] = q
+	}
+	bus.mu.Unlock()
+	if _, err := s.Receive(); !errors.Is(err, ErrBadSeal) {
+		t.Fatalf("err = %v, want ErrBadSeal", err)
+	}
+}
+
+func TestCrossTopicReplayRejected(t *testing.T) {
+	bus := New()
+	keyA, _ := TopicKey(appRoot(), "a")
+	pA, _ := NewPublisher(bus, "a", keyA)
+	// Subscriber on topic b using the key of topic b — but the bus
+	// maliciously moves a's message into b's queue.
+	keyB, _ := TopicKey(appRoot(), "b")
+	sB, _ := NewSubscriber(bus, "b", keyB)
+	if _, err := pA.Publish([]byte("for-a")); err != nil {
+		t.Fatal(err)
+	}
+	bus.mu.Lock()
+	var stolen Message
+	// No subscriber on a: publish stored nothing. Re-publish directly.
+	bus.mu.Unlock()
+	sealed, _ := func() ([]byte, error) {
+		box, _ := cryptbox.NewBox(keyA)
+		return box.Seal([]byte("for-a"), []byte("topic|a"))
+	}()
+	stolen = Message{Topic: "b", Seq: 1, Sealed: sealed}
+	bus.mu.Lock()
+	for id := range bus.queues["b"] {
+		bus.queues["b"][id] = append(bus.queues["b"][id], stolen)
+	}
+	bus.mu.Unlock()
+	if _, err := sB.Receive(); !errors.Is(err, ErrBadSeal) {
+		t.Fatalf("cross-topic replay accepted: %v", err)
+	}
+}
+
+func TestSequenceReplayRejected(t *testing.T) {
+	bus := New()
+	p, s := topicPair(t, bus, "t")
+	if _, err := p.Publish([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	bus.mu.Lock()
+	var copyMsg Message
+	for _, q := range bus.queues["t"] {
+		copyMsg = q[0]
+	}
+	bus.mu.Unlock()
+	if _, err := s.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	// Bus replays the same message.
+	bus.mu.Lock()
+	for id := range bus.queues["t"] {
+		bus.queues["t"][id] = append(bus.queues["t"][id], copyMsg)
+	}
+	bus.mu.Unlock()
+	if _, err := s.Receive(); !errors.Is(err, ErrBadSeal) {
+		t.Fatalf("sequence replay accepted: %v", err)
+	}
+}
+
+func TestTopicKeysIndependent(t *testing.T) {
+	a, _ := TopicKey(appRoot(), "a")
+	b, _ := TopicKey(appRoot(), "b")
+	if a == b {
+		t.Fatal("distinct topics derived the same key")
+	}
+}
+
+func TestWrongKeyCannotRead(t *testing.T) {
+	bus := New()
+	keyA, _ := TopicKey(appRoot(), "a")
+	p, _ := NewPublisher(bus, "a", keyA)
+	wrong, _ := TopicKey(appRoot(), "other")
+	s, err := NewSubscriber(bus, "a", wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Publish([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Receive(); !errors.Is(err, ErrBadSeal) {
+		t.Fatalf("wrong key read message: %v", err)
+	}
+}
+
+func TestClosedBus(t *testing.T) {
+	bus := New()
+	p, _ := topicPair(t, bus, "t")
+	bus.Close()
+	if _, err := p.Publish([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("publish on closed bus: %v", err)
+	}
+	key, _ := TopicKey(appRoot(), "t")
+	if _, err := NewSubscriber(bus, "t", key); !errors.Is(err, ErrClosed) {
+		t.Fatalf("subscribe on closed bus: %v", err)
+	}
+}
+
+func TestBackPressure(t *testing.T) {
+	bus := New()
+	p, _ := topicPair(t, bus, "t")
+	for i := 0; i < QueueLimit; i++ {
+		if _, err := p.Publish([]byte("x")); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if _, err := p.Publish([]byte("overflow")); !errors.Is(err, ErrBackPres) {
+		t.Fatalf("err = %v, want ErrBackPres", err)
+	}
+}
+
+func TestDepthMonitoring(t *testing.T) {
+	bus := New()
+	p, s := topicPair(t, bus, "t")
+	for i := 0; i < 5; i++ {
+		if _, err := p.Publish([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bus.Depth("t"); got != 5 {
+		t.Fatalf("Depth = %d, want 5", got)
+	}
+	if _, err := s.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bus.Depth("t"); got != 0 {
+		t.Fatalf("Depth after drain = %d", got)
+	}
+}
+
+func TestLeaseAckConsumes(t *testing.T) {
+	bus := New()
+	p, s := topicPair(t, bus, "t")
+	for i := 0; i < 3; i++ {
+		if _, err := p.Publish([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pending, err := s.Lease(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("leased %d, want 2", len(pending))
+	}
+	// Leased messages are not re-leased until nacked.
+	again, err := s.Lease(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 1 {
+		t.Fatalf("second lease got %d, want the 1 unleased message", len(again))
+	}
+	for _, m := range pending {
+		if !s.Ack(m.Seq) {
+			t.Fatalf("ack %d failed", m.Seq)
+		}
+	}
+	if s.Ack(pending[0].Seq) {
+		t.Fatal("double ack succeeded")
+	}
+	if got := bus.Depth("t"); got != 1 {
+		t.Fatalf("Depth = %d after acking 2 of 3", got)
+	}
+}
+
+func TestNackRedelivers(t *testing.T) {
+	bus := New()
+	p, s := topicPair(t, bus, "t")
+	if _, err := p.Publish([]byte("critical-alert")); err != nil {
+		t.Fatal(err)
+	}
+	pending, err := s.Lease(1)
+	if err != nil || len(pending) != 1 {
+		t.Fatalf("lease: %v, %d", err, len(pending))
+	}
+	// Consumer crashes before processing: nack.
+	if !s.Nack(pending[0].Seq) {
+		t.Fatal("nack failed")
+	}
+	if s.Nack(pending[0].Seq) {
+		t.Fatal("double nack succeeded")
+	}
+	redelivered, err := s.Lease(1)
+	if err != nil || len(redelivered) != 1 {
+		t.Fatalf("redelivery: %v, %d", err, len(redelivered))
+	}
+	if string(redelivered[0].Body) != "critical-alert" {
+		t.Fatalf("redelivered %q", redelivered[0].Body)
+	}
+}
+
+func TestLeaseTamperDetected(t *testing.T) {
+	bus := New()
+	p, s := topicPair(t, bus, "t")
+	if _, err := p.Publish([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	bus.mu.Lock()
+	for id, q := range bus.queues["t"] {
+		q[0].Sealed[3] ^= 1
+		bus.queues["t"][id] = q
+	}
+	bus.mu.Unlock()
+	if _, err := s.Lease(1); !errors.Is(err, ErrBadSeal) {
+		t.Fatalf("err = %v, want ErrBadSeal", err)
+	}
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	bus := New()
+	key, _ := TopicKey(appRoot(), "t")
+	s, _ := NewSubscriber(bus, "t", key)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, _ := NewPublisher(bus, "t", key)
+			for i := 0; i < 100; i++ {
+				if _, err := p.Publish([]byte("m")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := s.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 400 {
+		t.Fatalf("received %d of 400", len(got))
+	}
+}

@@ -1,0 +1,31 @@
+package genpack
+
+import "testing"
+
+func BenchmarkGenPackPlace(b *testing.B) {
+	c := NewCluster(ClusterConfig{Servers: 100})
+	g := NewGenPack()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctr := &Container{ID: i, Demand: Resources{CPU: 1, MemMB: 512}, Lifetime: 10}
+		if err := g.Place(c, ctr); err != nil {
+			// Cluster full: drain it and continue.
+			b.StopTimer()
+			for _, s := range c.Servers {
+				for _, pl := range s.containers {
+					s.remove(pl.c)
+				}
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkSimulateDay(b *testing.B) {
+	cfg := DefaultTrace(1)
+	cfg.Ticks = 240 // four hours per iteration
+	for i := 0; i < b.N; i++ {
+		cl := NewCluster(ClusterConfig{Servers: 100})
+		Simulate(cl, NewGenPack(), GenerateTrace(cfg), cfg.Ticks)
+	}
+}

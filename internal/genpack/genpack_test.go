@@ -1,0 +1,304 @@
+package genpack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{CPU: 2, MemMB: 1024}
+	b := Resources{CPU: 1, MemMB: 512}
+	if got := a.Add(b); got.CPU != 3 || got.MemMB != 1536 {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := a.Sub(b); got.CPU != 1 || got.MemMB != 512 {
+		t.Fatalf("Sub = %+v", got)
+	}
+	if !b.Fits(a) || a.Fits(b) {
+		t.Fatal("Fits wrong")
+	}
+}
+
+func TestServerPlaceRemove(t *testing.T) {
+	s := &Server{ID: 1, Capacity: Resources{CPU: 4, MemMB: 8192}, Pidle: 100, Pmax: 200}
+	c1 := &Container{ID: 1, Demand: Resources{CPU: 2, MemMB: 4096}}
+	c2 := &Container{ID: 2, Demand: Resources{CPU: 3, MemMB: 1024}}
+	if !s.place(c1) {
+		t.Fatal("placement failed")
+	}
+	if !s.On() {
+		t.Fatal("server not powered after placement")
+	}
+	if s.place(c2) {
+		t.Fatal("over-capacity placement accepted")
+	}
+	if s.Utilization() != 0.5 {
+		t.Fatalf("Utilization = %f", s.Utilization())
+	}
+	if s.Power() != 150 {
+		t.Fatalf("Power = %f, want 150 (idle 100 + 50%% dynamic)", s.Power())
+	}
+	s.remove(c1)
+	if s.Count() != 0 || s.Used().CPU != 0 {
+		t.Fatal("remove did not release resources")
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	s := &Server{Capacity: Resources{CPU: 10, MemMB: 1}, Pidle: 100, Pmax: 200}
+	if s.Power() != 0 {
+		t.Fatal("powered-off server draws power")
+	}
+	s.on = true
+	if s.Power() != 100 {
+		t.Fatalf("idle draw = %f, want 100", s.Power())
+	}
+	s.trueUsed = Resources{CPU: 10} // power follows actual usage
+	if s.Power() != 200 {
+		t.Fatalf("full draw = %f, want 200", s.Power())
+	}
+}
+
+func TestNewClusterGenerations(t *testing.T) {
+	c := NewCluster(ClusterConfig{Servers: 100})
+	n := len(c.Generation(Nursery))
+	y := len(c.Generation(Young))
+	o := len(c.Generation(Old))
+	if n+y+o != 100 {
+		t.Fatalf("generations do not partition: %d+%d+%d", n, y, o)
+	}
+	if n != 10 || y != 30 || o != 60 {
+		t.Fatalf("default shares: nursery=%d young=%d old=%d", n, y, o)
+	}
+}
+
+func TestGenPackPlacesInNurseryFirst(t *testing.T) {
+	c := NewCluster(ClusterConfig{Servers: 20})
+	g := NewGenPack()
+	ctr := &Container{ID: 1, Demand: Resources{CPU: 1, MemMB: 1024}}
+	if err := g.Place(c, ctr); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.server.Gen != Nursery {
+		t.Fatalf("new container placed in %v, want nursery", ctr.server.Gen)
+	}
+}
+
+func TestGenPackPromotions(t *testing.T) {
+	c := NewCluster(ClusterConfig{Servers: 20})
+	g := NewGenPack()
+	ctr := &Container{ID: 1, Demand: Resources{CPU: 1, MemMB: 1024}, Lifetime: 1 << 30}
+	if err := g.Place(c, ctr); err != nil {
+		t.Fatal(err)
+	}
+	ctr.Age = g.NurseryTicks
+	g.Tick(c)
+	if ctr.server.Gen != Young {
+		t.Fatalf("after nursery window container in %v, want young", ctr.server.Gen)
+	}
+	ctr.Age = g.OldTicks
+	g.Tick(c)
+	if ctr.server.Gen != Old {
+		t.Fatalf("after old window container in %v, want old", ctr.server.Gen)
+	}
+	if g.Migrations() != 2 {
+		t.Fatalf("Migrations = %d, want 2", g.Migrations())
+	}
+}
+
+func TestSweepPowersDownDrainedServers(t *testing.T) {
+	c := NewCluster(ClusterConfig{Servers: 10})
+	g := NewGenPack()
+	ctr := &Container{ID: 1, Demand: Resources{CPU: 1, MemMB: 512}}
+	if err := g.Place(c, ctr); err != nil {
+		t.Fatal(err)
+	}
+	srv := ctr.server
+	srv.remove(ctr)
+	g.Tick(c)
+	if srv.On() {
+		t.Fatal("drained server still powered")
+	}
+}
+
+func TestSpreadKeepsAllServersOn(t *testing.T) {
+	c := NewCluster(ClusterConfig{Servers: 10})
+	s := &SpreadScheduler{}
+	s.Tick(c)
+	if c.PoweredOn() != 10 {
+		t.Fatalf("PoweredOn = %d, want 10", c.PoweredOn())
+	}
+}
+
+func TestSpreadBalances(t *testing.T) {
+	c := NewCluster(ClusterConfig{Servers: 4})
+	s := &SpreadScheduler{}
+	for i := 0; i < 4; i++ {
+		ctr := &Container{ID: i, Demand: Resources{CPU: 1, MemMB: 512}}
+		if err := s.Place(c, ctr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, srv := range c.Servers {
+		if srv.Count() != 1 {
+			t.Fatalf("spread placed %d on server %d, want 1 each", srv.Count(), srv.ID)
+		}
+	}
+}
+
+func TestClusterFull(t *testing.T) {
+	c := NewCluster(ClusterConfig{Servers: 1, Capacity: Resources{CPU: 1, MemMB: 1024}})
+	g := NewGenPack()
+	if err := g.Place(c, &Container{ID: 1, Demand: Resources{CPU: 1, MemMB: 512}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Place(c, &Container{ID: 2, Demand: Resources{CPU: 1, MemMB: 512}}); err == nil {
+		t.Fatal("over-committed cluster accepted container")
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	a := GenerateTrace(DefaultTrace(7))
+	b := GenerateTrace(DefaultTrace(7))
+	if len(a) != len(b) {
+		t.Fatal("same seed, different trace length")
+	}
+	for i := range a {
+		if a[i].Tick != b[i].Tick || a[i].Container.Demand != b[i].Container.Demand ||
+			a[i].Container.Lifetime != b[i].Container.Lifetime {
+			t.Fatalf("trace diverged at %d", i)
+		}
+	}
+}
+
+func TestTraceMix(t *testing.T) {
+	cfg := DefaultTrace(3)
+	trace := GenerateTrace(cfg)
+	if len(trace) < int(cfg.Ticks*int64(cfg.ArrivalsPerTick))/2 {
+		t.Fatalf("trace suspiciously short: %d arrivals", len(trace))
+	}
+	long := 0
+	for _, a := range trace {
+		if a.Container.Lifetime > int64(cfg.BatchTicks*5) {
+			long++
+		}
+	}
+	frac := float64(long) / float64(len(trace))
+	if frac < 0.05 || frac > 0.30 {
+		t.Fatalf("long-lived fraction %.2f outside plausible band", frac)
+	}
+}
+
+func TestSimulateConservesContainers(t *testing.T) {
+	cfg := DefaultTrace(5)
+	cfg.Ticks = 300
+	trace := GenerateTrace(cfg)
+	cl := NewCluster(ClusterConfig{Servers: 100})
+	res := Simulate(cl, NewGenPack(), trace, cfg.Ticks)
+	// Everything placed either completed or is still running at horizon.
+	stillRunning := 0
+	for _, s := range cl.Servers {
+		stillRunning += s.Count()
+	}
+	if res.CompletedOK+res.Rejected+stillRunning != len(trace) {
+		t.Fatalf("containers not conserved: %d completed + %d rejected + %d running != %d arrivals",
+			res.CompletedOK, res.Rejected, stillRunning, len(trace))
+	}
+}
+
+func TestCapacityInvariantUnderSimulation(t *testing.T) {
+	cfg := DefaultTrace(11)
+	cfg.Ticks = 200
+	for _, sched := range []Scheduler{NewGenPack(), &FirstFitScheduler{}, &SpreadScheduler{}} {
+		cl := NewCluster(ClusterConfig{Servers: 60})
+		Simulate(cl, sched, GenerateTrace(cfg), cfg.Ticks)
+		for _, s := range cl.Servers {
+			if !s.Used().Fits(s.Capacity) {
+				t.Fatalf("%s: server %d over capacity: %+v > %+v", sched.Name(), s.ID, s.Used(), s.Capacity)
+			}
+			if s.Used().CPU < -1e-6 || s.Used().MemMB < -1e-6 {
+				t.Fatalf("%s: server %d negative usage %+v", sched.Name(), s.ID, s.Used())
+			}
+		}
+	}
+}
+
+func TestEnergyOrdering(t *testing.T) {
+	// Qualitative shape from the GenPack evaluation: genpack beats the
+	// random and spread strategies clearly, and is within a few percent
+	// of an idealised first-fit binpacker (which GenPack matches on
+	// energy while additionally isolating churn from services).
+	results := EnergyExperiment(ClusterConfig{Servers: 100}, DefaultTrace(42))
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Policy] = r
+	}
+	gp, ff, rnd, sp := byName["genpack"], byName["first-fit"], byName["random"], byName["spread"]
+	if gp.EnergyWh >= rnd.EnergyWh {
+		t.Fatalf("genpack (%.0f Wh) not below random (%.0f Wh)", gp.EnergyWh, rnd.EnergyWh)
+	}
+	if rnd.EnergyWh >= sp.EnergyWh {
+		t.Fatalf("random (%.0f Wh) not below spread (%.0f Wh)", rnd.EnergyWh, sp.EnergyWh)
+	}
+	if gp.EnergyWh > ff.EnergyWh*1.05 {
+		t.Fatalf("genpack (%.0f Wh) more than 5%% above ideal binpack (%.0f Wh)", gp.EnergyWh, ff.EnergyWh)
+	}
+	if gp.Rejected > len(GenerateTrace(DefaultTrace(42)))/100 {
+		t.Fatalf("genpack rejected %d containers — savings bought with rejections", gp.Rejected)
+	}
+}
+
+func TestEnergySavingsNearPaperClaim(t *testing.T) {
+	// §VI: "up to 23% energy savings are possible for typical data-center
+	// workloads". Accept a band around the claim.
+	results := EnergyExperiment(ClusterConfig{Servers: 100}, DefaultTrace(42))
+	var gp, sp Result
+	for _, r := range results {
+		switch r.Policy {
+		case "genpack":
+			gp = r
+		case "spread":
+			sp = r
+		}
+	}
+	s := Savings(gp, sp)
+	if s < 0.15 || s > 0.45 {
+		t.Fatalf("genpack vs spread savings %.1f%% outside the plausible band around the 23%% claim", 100*s)
+	}
+}
+
+func TestGenPackRaisesUtilization(t *testing.T) {
+	results := EnergyExperiment(ClusterConfig{Servers: 100}, DefaultTrace(9))
+	var gp, sp Result
+	for _, r := range results {
+		switch r.Policy {
+		case "genpack":
+			gp = r
+		case "spread":
+			sp = r
+		}
+	}
+	if gp.MeanUtilization <= sp.MeanUtilization {
+		t.Fatalf("genpack mean utilisation %.2f not above spread %.2f", gp.MeanUtilization, sp.MeanUtilization)
+	}
+}
+
+func TestPropPlacementNeverExceedsCapacity(t *testing.T) {
+	f := func(cpus []uint8) bool {
+		cl := NewCluster(ClusterConfig{Servers: 5, Capacity: Resources{CPU: 8, MemMB: 16384}})
+		g := NewGenPack()
+		for i, v := range cpus {
+			c := &Container{ID: i, Demand: Resources{CPU: float64(v%9) + 0.5, MemMB: 1024}}
+			_ = g.Place(cl, c) // rejection is fine; violation is not
+		}
+		for _, s := range cl.Servers {
+			if !s.Used().Fits(s.Capacity) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

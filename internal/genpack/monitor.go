@@ -1,0 +1,110 @@
+package genpack
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Monitor is GenPack's runtime monitoring component: it samples the actual
+// resource consumption of containers while they sit in the nursery and
+// learns per-container profiles (EWMA + observed peak). The scheduler uses
+// the learned profile, with a safety margin, as the container's
+// reservation after promotion — converting the gap between declared and
+// actual demand into packing density, which is where a large share of
+// GenPack's savings comes from.
+type Monitor struct {
+	// Alpha is the EWMA smoothing factor.
+	Alpha float64
+	// Margin is the safety factor applied over the observed peak.
+	Margin float64
+
+	mu       sync.Mutex
+	profiles map[int]*profile
+}
+
+type profile struct {
+	ewma Resources
+	peak Resources
+	n    int
+}
+
+// NewMonitor returns a monitor with a 10% safety margin.
+func NewMonitor() *Monitor {
+	return &Monitor{Alpha: 0.3, Margin: 1.10, profiles: make(map[int]*profile)}
+}
+
+// Sample records one observation of a container's actual usage. The noise
+// source models measurement jitter; pass nil for exact samples.
+func (m *Monitor) Sample(c *Container, rng *rand.Rand) {
+	use := c.Usage()
+	if rng != nil {
+		j := 1 + 0.05*rng.NormFloat64()
+		if j < 0.5 {
+			j = 0.5
+		}
+		use = Resources{CPU: use.CPU * j, MemMB: use.MemMB * j}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.profiles[c.ID]
+	if !ok {
+		p = &profile{ewma: use, peak: use}
+		m.profiles[c.ID] = p
+	}
+	p.n++
+	p.ewma = Resources{
+		CPU:   (1-m.Alpha)*p.ewma.CPU + m.Alpha*use.CPU,
+		MemMB: (1-m.Alpha)*p.ewma.MemMB + m.Alpha*use.MemMB,
+	}
+	if use.CPU > p.peak.CPU {
+		p.peak.CPU = use.CPU
+	}
+	if use.MemMB > p.peak.MemMB {
+		p.peak.MemMB = use.MemMB
+	}
+}
+
+// Samples returns how many observations exist for a container.
+func (m *Monitor) Samples(id int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.profiles[id]; ok {
+		return p.n
+	}
+	return 0
+}
+
+// Estimate returns the learned reservation for a container: observed peak
+// plus the safety margin, never above the declared demand (a container
+// may burst to what it asked for) and never below a floor that avoids
+// zero reservations. ok is false when no samples exist yet.
+func (m *Monitor) Estimate(c *Container) (Resources, bool) {
+	m.mu.Lock()
+	p, ok := m.profiles[c.ID]
+	m.mu.Unlock()
+	if !ok || p.n == 0 {
+		return Resources{}, false
+	}
+	est := Resources{CPU: p.peak.CPU * m.Margin, MemMB: p.peak.MemMB * m.Margin}
+	if est.CPU > c.Demand.CPU {
+		est.CPU = c.Demand.CPU
+	}
+	if est.MemMB > c.Demand.MemMB {
+		est.MemMB = c.Demand.MemMB
+	}
+	const floor = 0.05
+	if est.CPU < floor {
+		est.CPU = floor
+	}
+	if est.MemMB < 1 {
+		est.MemMB = 1
+	}
+	return est, true
+}
+
+// Forget drops a container's profile (on completion).
+func (m *Monitor) Forget(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.profiles, id)
+}

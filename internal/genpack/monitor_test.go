@@ -1,0 +1,137 @@
+package genpack
+
+import (
+	"testing"
+
+	"securecloud/internal/sim"
+)
+
+func TestMonitorLearnsActualUsage(t *testing.T) {
+	m := NewMonitor()
+	c := &Container{ID: 1, Demand: Resources{CPU: 4, MemMB: 8192}, UtilFactor: 0.5}
+	for i := 0; i < 20; i++ {
+		m.Sample(c, nil) // exact samples
+	}
+	est, ok := m.Estimate(c)
+	if !ok {
+		t.Fatal("no estimate after sampling")
+	}
+	// Actual usage is 2 CPU; estimate = peak * 1.10 = 2.2, well below the
+	// declared 4.
+	if est.CPU < 2 || est.CPU > 2.5 {
+		t.Fatalf("estimate CPU = %f, want ~2.2", est.CPU)
+	}
+	if est.CPU >= c.Demand.CPU {
+		t.Fatal("monitored estimate not tighter than declaration")
+	}
+}
+
+func TestMonitorEstimateCappedAtDeclaration(t *testing.T) {
+	m := NewMonitor()
+	c := &Container{ID: 1, Demand: Resources{CPU: 2, MemMB: 1024}, UtilFactor: 1.0}
+	rng := sim.NewRand(1)
+	for i := 0; i < 50; i++ {
+		m.Sample(c, rng) // jittered samples can exceed the mean
+	}
+	est, _ := m.Estimate(c)
+	if est.CPU > c.Demand.CPU {
+		t.Fatalf("estimate %f exceeds declared demand %f", est.CPU, c.Demand.CPU)
+	}
+}
+
+func TestMonitorNoSamplesNoEstimate(t *testing.T) {
+	m := NewMonitor()
+	c := &Container{ID: 9, Demand: Resources{CPU: 1, MemMB: 1}}
+	if _, ok := m.Estimate(c); ok {
+		t.Fatal("estimate without samples")
+	}
+}
+
+func TestMonitorForget(t *testing.T) {
+	m := NewMonitor()
+	c := &Container{ID: 3, Demand: Resources{CPU: 1, MemMB: 64}}
+	m.Sample(c, nil)
+	if m.Samples(3) != 1 {
+		t.Fatal("sample not recorded")
+	}
+	m.Forget(3)
+	if m.Samples(3) != 0 {
+		t.Fatal("profile survived Forget")
+	}
+}
+
+func TestReservationFollowsMonitorAfterPromotion(t *testing.T) {
+	cl := NewCluster(ClusterConfig{Servers: 20})
+	g := NewGenPack()
+	c := &Container{ID: 1, Demand: Resources{CPU: 4, MemMB: 4096}, UtilFactor: 0.5, Lifetime: 1 << 30}
+	if err := g.Place(cl, c); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		g.Monitor.Sample(c, nil)
+	}
+	c.Age = g.NurseryTicks
+	g.Tick(cl)
+	if c.server.Gen != Young {
+		t.Fatalf("container in %v after nursery", c.server.Gen)
+	}
+	if c.Reserved == (Resources{}) || c.Reserved.CPU >= c.Demand.CPU {
+		t.Fatalf("promotion did not tighten reservation: %+v", c.Reserved)
+	}
+}
+
+func TestMonitoredPackingDenserThanDeclared(t *testing.T) {
+	// With monitoring, a server fits more containers than declarations
+	// alone would allow, without exceeding true capacity.
+	s := &Server{ID: 1, Capacity: Resources{CPU: 8, MemMB: 1 << 20}}
+	var placedDeclared int
+	for i := 0; ; i++ {
+		c := &Container{ID: i, Demand: Resources{CPU: 2, MemMB: 64}}
+		if !s.place(c) {
+			break
+		}
+		placedDeclared++
+	}
+	s2 := &Server{ID: 2, Capacity: Resources{CPU: 8, MemMB: 1 << 20}}
+	var placedMonitored int
+	for i := 0; ; i++ {
+		c := &Container{ID: i, Demand: Resources{CPU: 2, MemMB: 64}, UtilFactor: 0.5,
+			Reserved: Resources{CPU: 1.1, MemMB: 36}}
+		if !s2.place(c) {
+			break
+		}
+		placedMonitored++
+	}
+	if placedMonitored <= placedDeclared {
+		t.Fatalf("monitored packing (%d) not denser than declared (%d)", placedMonitored, placedDeclared)
+	}
+	if s2.Overcommitted() {
+		t.Fatal("monitored packing overcommitted true usage")
+	}
+}
+
+func TestNoQoSViolationsInDefaultExperiment(t *testing.T) {
+	results := EnergyExperiment(ClusterConfig{Servers: 100}, DefaultTrace(42))
+	for _, r := range results {
+		if r.Violations != 0 {
+			t.Fatalf("%s: %d capacity violations", r.Policy, r.Violations)
+		}
+	}
+}
+
+func TestGenPackBeatsIdealBinpackWithMonitoring(t *testing.T) {
+	results := EnergyExperiment(ClusterConfig{Servers: 100}, DefaultTrace(42))
+	var gp, ff Result
+	for _, r := range results {
+		switch r.Policy {
+		case "genpack":
+			gp = r
+		case "first-fit":
+			ff = r
+		}
+	}
+	if gp.EnergyWh >= ff.EnergyWh {
+		t.Fatalf("monitored genpack (%.0f Wh) not below declared-demand binpack (%.0f Wh)",
+			gp.EnergyWh, ff.EnergyWh)
+	}
+}

@@ -1,0 +1,214 @@
+package genpack
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Scheduler places containers on cluster servers and reacts to the
+// monitoring tick.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Place assigns a newly arrived container. It returns an error when
+	// the cluster cannot host it.
+	Place(c *Cluster, ctr *Container) error
+	// Tick runs the policy's periodic work (promotions, consolidation,
+	// power management).
+	Tick(c *Cluster)
+}
+
+// ErrClusterFull is returned when no server can host a container.
+var ErrClusterFull = errors.New("genpack: no server can host container")
+
+// ---- GenPack ----
+
+// GenPackScheduler implements the generational policy: containers start in
+// the nursery under heavy monitoring; at NurseryTicks of age they move to
+// the young generation; at OldTicks they are consolidated into the old
+// generation, which is packed by fullest-first first-fit so partially
+// empty servers drain. Empty servers are powered off each tick.
+type GenPackScheduler struct {
+	// NurseryTicks is the profiling period before promotion to young.
+	NurseryTicks int64
+	// OldTicks is the age at which a container counts as long-running.
+	OldTicks int64
+	// Monitor, when set, provides learned usage profiles: promotions out
+	// of the nursery re-reserve containers at their observed footprint
+	// instead of their declared demand.
+	Monitor *Monitor
+
+	migrations int
+}
+
+// NewGenPack returns the scheduler with the paper's monitoring windows
+// and runtime monitoring enabled.
+func NewGenPack() *GenPackScheduler {
+	return &GenPackScheduler{NurseryTicks: 5, OldTicks: 60, Monitor: NewMonitor()}
+}
+
+// Name implements Scheduler.
+func (g *GenPackScheduler) Name() string { return "genpack" }
+
+// Migrations returns the number of generation promotions performed.
+func (g *GenPackScheduler) Migrations() int { return g.migrations }
+
+// Place implements Scheduler: new arrivals go to the nursery (fullest-
+// first), overflowing into young, then old.
+func (g *GenPackScheduler) Place(c *Cluster, ctr *Container) error {
+	for _, gen := range []Generation{Nursery, Young, Old} {
+		if placeFirstFit(byUsedDescending(c.Generation(gen)), ctr) {
+			return nil
+		}
+	}
+	return ErrClusterFull
+}
+
+// Tick implements Scheduler: promote aged containers and power down
+// drained servers.
+func (g *GenPackScheduler) Tick(c *Cluster) {
+	// Collect promotions first; mutating placements while iterating the
+	// per-server maps would skip entries.
+	var toYoung, toOld []*Container
+	for _, s := range c.Servers {
+		for _, pl := range s.containers {
+			ctr := pl.c
+			switch s.Gen {
+			case Nursery:
+				if ctr.Age >= g.NurseryTicks {
+					toYoung = append(toYoung, ctr)
+				}
+			case Young:
+				if ctr.Age >= g.OldTicks {
+					toOld = append(toOld, ctr)
+				}
+			}
+		}
+	}
+	for _, ctr := range toYoung {
+		// Leaving the nursery: adopt the monitor's learned reservation.
+		if g.Monitor != nil {
+			if est, ok := g.Monitor.Estimate(ctr); ok {
+				ctr.Reserved = est
+			}
+		}
+		g.migrate(c, ctr, Young, Old)
+	}
+	for _, ctr := range toOld {
+		g.migrate(c, ctr, Old, Young)
+	}
+	c.sweepIdle()
+}
+
+// migrate moves a container to the preferred generation, falling back to
+// the alternative, keeping it in place when neither has room.
+func (g *GenPackScheduler) migrate(c *Cluster, ctr *Container, prefer, fallback Generation) {
+	from := ctr.server
+	if from == nil {
+		return
+	}
+	from.remove(ctr)
+	if placeFirstFit(byUsedDescending(c.Generation(prefer)), ctr) ||
+		placeFirstFit(byUsedDescending(c.Generation(fallback)), ctr) {
+		g.migrations++
+		return
+	}
+	// No room anywhere better: put it back.
+	from.place(ctr)
+}
+
+// ---- Baselines ----
+
+// SpreadScheduler balances load across all servers (Docker Swarm's
+// "spread" strategy): every server stays powered and lightly loaded. This
+// is the conventional-deployment baseline of the paper's energy claim.
+type SpreadScheduler struct{ next int }
+
+// Name implements Scheduler.
+func (s *SpreadScheduler) Name() string { return "spread" }
+
+// Place implements Scheduler: emptiest server first.
+func (s *SpreadScheduler) Place(c *Cluster, ctr *Container) error {
+	servers := append([]*Server(nil), c.Servers...)
+	// Emptiest first; stable by ID.
+	for i := 0; i < len(servers); i++ {
+		for j := i + 1; j < len(servers); j++ {
+			if servers[j].used.CPU < servers[i].used.CPU ||
+				(servers[j].used.CPU == servers[i].used.CPU && servers[j].ID < servers[i].ID) {
+				servers[i], servers[j] = servers[j], servers[i]
+			}
+		}
+	}
+	if placeFirstFit(servers, ctr) {
+		return nil
+	}
+	return ErrClusterFull
+}
+
+// Tick implements Scheduler: spread keeps all servers on (the
+// conventional always-on operating point).
+func (s *SpreadScheduler) Tick(c *Cluster) {
+	for _, srv := range c.Servers {
+		srv.on = true
+	}
+}
+
+// FirstFitScheduler packs containers into the lowest-numbered server with
+// room — consolidating, but without generations: long-lived containers
+// pin servers that can then never drain.
+type FirstFitScheduler struct{}
+
+// Name implements Scheduler.
+func (f *FirstFitScheduler) Name() string { return "first-fit" }
+
+// Place implements Scheduler.
+func (f *FirstFitScheduler) Place(c *Cluster, ctr *Container) error {
+	if placeFirstFit(c.Servers, ctr) {
+		return nil
+	}
+	return ErrClusterFull
+}
+
+// Tick implements Scheduler: powers down drained servers (first-fit gets
+// the same power management as GenPack; the difference is placement).
+func (f *FirstFitScheduler) Tick(c *Cluster) { c.sweepIdle() }
+
+// RandomScheduler places containers on a random server with room (Docker
+// Swarm's "random" strategy), with idle power-down. Long-lived services
+// end up pinning servers all over the cluster — the fragmentation failure
+// mode GenPack's generations avoid.
+type RandomScheduler struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded random-placement baseline.
+func NewRandom(seed int64) *RandomScheduler {
+	return &RandomScheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Scheduler.
+func (r *RandomScheduler) Name() string { return "random" }
+
+// Place implements Scheduler.
+func (r *RandomScheduler) Place(c *Cluster, ctr *Container) error {
+	perm := r.rng.Perm(len(c.Servers))
+	for _, i := range perm {
+		if c.Servers[i].place(ctr) {
+			return nil
+		}
+	}
+	return ErrClusterFull
+}
+
+// Tick implements Scheduler.
+func (r *RandomScheduler) Tick(c *Cluster) { c.sweepIdle() }
+
+// placeFirstFit puts ctr on the first server in order that fits it.
+func placeFirstFit(servers []*Server, ctr *Container) bool {
+	for _, s := range servers {
+		if s.place(ctr) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,327 @@
+// Package image implements the container image model of SecureCloud's
+// secure Docker workflow (paper §V-A, Figure 2): layered, content-addressed
+// images that can carry an encrypted file system plus a sealed FS
+// protection file, signed by their creator. Secure images are
+// indistinguishable from regular images to the registry and engine — all
+// security-relevant parts are protected by the FS protection file, so the
+// registry does not need to be trusted.
+package image
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/fsshield"
+)
+
+// ProtectionFilePath is the well-known image path of the sealed FS
+// protection file in secure images.
+const ProtectionFilePath = "/scone/fs.protection"
+
+// Layer is one file-system layer. Layers stack; later layers override
+// earlier paths (Docker union-FS semantics).
+type Layer struct {
+	Files map[string][]byte `json:"files"`
+}
+
+// Digest returns the content digest of the layer (its canonical encoding).
+func (l Layer) Digest() cryptbox.Digest {
+	return cryptbox.Sum(l.canonical())
+}
+
+// canonical renders the layer deterministically (sorted paths).
+func (l Layer) canonical() []byte {
+	paths := make([]string, 0, len(l.Files))
+	for p := range l.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var buf []byte
+	for _, p := range paths {
+		buf = append(buf, p...)
+		buf = append(buf, 0)
+		buf = append(buf, l.Files[p]...)
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// Config is the runtime configuration baked into an image.
+type Config struct {
+	Entrypoint []string          `json:"entrypoint"`
+	Env        map[string]string `json:"env"`
+	// EnclaveSize is the ELRANGE the micro-service requests (bytes).
+	EnclaveSize uint64 `json:"enclave_size"`
+}
+
+// Manifest names the image and pins its layers by digest.
+type Manifest struct {
+	Name         string            `json:"name"`
+	Tag          string            `json:"tag"`
+	LayerDigests []cryptbox.Digest `json:"layers"`
+	Config       Config            `json:"config"`
+	// Secure marks images whose protected files require an SCF to open.
+	Secure bool `json:"secure"`
+	// SignerPublicKey and Signature authenticate the manifest: end users
+	// verify them after pulling from the untrusted registry.
+	SignerPublicKey []byte `json:"signer_public_key"`
+	Signature       []byte `json:"signature"`
+}
+
+// signedBytes is the canonical signed portion of the manifest.
+func (m Manifest) signedBytes() []byte {
+	c := m
+	c.Signature = nil
+	raw, err := json.Marshal(c)
+	if err != nil {
+		panic("image: manifest marshal cannot fail: " + err.Error())
+	}
+	return raw
+}
+
+// Image is a manifest plus its layers.
+type Image struct {
+	Manifest Manifest `json:"manifest"`
+	Layers   []Layer  `json:"layers"`
+}
+
+// Validation errors.
+var (
+	ErrDigestMismatch = errors.New("image: layer digest mismatch")
+	ErrBadSignature   = errors.New("image: manifest signature invalid")
+	ErrNoFile         = errors.New("image: file not found")
+)
+
+// Verify checks that every layer matches its manifest digest and that the
+// manifest signature is valid. This is the client-side check after pulling
+// from an untrusted registry.
+func (img *Image) Verify() error {
+	if len(img.Layers) != len(img.Manifest.LayerDigests) {
+		return fmt.Errorf("%w: %d layers, %d digests", ErrDigestMismatch,
+			len(img.Layers), len(img.Manifest.LayerDigests))
+	}
+	for i, l := range img.Layers {
+		if l.Digest() != img.Manifest.LayerDigests[i] {
+			return fmt.Errorf("%w: layer %d", ErrDigestMismatch, i)
+		}
+	}
+	if len(img.Manifest.SignerPublicKey) != ed25519.PublicKeySize ||
+		!ed25519.Verify(img.Manifest.SignerPublicKey, img.Manifest.signedBytes(), img.Manifest.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Flatten resolves the union file system: later layers win.
+func (img *Image) Flatten() map[string][]byte {
+	out := make(map[string][]byte)
+	for _, l := range img.Layers {
+		for p, b := range l.Files {
+			out[p] = append([]byte(nil), b...)
+		}
+	}
+	return out
+}
+
+// File returns one path from the flattened image.
+func (img *Image) File(path string) ([]byte, error) {
+	files := img.Flatten()
+	b, ok := files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoFile, path)
+	}
+	return b, nil
+}
+
+// Ref returns the name:tag reference.
+func (img *Image) Ref() string { return img.Manifest.Name + ":" + img.Manifest.Tag }
+
+// Builder assembles images.
+type Builder struct {
+	name, tag string
+	layers    []Layer
+	config    Config
+	secure    bool
+}
+
+// NewBuilder starts an image build.
+func NewBuilder(name, tag string) *Builder {
+	return &Builder{name: name, tag: tag, config: Config{Env: map[string]string{}}}
+}
+
+// AddLayer appends a file-system layer.
+func (b *Builder) AddLayer(files map[string][]byte) *Builder {
+	cp := make(map[string][]byte, len(files))
+	for p, data := range files {
+		cp[p] = append([]byte(nil), data...)
+	}
+	b.layers = append(b.layers, Layer{Files: cp})
+	return b
+}
+
+// SetEntrypoint sets the command the container runs.
+func (b *Builder) SetEntrypoint(args ...string) *Builder {
+	b.config.Entrypoint = args
+	return b
+}
+
+// SetEnv adds an environment variable.
+func (b *Builder) SetEnv(k, v string) *Builder {
+	b.config.Env[k] = v
+	return b
+}
+
+// SetEnclaveSize requests an ELRANGE size for the micro-service.
+func (b *Builder) SetEnclaveSize(n uint64) *Builder {
+	b.config.EnclaveSize = n
+	return b
+}
+
+// markSecure flags the image as secure (set by SecureBuild).
+func (b *Builder) markSecure() *Builder {
+	b.secure = true
+	return b
+}
+
+// Build signs and returns the image.
+func (b *Builder) Build(priv ed25519.PrivateKey) (*Image, error) {
+	if len(b.layers) == 0 {
+		return nil, errors.New("image: build with no layers")
+	}
+	m := Manifest{
+		Name:            b.name,
+		Tag:             b.tag,
+		Config:          b.config,
+		Secure:          b.secure,
+		SignerPublicKey: priv.Public().(ed25519.PublicKey),
+	}
+	for _, l := range b.layers {
+		m.LayerDigests = append(m.LayerDigests, l.Digest())
+	}
+	m.Signature = ed25519.Sign(priv, m.signedBytes())
+	return &Image{Manifest: m, Layers: b.layers}, nil
+}
+
+// chunkFile is the on-image encoding of a protected file's ciphertext
+// chunks.
+type chunkFile struct {
+	Chunks [][]byte `json:"chunks"`
+}
+
+// EncodeChunks serializes ciphertext chunks for storage as an image file.
+func EncodeChunks(chunks [][]byte) []byte {
+	raw, err := json.Marshal(chunkFile{Chunks: chunks})
+	if err != nil {
+		panic("image: chunk marshal cannot fail: " + err.Error())
+	}
+	return raw
+}
+
+// DecodeChunks reverses EncodeChunks.
+func DecodeChunks(b []byte) ([][]byte, error) {
+	var cf chunkFile
+	if err := json.Unmarshal(b, &cf); err != nil {
+		return nil, fmt.Errorf("image: decoding chunk file: %w", err)
+	}
+	return cf.Chunks, nil
+}
+
+// BuildSecrets are the outputs of a secure build that must reach the CAS
+// (never the registry): the key and hash of the sealed protection file.
+type BuildSecrets struct {
+	ProtectionFileKey  cryptbox.Key
+	ProtectionFileHash cryptbox.Digest
+}
+
+// SecureBuildSpec describes which image paths to protect and how.
+type SecureBuildSpec struct {
+	// Protect maps image paths to their protection mode.
+	Protect map[string]fsshield.Mode
+	// ChunkSize overrides the shield chunk size (0 = default).
+	ChunkSize int
+	// RootKey derives all per-file keys; generate fresh per image.
+	RootKey cryptbox.Key
+}
+
+// SecureBuild converts a plain image into a secure image: the listed files
+// are encrypted/authenticated chunk-wise, the FS protection file is sealed
+// and embedded at ProtectionFilePath, and the result is re-signed. This is
+// the image-creation step the paper assigns to the trusted environment of
+// the image creator.
+func SecureBuild(img *Image, spec SecureBuildSpec, priv ed25519.PrivateKey) (*Image, *BuildSecrets, error) {
+	if err := img.Verify(); err != nil {
+		return nil, nil, fmt.Errorf("image: secure build over unverified image: %w", err)
+	}
+	files := img.Flatten()
+	pfs := fsshield.NewFS(spec.ChunkSize)
+	out := make(map[string][]byte, len(files))
+	for path, data := range files {
+		mode, protect := spec.Protect[path]
+		if !protect {
+			out[path] = data
+			continue
+		}
+		if err := pfs.WriteFile(path, data, mode, spec.RootKey); err != nil {
+			return nil, nil, err
+		}
+		out[path] = EncodeChunks(pfs.Blobs()[path])
+	}
+	pfKey, err := cryptbox.DeriveKey(spec.RootKey, "protection-file")
+	if err != nil {
+		return nil, nil, err
+	}
+	sealedPF, err := pfs.ProtectionFile().Seal(pfKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	out[ProtectionFilePath] = sealedPF
+
+	b := NewBuilder(img.Manifest.Name, img.Manifest.Tag).
+		AddLayer(out).
+		SetEnclaveSize(img.Manifest.Config.EnclaveSize).
+		markSecure()
+	b.config.Entrypoint = img.Manifest.Config.Entrypoint
+	for k, v := range img.Manifest.Config.Env {
+		b.config.Env[k] = v
+	}
+	secured, err := b.Build(priv)
+	if err != nil {
+		return nil, nil, err
+	}
+	return secured, &BuildSecrets{
+		ProtectionFileKey:  pfKey,
+		ProtectionFileHash: cryptbox.Sum(sealedPF),
+	}, nil
+}
+
+// ProtectedBlobs extracts the ciphertext chunk map from a secure image for
+// handing to the runtime's protected FS.
+func (img *Image) ProtectedBlobs() (map[string][][]byte, error) {
+	files := img.Flatten()
+	sealedPF, ok := files[ProtectionFilePath]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoFile, ProtectionFilePath)
+	}
+	_ = sealedPF
+	blobs := make(map[string][][]byte)
+	for path, data := range files {
+		if path == ProtectionFilePath {
+			continue
+		}
+		chunks, err := DecodeChunks(data)
+		if err != nil {
+			continue // unprotected plain file
+		}
+		blobs[path] = chunks
+	}
+	return blobs, nil
+}
+
+// SealedProtectionFile returns the embedded sealed protection file.
+func (img *Image) SealedProtectionFile() ([]byte, error) {
+	return img.File(ProtectionFilePath)
+}

@@ -1,0 +1,244 @@
+package image
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/fsshield"
+)
+
+func signKey(t *testing.T) ed25519.PrivateKey {
+	t.Helper()
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return priv
+}
+
+func plainImage(t *testing.T, priv ed25519.PrivateKey) *Image {
+	t.Helper()
+	img, err := NewBuilder("smartgrid/analytics", "1.0").
+		AddLayer(map[string][]byte{
+			"/bin/app":       []byte("EXECUTABLE-BYTES"),
+			"/etc/config":    []byte("threshold=0.8"),
+			"/data/seed.csv": bytes.Repeat([]byte("1.5,2.5\n"), 100),
+		}).
+		SetEntrypoint("/bin/app", "serve").
+		SetEnv("REGION", "eu").
+		SetEnclaveSize(1 << 20).
+		Build(priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestBuildAndVerify(t *testing.T) {
+	priv := signKey(t)
+	img := plainImage(t, priv)
+	if err := img.Verify(); err != nil {
+		t.Fatalf("fresh image failed verification: %v", err)
+	}
+	if img.Ref() != "smartgrid/analytics:1.0" {
+		t.Fatalf("Ref = %q", img.Ref())
+	}
+}
+
+func TestBuildNoLayers(t *testing.T) {
+	if _, err := NewBuilder("x", "y").Build(signKey(t)); err == nil {
+		t.Fatal("empty build accepted")
+	}
+}
+
+func TestVerifyDetectsLayerTamper(t *testing.T) {
+	img := plainImage(t, signKey(t))
+	img.Layers[0].Files["/bin/app"] = []byte("EVIL")
+	if err := img.Verify(); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("err = %v, want ErrDigestMismatch", err)
+	}
+}
+
+func TestVerifyDetectsManifestTamper(t *testing.T) {
+	img := plainImage(t, signKey(t))
+	img.Manifest.Config.Entrypoint = []string{"/bin/backdoor"}
+	if err := img.Verify(); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyDetectsResign(t *testing.T) {
+	img := plainImage(t, signKey(t))
+	// Attacker re-signs with their own key after modifying.
+	attacker := signKey(t)
+	img.Manifest.Config.Entrypoint = []string{"/bin/backdoor"}
+	img.Manifest.SignerPublicKey = attacker.Public().(ed25519.PublicKey)
+	img.Manifest.Signature = ed25519.Sign(attacker, img.Manifest.signedBytes())
+	if err := img.Verify(); err != nil {
+		t.Skip("re-signed image verifies structurally; identity pinning happens at MRSIGNER level")
+	}
+	// The important property: MRSIGNER (derived from the signer key)
+	// changes, so CAS policies bound to the original signer fail. Checked
+	// in the container package tests.
+}
+
+func TestFlattenLayerOverride(t *testing.T) {
+	priv := signKey(t)
+	img, err := NewBuilder("app", "2.0").
+		AddLayer(map[string][]byte{"/a": []byte("base"), "/b": []byte("keep")}).
+		AddLayer(map[string][]byte{"/a": []byte("override")}).
+		Build(priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := img.Flatten()
+	if string(files["/a"]) != "override" {
+		t.Fatalf("/a = %q, want override (upper layer wins)", files["/a"])
+	}
+	if string(files["/b"]) != "keep" {
+		t.Fatalf("/b = %q", files["/b"])
+	}
+}
+
+func TestFileNotFound(t *testing.T) {
+	img := plainImage(t, signKey(t))
+	if _, err := img.File("/nope"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("err = %v, want ErrNoFile", err)
+	}
+}
+
+func TestLayerDigestDeterministic(t *testing.T) {
+	l1 := Layer{Files: map[string][]byte{"/a": []byte("1"), "/b": []byte("2")}}
+	l2 := Layer{Files: map[string][]byte{"/b": []byte("2"), "/a": []byte("1")}}
+	if l1.Digest() != l2.Digest() {
+		t.Fatal("layer digest depends on map order")
+	}
+	l3 := Layer{Files: map[string][]byte{"/a": []byte("1"), "/b": []byte("X")}}
+	if l1.Digest() == l3.Digest() {
+		t.Fatal("different content, same digest")
+	}
+}
+
+func TestSecureBuildProtectsFiles(t *testing.T) {
+	priv := signKey(t)
+	img := plainImage(t, priv)
+	secured, secrets, err := SecureBuild(img, SecureBuildSpec{
+		Protect: map[string]fsshield.Mode{
+			"/etc/config":    fsshield.ModeEncrypted,
+			"/data/seed.csv": fsshield.ModeEncrypted,
+		},
+		RootKey: cryptbox.Key{1, 2, 3},
+	}, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := secured.Verify(); err != nil {
+		t.Fatalf("secured image fails verification: %v", err)
+	}
+	if !secured.Manifest.Secure {
+		t.Fatal("secure flag not set")
+	}
+	files := secured.Flatten()
+	if bytes.Contains(files["/etc/config"], []byte("threshold")) {
+		t.Fatal("protected file still plaintext in secure image")
+	}
+	if !bytes.Contains(files["/bin/app"], []byte("EXECUTABLE-BYTES")) {
+		t.Fatal("unprotected entrypoint was modified")
+	}
+	if _, ok := files[ProtectionFilePath]; !ok {
+		t.Fatal("no sealed protection file embedded")
+	}
+	if secrets.ProtectionFileHash != cryptbox.Sum(files[ProtectionFilePath]) {
+		t.Fatal("secrets hash does not pin the embedded protection file")
+	}
+}
+
+func TestSecureBuildRoundTripThroughFsshield(t *testing.T) {
+	priv := signKey(t)
+	img := plainImage(t, priv)
+	secured, secrets, err := SecureBuild(img, SecureBuildSpec{
+		Protect: map[string]fsshield.Mode{"/etc/config": fsshield.ModeEncrypted},
+		RootKey: cryptbox.Key{9},
+	}, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealedPF, err := secured.SealedProtectionFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := fsshield.OpenSealed(sealedPF, secrets.ProtectionFileKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := secured.ProtectedBlobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfs := fsshield.OpenFS(pf, blobs)
+	got, err := pfs.ReadFile("/etc/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "threshold=0.8" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSecureBuildRejectsUnverifiedInput(t *testing.T) {
+	priv := signKey(t)
+	img := plainImage(t, priv)
+	img.Layers[0].Files["/bin/app"] = []byte("tampered")
+	if _, _, err := SecureBuild(img, SecureBuildSpec{RootKey: cryptbox.Key{1}}, priv); err == nil {
+		t.Fatal("secure build over tampered image succeeded")
+	}
+}
+
+func TestEncodeDecodeChunks(t *testing.T) {
+	chunks := [][]byte{[]byte("aa"), []byte("bb"), nil}
+	got, err := DecodeChunks(EncodeChunks(chunks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got[0]) != "aa" || string(got[1]) != "bb" {
+		t.Fatalf("chunks round trip mismatch: %v", got)
+	}
+	if _, err := DecodeChunks([]byte("{{")); err == nil {
+		t.Fatal("garbage chunk file decoded")
+	}
+}
+
+func TestCustomisationLayerOnSecureImage(t *testing.T) {
+	// End users can add layers on a secure image without access to the
+	// protected content (paper: customisation before sealing).
+	priv := signKey(t)
+	img := plainImage(t, priv)
+	secured, _, err := SecureBuild(img, SecureBuildSpec{
+		Protect: map[string]fsshield.Mode{"/etc/config": fsshield.ModeEncrypted},
+		RootKey: cryptbox.Key{5},
+	}, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := signKey(t)
+	customised, err := NewBuilder(secured.Manifest.Name, "1.0-custom").
+		AddLayer(secured.Flatten()).
+		AddLayer(map[string][]byte{"/etc/user.conf": []byte("lang=de")}).
+		Build(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := customised.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := customised.File("/etc/user.conf"); err != nil {
+		t.Fatal("customisation layer lost")
+	}
+	if _, err := customised.File(ProtectionFilePath); err != nil {
+		t.Fatal("protection file lost during customisation")
+	}
+}

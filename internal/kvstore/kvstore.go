@@ -1,0 +1,275 @@
+// Package kvstore implements SecureCloud's "secure structured data store"
+// (paper §III-B(3)): an ordered key/value store whose records are sealed
+// before they reach untrusted storage, with authenticated snapshots and
+// rollback protection via a monotonic store version.
+//
+// The in-memory structure is a deterministic skip list (seeded, so tests
+// replay), giving O(log n) point access and ordered range scans. All
+// values are encrypted and authenticated; keys are kept in plaintext
+// in memory (inside the enclave) but never leave it unsealed — snapshots
+// seal the whole ordered state as one authenticated blob.
+package kvstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/sim"
+)
+
+const maxLevel = 16
+
+// Errors returned by the store.
+var (
+	ErrNotFound = errors.New("kvstore: key not found")
+	ErrTampered = errors.New("kvstore: snapshot failed authentication")
+	ErrRollback = errors.New("kvstore: snapshot older than expected version")
+)
+
+type node struct {
+	key   string
+	value []byte // sealed
+	next  []*node
+}
+
+// Store is an ordered, encrypted key/value store. Not safe for concurrent
+// use; the owning micro-service serialises access (as the single-threaded
+// enclave request loop does).
+type Store struct {
+	key     cryptbox.Key
+	box     *cryptbox.Box
+	head    *node
+	level   int
+	length  int
+	rng     *rand.Rand
+	version uint64
+}
+
+// New builds a store sealing with key. The seed fixes skip-list geometry.
+func New(key cryptbox.Key, seed int64) (*Store, error) {
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		key:   key,
+		box:   box,
+		head:  &node{next: make([]*node, maxLevel)},
+		level: 1,
+		rng:   sim.NewRand(seed),
+	}, nil
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int { return s.length }
+
+// Version returns the store's monotonic mutation counter.
+func (s *Store) Version() uint64 { return s.version }
+
+func (s *Store) randomLevel() int {
+	l := 1
+	for l < maxLevel && s.rng.Intn(2) == 0 {
+		l++
+	}
+	return l
+}
+
+// findPredecessors fills update[i] with the rightmost node at level i whose
+// key precedes k.
+func (s *Store) findPredecessors(k string, update []*node) *node {
+	cur := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for cur.next[i] != nil && cur.next[i].key < k {
+			cur = cur.next[i]
+		}
+		update[i] = cur
+	}
+	return cur.next[0]
+}
+
+// valueAAD binds a sealed value to its key, preventing the storage layer
+// from swapping values between keys.
+func valueAAD(k string) []byte { return []byte("kv|" + k) }
+
+// Put stores value under key, replacing any existing record.
+func (s *Store) Put(key string, value []byte) error {
+	sealed, err := s.box.Seal(value, valueAAD(key))
+	if err != nil {
+		return err
+	}
+	update := make([]*node, maxLevel)
+	cand := s.findPredecessors(key, update)
+	s.version++
+	if cand != nil && cand.key == key {
+		cand.value = sealed
+		return nil
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &node{key: key, value: sealed, next: make([]*node, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.length++
+	return nil
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	update := make([]*node, maxLevel)
+	cand := s.findPredecessors(key, update)
+	if cand == nil || cand.key != key {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	plain, err := s.box.Open(cand.value, valueAAD(key))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", ErrTampered)
+	}
+	return plain, nil
+}
+
+// Delete removes key; it reports whether the key existed.
+func (s *Store) Delete(key string) bool {
+	update := make([]*node, maxLevel)
+	cand := s.findPredecessors(key, update)
+	if cand == nil || cand.key != key {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] == cand {
+			update[i].next[i] = cand.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.length--
+	s.version++
+	return true
+}
+
+// Pair is one decrypted record.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// Range returns all records with lo <= key < hi in key order. An empty hi
+// means "to the end".
+func (s *Store) Range(lo, hi string) ([]Pair, error) {
+	var out []Pair
+	cur := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for cur.next[i] != nil && cur.next[i].key < lo {
+			cur = cur.next[i]
+		}
+	}
+	for n := cur.next[0]; n != nil; n = n.next[0] {
+		if hi != "" && n.key >= hi {
+			break
+		}
+		plain, err := s.box.Open(n.value, valueAAD(n.key))
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: key %q: %w", n.key, ErrTampered)
+		}
+		out = append(out, Pair{Key: n.key, Value: plain})
+	}
+	return out, nil
+}
+
+// Keys returns all keys in order (no decryption needed).
+func (s *Store) Keys() []string {
+	var out []string
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+// snapshot is the serialised store state.
+type snapshot struct {
+	Version uint64   `json:"version"`
+	Keys    []string `json:"keys"`
+	Values  [][]byte `json:"values"` // plaintext inside the sealed blob
+}
+
+// Snapshot seals the full store state (for persistence to untrusted disk
+// or hand-over to a successor enclave). The blob is authenticated and
+// carries the store version for rollback checks on load.
+func (s *Store) Snapshot() ([]byte, error) {
+	snap := snapshot{Version: s.version}
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		plain, err := s.box.Open(n.value, valueAAD(n.key))
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: key %q: %w", n.key, ErrTampered)
+		}
+		snap.Keys = append(snap.Keys, n.key)
+		snap.Values = append(snap.Values, plain)
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return nil, err
+	}
+	return s.box.Seal(raw, []byte("kv-snapshot"))
+}
+
+// Load restores a snapshot into a fresh store. minVersion is the lowest
+// acceptable snapshot version (e.g. remembered via the CAS or a monotonic
+// counter service); an older snapshot is a rollback attack and is
+// rejected.
+func Load(key cryptbox.Key, seed int64, blob []byte, minVersion uint64) (*Store, error) {
+	s, err := New(key, seed)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := s.box.Open(blob, []byte("kv-snapshot"))
+	if err != nil {
+		return nil, ErrTampered
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("kvstore: decoding snapshot: %w", err)
+	}
+	if snap.Version < minVersion {
+		return nil, fmt.Errorf("%w: snapshot v%d < expected v%d", ErrRollback, snap.Version, minVersion)
+	}
+	for i, k := range snap.Keys {
+		if err := s.Put(k, snap.Values[i]); err != nil {
+			return nil, err
+		}
+	}
+	s.version = snap.Version
+	return s, nil
+}
+
+// Equal reports whether two stores hold identical records (test helper;
+// decrypts both sides).
+func Equal(a, b *Store) (bool, error) {
+	pa, err := a.Range("", "")
+	if err != nil {
+		return false, err
+	}
+	pb, err := b.Range("", "")
+	if err != nil {
+		return false, err
+	}
+	if len(pa) != len(pb) {
+		return false, nil
+	}
+	for i := range pa {
+		if pa[i].Key != pb[i].Key || !bytes.Equal(pa[i].Value, pb[i].Value) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,212 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Table is the structured layer of the secure data store: named columns,
+// a primary key, and secondary indexes, all stored as encrypted rows in an
+// underlying Store. This is the "secure structured data store" building
+// block of paper §III-B(3) that the smart-grid applications keep their
+// meter registries and aggregates in.
+type Table struct {
+	name    string
+	store   *Store
+	schema  Schema
+	indexes map[string]bool // indexed column names
+}
+
+// Schema declares a table's columns. The first column is the primary key.
+type Schema struct {
+	Columns []string `json:"columns"`
+}
+
+// Row is one record, keyed by column name. Values are strings for
+// simplicity of encoding; numeric columns store their canonical decimal
+// form.
+type Row map[string]string
+
+// Table errors.
+var (
+	ErrSchema     = errors.New("kvstore: row does not match schema")
+	ErrNoSuchCol  = errors.New("kvstore: no such column")
+	ErrNotIndexed = errors.New("kvstore: column not indexed")
+	ErrDupKey     = errors.New("kvstore: duplicate primary key")
+)
+
+// NewTable creates a table inside the store. Indexed columns get
+// secondary indexes maintained on every mutation.
+func NewTable(store *Store, name string, schema Schema, indexed ...string) (*Table, error) {
+	if len(schema.Columns) == 0 {
+		return nil, fmt.Errorf("%w: empty schema", ErrSchema)
+	}
+	t := &Table{name: name, store: store, schema: schema, indexes: map[string]bool{}}
+	cols := map[string]bool{}
+	for _, c := range schema.Columns {
+		cols[c] = true
+	}
+	for _, c := range indexed {
+		if !cols[c] {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchCol, c)
+		}
+		t.indexes[c] = true
+	}
+	return t, nil
+}
+
+// PrimaryKey returns the primary-key column name.
+func (t *Table) PrimaryKey() string { return t.schema.Columns[0] }
+
+// rowKey / idxKey build the store keys. Both are namespaced under the
+// table; index entries are "idx/<col>/<value>/<pk>" so a prefix range
+// scan enumerates matches in primary-key order.
+func (t *Table) rowKey(pk string) string {
+	return fmt.Sprintf("tbl/%s/row/%s", t.name, pk)
+}
+
+func (t *Table) idxKey(col, val, pk string) string {
+	return fmt.Sprintf("tbl/%s/idx/%s/%s/%s", t.name, col, val, pk)
+}
+
+func (t *Table) idxPrefix(col, val string) string {
+	return fmt.Sprintf("tbl/%s/idx/%s/%s/", t.name, col, val)
+}
+
+// validate checks a row against the schema.
+func (t *Table) validate(r Row) error {
+	if len(r) != len(t.schema.Columns) {
+		return fmt.Errorf("%w: %d values for %d columns", ErrSchema, len(r), len(t.schema.Columns))
+	}
+	for _, c := range t.schema.Columns {
+		if _, ok := r[c]; !ok {
+			return fmt.Errorf("%w: missing column %q", ErrSchema, c)
+		}
+	}
+	pk := r[t.PrimaryKey()]
+	if pk == "" || strings.Contains(pk, "/") {
+		return fmt.Errorf("%w: invalid primary key %q", ErrSchema, pk)
+	}
+	return nil
+}
+
+// Insert stores a new row; it fails on duplicate primary keys.
+func (t *Table) Insert(r Row) error {
+	if err := t.validate(r); err != nil {
+		return err
+	}
+	pk := r[t.PrimaryKey()]
+	if _, err := t.store.Get(t.rowKey(pk)); err == nil {
+		return fmt.Errorf("%w: %q", ErrDupKey, pk)
+	}
+	return t.write(r)
+}
+
+// Upsert stores a row, replacing any existing one with the same key and
+// fixing up its index entries.
+func (t *Table) Upsert(r Row) error {
+	if err := t.validate(r); err != nil {
+		return err
+	}
+	pk := r[t.PrimaryKey()]
+	if old, err := t.Get(pk); err == nil {
+		t.dropIndexEntries(old)
+	}
+	return t.write(r)
+}
+
+func (t *Table) write(r Row) error {
+	pk := r[t.PrimaryKey()]
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if err := t.store.Put(t.rowKey(pk), raw); err != nil {
+		return err
+	}
+	for col := range t.indexes {
+		if err := t.store.Put(t.idxKey(col, r[col], pk), []byte(pk)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) dropIndexEntries(r Row) {
+	pk := r[t.PrimaryKey()]
+	for col := range t.indexes {
+		t.store.Delete(t.idxKey(col, r[col], pk))
+	}
+}
+
+// Get returns the row with the given primary key.
+func (t *Table) Get(pk string) (Row, error) {
+	raw, err := t.store.Get(t.rowKey(pk))
+	if err != nil {
+		return nil, err
+	}
+	var r Row
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Delete removes a row and its index entries; it reports whether the key
+// existed.
+func (t *Table) Delete(pk string) bool {
+	r, err := t.Get(pk)
+	if err != nil {
+		return false
+	}
+	t.dropIndexEntries(r)
+	return t.store.Delete(t.rowKey(pk))
+}
+
+// Lookup returns all rows whose indexed column equals val, in primary-key
+// order.
+func (t *Table) Lookup(col, val string) ([]Row, error) {
+	if !t.indexes[col] {
+		return nil, fmt.Errorf("%w: %q", ErrNotIndexed, col)
+	}
+	prefix := t.idxPrefix(col, val)
+	pairs, err := t.store.Range(prefix, prefix+"\xff")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, 0, len(pairs))
+	for _, p := range pairs {
+		r, err := t.Get(string(p.Value))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Scan returns all rows in primary-key order.
+func (t *Table) Scan() ([]Row, error) {
+	prefix := fmt.Sprintf("tbl/%s/row/", t.name)
+	pairs, err := t.store.Range(prefix, prefix+"\xff")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, 0, len(pairs))
+	for _, p := range pairs {
+		var r Row
+		if err := json.Unmarshal(p.Value, &r); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Count returns the number of rows.
+func (t *Table) Count() (int, error) {
+	rows, err := t.Scan()
+	return len(rows), err
+}

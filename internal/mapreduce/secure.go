@@ -1,0 +1,233 @@
+package mapreduce
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/sconert"
+)
+
+// ErrShuffleTampered is returned when sealed intermediate data fails
+// authentication — the untrusted shuffle storage modified, dropped into
+// the wrong partition, or replayed a record.
+var ErrShuffleTampered = errors.New("mapreduce: shuffle record failed authentication")
+
+// SecureEngine runs jobs with mapper/reducer tasks inside enclaves and all
+// intermediate data sealed. Input and output stay plaintext only inside
+// the enclaves; the shuffle region models untrusted cloud storage between
+// the two phases.
+type SecureEngine struct {
+	platform *enclave.Platform
+	workers  []*enclave.Enclave
+	scheds   []*sconert.Scheduler
+	rootKey  cryptbox.Key
+	hook     ShuffleHook
+}
+
+// NewSecureEngine builds worker enclaves on the platform. The root key
+// (provisioned via the CAS in a full deployment) derives the per-partition
+// shuffle keys.
+func NewSecureEngine(p *enclave.Platform, workers int, rootKey cryptbox.Key) (*SecureEngine, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	e := &SecureEngine{platform: p, rootKey: rootKey}
+	var signer cryptbox.Digest
+	signer[0] = 0x3E
+	for i := 0; i < workers; i++ {
+		enc, err := p.ECreate(16<<20, signer)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := enc.EAdd([]byte(fmt.Sprintf("mr-worker-%d", i))); err != nil {
+			return nil, err
+		}
+		if err := enc.EInit(); err != nil {
+			return nil, err
+		}
+		e.workers = append(e.workers, enc)
+		e.scheds = append(e.scheds, sconert.NewScheduler(enc, 2))
+	}
+	return e, nil
+}
+
+// Close destroys the worker enclaves.
+func (e *SecureEngine) Close() {
+	for _, enc := range e.workers {
+		enc.Destroy()
+	}
+}
+
+// partitionKey derives the sealing key of one shuffle partition.
+func (e *SecureEngine) partitionKey(p int) (cryptbox.Key, error) {
+	return cryptbox.DeriveKey(e.rootKey, fmt.Sprintf("shuffle-partition-%d", p))
+}
+
+// shuffleAAD binds a sealed record to its job and partition.
+func shuffleAAD(job string, p int) []byte {
+	return []byte(fmt.Sprintf("shuffle|%s|%d", job, p))
+}
+
+// sealedShuffle is the untrusted intermediate storage.
+type sealedShuffle struct {
+	partitions [][][]byte // partition -> sealed records
+}
+
+// Run executes the job with enclave workers and a sealed shuffle.
+func (e *SecureEngine) Run(job Job) (map[string][]byte, error) {
+	if err := job.defaults(); err != nil {
+		return nil, err
+	}
+	shuffle := &sealedShuffle{partitions: make([][][]byte, job.Reducers)}
+	splits := splitInput(job.Input, len(e.workers))
+
+	// Map phase: each worker enclave maps a split, sealing every
+	// intermediate record before it leaves the enclave.
+	type emitBatch struct {
+		p      int
+		sealed []byte
+	}
+	results := make(chan []emitBatch, len(splits))
+	errs := make(chan error, len(splits))
+	for w, split := range splits {
+		worker := e.workers[w%len(e.workers)]
+		sched := e.scheds[w%len(e.scheds)]
+		split := split
+		sched.Go(func() {
+			var out []emitBatch
+			var failed error
+			for _, rec := range split {
+				job.Map(rec.Key, rec.Value, func(k string, v []byte) {
+					if failed != nil {
+						return
+					}
+					p := partition(k, job.Reducers)
+					key, err := e.partitionKey(p)
+					if err != nil {
+						failed = err
+						return
+					}
+					box, err := cryptbox.NewBox(key)
+					if err != nil {
+						failed = err
+						return
+					}
+					raw, err := json.Marshal(KV{Key: k, Value: v})
+					if err != nil {
+						failed = err
+						return
+					}
+					sealed, err := box.Seal(raw, shuffleAAD(job.Name, p))
+					if err != nil {
+						failed = err
+						return
+					}
+					out = append(out, emitBatch{p: p, sealed: sealed})
+				})
+			}
+			if failed != nil {
+				errs <- failed
+				return
+			}
+			results <- out
+		})
+		_ = worker
+	}
+	for _, s := range e.scheds {
+		if err := s.Run(); err != nil {
+			return nil, err
+		}
+	}
+	close(results)
+	close(errs)
+	if err, ok := <-errs; ok && err != nil {
+		return nil, err
+	}
+	for batch := range results {
+		for _, b := range batch {
+			shuffle.partitions[b.p] = append(shuffle.partitions[b.p], b.sealed)
+		}
+	}
+	if e.hook != nil {
+		e.hook(shuffle.partitions)
+	}
+
+	// Reduce phase: workers unseal their partition inside the enclave,
+	// group and reduce.
+	out := make(map[string][]byte)
+	outErrs := make(chan error, job.Reducers)
+	type reduced struct {
+		key   string
+		value []byte
+	}
+	reducedCh := make(chan reduced, 1024)
+	for p := 0; p < job.Reducers; p++ {
+		p := p
+		sched := e.scheds[p%len(e.scheds)]
+		sched.Go(func() {
+			key, err := e.partitionKey(p)
+			if err != nil {
+				outErrs <- err
+				return
+			}
+			box, err := cryptbox.NewBox(key)
+			if err != nil {
+				outErrs <- err
+				return
+			}
+			var recs []KV
+			for _, sealed := range shuffle.partitions[p] {
+				raw, err := box.Open(sealed, shuffleAAD(job.Name, p))
+				if err != nil {
+					outErrs <- fmt.Errorf("%w: partition %d", ErrShuffleTampered, p)
+					return
+				}
+				var kv KV
+				if err := json.Unmarshal(raw, &kv); err != nil {
+					outErrs <- err
+					return
+				}
+				recs = append(recs, kv)
+			}
+			grouped := groupByKey(recs)
+			for _, k := range sortedKeys(grouped) {
+				v, err := job.Reduce(k, grouped[k])
+				if err != nil {
+					outErrs <- fmt.Errorf("mapreduce %s: reduce %q: %w", job.Name, k, err)
+					return
+				}
+				reducedCh <- reduced{key: k, value: v}
+			}
+		})
+	}
+	for _, s := range e.scheds {
+		if err := s.Run(); err != nil {
+			return nil, err
+		}
+	}
+	close(reducedCh)
+	close(outErrs)
+	if err, ok := <-outErrs; ok && err != nil {
+		return nil, err
+	}
+	for r := range reducedCh {
+		out[r.key] = r.value
+	}
+	return out, nil
+}
+
+// ShuffleHook receives the sealed shuffle partitions between the map and
+// reduce phases — modelling an attacker with access to the intermediate
+// storage. Fault-injection tests mutate records here.
+type ShuffleHook func(partitions [][][]byte)
+
+// RunWithShuffleHook is Run with the hook installed for one execution.
+func (e *SecureEngine) RunWithShuffleHook(job Job, hook ShuffleHook) (map[string][]byte, error) {
+	old := e.hook
+	e.hook = hook
+	defer func() { e.hook = old }()
+	return e.Run(job)
+}

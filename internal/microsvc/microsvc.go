@@ -1,0 +1,211 @@
+// Package microsvc implements SecureCloud's dependable micro-service
+// framework (paper §III-B(2)): the application logic of each micro-service
+// runs inside an enclave; the micro-service runtime outside the enclave
+// only ever handles encrypted data. Requests, responses and bus traffic
+// cross the boundary as sealed blobs, with the encryption and decryption
+// performed "automatically and transparently within the enclave"
+// (paper §IV).
+//
+// Micro-services compose into applications over the event bus: a service
+// subscribes to input topics, processes each sealed message inside its
+// enclave, and publishes sealed results to output topics.
+package microsvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/eventbus"
+)
+
+// Handler is the application logic living inside the enclave. It sees
+// plaintext; nothing outside the Service ever does.
+type Handler func(req []byte) ([]byte, error)
+
+// Errors returned by services.
+var (
+	ErrSealedRequest = errors.New("microsvc: request failed authentication")
+	ErrStopped       = errors.New("microsvc: service stopped")
+)
+
+// Service is one running micro-service: an enclave, its request key, and
+// the handler inside.
+type Service struct {
+	name    string
+	enc     *enclave.Enclave
+	key     cryptbox.Key
+	box     *cryptbox.Box
+	handler Handler
+
+	mu      sync.Mutex
+	stopped bool
+	served  uint64
+}
+
+// New wraps handler into a micro-service bound to enc. The request key is
+// what clients (holding it via the CAS) use to talk to the service.
+func New(name string, enc *enclave.Enclave, key cryptbox.Key, handler Handler) (*Service, error) {
+	if handler == nil {
+		return nil, errors.New("microsvc: nil handler")
+	}
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{name: name, enc: enc, key: key, box: box, handler: handler}, nil
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.name }
+
+// Enclave returns the service's enclave.
+func (s *Service) Enclave() *enclave.Enclave { return s.enc }
+
+// Served returns the number of successfully handled requests.
+func (s *Service) Served() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Stop marks the service stopped; subsequent invocations fail.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+}
+
+// reqAAD/respAAD bind blobs to the service and direction, so a response
+// cannot be replayed as a request or routed to another service.
+func (s *Service) reqAAD() []byte  { return []byte("req|" + s.name) }
+func (s *Service) respAAD() []byte { return []byte("resp|" + s.name) }
+
+// Invoke processes one sealed request and returns the sealed response.
+// The runtime outside the enclave calls this with ciphertext; decryption,
+// handling and re-encryption all happen past the EENTER.
+func (s *Service) Invoke(sealedReq []byte) ([]byte, error) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
+	s.mu.Unlock()
+
+	if err := s.enc.EEnter(); err != nil {
+		return nil, err
+	}
+	defer func() { _ = s.enc.EExit() }()
+
+	req, err := s.box.Open(sealedReq, s.reqAAD())
+	if err != nil {
+		return nil, ErrSealedRequest
+	}
+	resp, err := s.handler(req)
+	if err != nil {
+		return nil, fmt.Errorf("microsvc %s: %w", s.name, err)
+	}
+	sealedResp, err := s.box.Seal(resp, s.respAAD())
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	return sealedResp, nil
+}
+
+// Client invokes a service from its trusted peer side (another enclave or
+// the application owner) holding the request key.
+type Client struct {
+	svc *Service
+	box *cryptbox.Box
+}
+
+// NewClient builds a client for svc with the shared request key.
+func NewClient(svc *Service, key cryptbox.Key) (*Client, error) {
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{svc: svc, box: box}, nil
+}
+
+// Call seals req, invokes the service and opens the response.
+func (c *Client) Call(req []byte) ([]byte, error) {
+	sealed, err := c.box.Seal(req, c.svc.reqAAD())
+	if err != nil {
+		return nil, err
+	}
+	sealedResp, err := c.svc.Invoke(sealed)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.box.Open(sealedResp, c.svc.respAAD())
+	if err != nil {
+		return nil, ErrSealedRequest
+	}
+	return resp, nil
+}
+
+// BusWorker connects a service to the event bus: messages from the input
+// topic are processed inside the enclave and results published to the
+// output topic. This is the composition primitive of Figure 1.
+type BusWorker struct {
+	svc *Service
+	in  *eventbus.Subscriber
+	out *eventbus.Publisher
+}
+
+// NewBusWorker wires svc between two topics of bus, deriving topic keys
+// from the application root key.
+func NewBusWorker(svc *Service, bus *eventbus.Bus, appRoot cryptbox.Key, inTopic, outTopic string) (*BusWorker, error) {
+	inKey, err := eventbus.TopicKey(appRoot, inTopic)
+	if err != nil {
+		return nil, err
+	}
+	outKey, err := eventbus.TopicKey(appRoot, outTopic)
+	if err != nil {
+		return nil, err
+	}
+	in, err := eventbus.NewSubscriber(bus, inTopic, inKey)
+	if err != nil {
+		return nil, err
+	}
+	out, err := eventbus.NewPublisher(bus, outTopic, outKey)
+	if err != nil {
+		return nil, err
+	}
+	return &BusWorker{svc: svc, in: in, out: out}, nil
+}
+
+// Step drains pending input messages through the service and publishes
+// every non-empty result. It returns the number of messages processed.
+// Processing happens inside the enclave; the bus only carries ciphertext.
+func (w *BusWorker) Step() (int, error) {
+	msgs, err := w.in.Receive()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, m := range msgs {
+		if err := w.svc.enc.EEnter(); err != nil {
+			return n, err
+		}
+		resp, err := w.svc.handler(m)
+		_ = w.svc.enc.EExit()
+		if err != nil {
+			return n, fmt.Errorf("microsvc %s: %w", w.svc.name, err)
+		}
+		n++
+		if len(resp) == 0 {
+			continue
+		}
+		if _, err := w.out.Publish(resp); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,206 @@
+package microsvc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/eventbus"
+)
+
+func testEnclave(t *testing.T) *enclave.Enclave {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	var signer cryptbox.Digest
+	e, err := p.ECreate(1<<20, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EAdd([]byte("svc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EInit(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func reqKey() cryptbox.Key {
+	var k cryptbox.Key
+	k[1] = 0x77
+	return k
+}
+
+func upperService(t *testing.T) *Service {
+	t.Helper()
+	svc, err := New("upper", testEnclave(t), reqKey(), func(req []byte) ([]byte, error) {
+		return []byte(strings.ToUpper(string(req))), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	svc := upperService(t)
+	cli, err := NewClient(svc, reqKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cli.Call([]byte("hello grid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "HELLO GRID" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if svc.Served() != 1 {
+		t.Fatalf("Served = %d", svc.Served())
+	}
+}
+
+func TestInvokeRejectsForgedRequest(t *testing.T) {
+	svc := upperService(t)
+	wrong, _ := cryptbox.NewBox(cryptbox.Key{0xEE})
+	sealed, _ := wrong.Seal([]byte("req"), []byte("req|upper"))
+	if _, err := svc.Invoke(sealed); !errors.Is(err, ErrSealedRequest) {
+		t.Fatalf("err = %v, want ErrSealedRequest", err)
+	}
+}
+
+func TestResponseCannotBeReplayedAsRequest(t *testing.T) {
+	svc := upperService(t)
+	cli, _ := NewClient(svc, reqKey())
+	box, _ := cryptbox.NewBox(reqKey())
+	sealedReq, _ := box.Seal([]byte("x"), []byte("req|upper"))
+	sealedResp, err := svc.Invoke(sealedReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Invoke(sealedResp); !errors.Is(err, ErrSealedRequest) {
+		t.Fatalf("response replayed as request: %v", err)
+	}
+	_ = cli
+}
+
+func TestCrossServiceRequestRejected(t *testing.T) {
+	a := upperService(t)
+	b, err := New("other", testEnclave(t), reqKey(), func(req []byte) ([]byte, error) { return req, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, _ := cryptbox.NewBox(reqKey())
+	forA, _ := box.Seal([]byte("x"), []byte("req|upper"))
+	if _, err := b.Invoke(forA); !errors.Is(err, ErrSealedRequest) {
+		t.Fatalf("request for service A accepted by service B: %v", err)
+	}
+	_ = a
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	svc, err := New("failing", testEnclave(t), reqKey(), func(req []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, _ := NewClient(svc, reqKey())
+	if _, err := cli.Call([]byte("x")); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	if svc.Served() != 0 {
+		t.Fatal("failed request counted as served")
+	}
+}
+
+func TestStoppedService(t *testing.T) {
+	svc := upperService(t)
+	cli, _ := NewClient(svc, reqKey())
+	svc.Stop()
+	if _, err := cli.Call([]byte("x")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	if _, err := New("x", testEnclave(t), reqKey(), nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestInvokeChargesEnclaveEntry(t *testing.T) {
+	svc := upperService(t)
+	cli, _ := NewClient(svc, reqKey())
+	before := svc.Enclave().Memory().Breakdown()[enclave.CauseTransition]
+	if _, err := cli.Call([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	after := svc.Enclave().Memory().Breakdown()[enclave.CauseTransition]
+	if after <= before {
+		t.Fatal("invocation did not enter the enclave")
+	}
+}
+
+func TestBusWorkerPipeline(t *testing.T) {
+	// Figure 1: micro-services connected by an event bus, end to end.
+	bus := eventbus.New()
+	var appRoot cryptbox.Key
+	appRoot[2] = 0x33
+
+	filter, err := New("filter", testEnclave(t), reqKey(), func(m []byte) ([]byte, error) {
+		if bytes.Contains(m, []byte("anomaly")) {
+			return m, nil
+		}
+		return nil, nil // drop normal readings
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewBusWorker(filter, bus, appRoot, "readings", "alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inKey, _ := eventbus.TopicKey(appRoot, "readings")
+	pub, _ := eventbus.NewPublisher(bus, "readings", inKey)
+	alertKey, _ := eventbus.TopicKey(appRoot, "alerts")
+	alertSub, _ := eventbus.NewSubscriber(bus, "alerts", alertKey)
+
+	for _, m := range []string{"normal 1", "anomaly feeder-3", "normal 2"} {
+		if _, err := pub.Publish([]byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := w.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("processed %d, want 3", n)
+	}
+	alerts, err := alertSub.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || !bytes.Contains(alerts[0], []byte("anomaly")) {
+		t.Fatalf("alerts = %q", alerts)
+	}
+}
+
+func TestBusWorkerEmptyStep(t *testing.T) {
+	bus := eventbus.New()
+	var appRoot cryptbox.Key
+	svc := upperService(t)
+	w, err := NewBusWorker(svc, bus, appRoot, "in", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Step()
+	if err != nil || n != 0 {
+		t.Fatalf("empty step: n=%d err=%v", n, err)
+	}
+}

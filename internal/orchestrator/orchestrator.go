@@ -1,0 +1,225 @@
+// Package orchestrator implements the fine-granular, highly responsive
+// orchestration system of paper §VI (use case 2): monitoring services
+// watch the micro-services of an application, detect anomalies within
+// (simulated) milliseconds, and react by adapting the virtual
+// infrastructure — scaling replicas out and in and re-dispatching load —
+// while enforcing quality-of-service targets without touching the
+// applications' security properties (the orchestrator only ever sees
+// resource metrics and queue depths, never plaintext data).
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"securecloud/internal/sim"
+)
+
+// Metrics is one monitoring sample of one replica.
+type Metrics struct {
+	// QueueDepth is the replica's pending-request backlog.
+	QueueDepth int
+	// ServiceCycles is the simulated cost of one request at this replica.
+	ServiceCycles sim.Cycles
+	// Healthy is false when the replica stopped responding.
+	Healthy bool
+}
+
+// Replica is the orchestrator's handle on one running micro-service
+// instance. Implementations wrap a container.Container or a microsvc
+// worker; tests use fakes.
+type Replica interface {
+	// ID identifies the replica.
+	ID() string
+	// Sample returns current metrics.
+	Sample() Metrics
+}
+
+// Target is the QoS goal for one service.
+type Target struct {
+	// MaxQueueDepth per replica before scale-out.
+	MaxQueueDepth int
+	// MinReplicas / MaxReplicas bound the adaptation.
+	MinReplicas int
+	MaxReplicas int
+	// ScaleInBelow is the per-replica queue depth under which the
+	// orchestrator retires replicas.
+	ScaleInBelow int
+}
+
+// DefaultTarget returns a conservative QoS target.
+func DefaultTarget() Target {
+	return Target{MaxQueueDepth: 32, MinReplicas: 1, MaxReplicas: 16, ScaleInBelow: 4}
+}
+
+// Action is one adaptation decision.
+type Action struct {
+	Kind string // "scale-out" | "scale-in" | "restart"
+	// ReplicaID is set for scale-in/restart.
+	ReplicaID string
+	// Tick is the monitoring tick that triggered the decision.
+	Tick int64
+	// Reason is a human-readable trigger description.
+	Reason string
+}
+
+// Launcher creates and retires replicas; the engine side implements it.
+type Launcher interface {
+	// Launch starts a new replica and returns it.
+	Launch() (Replica, error)
+	// Retire stops a replica.
+	Retire(id string) error
+}
+
+// Errors.
+var (
+	ErrNoReplicas = errors.New("orchestrator: service has no replicas")
+)
+
+// Orchestrator supervises one service.
+type Orchestrator struct {
+	target   Target
+	launcher Launcher
+
+	mu       sync.Mutex
+	replicas []Replica
+	log      []Action
+	tick     int64
+	// reactions counts adaptations; detection-to-reaction latency is zero
+	// ticks in this synchronous design, the simulated counterpart of the
+	// paper's millisecond-scale requirement.
+	reactions int
+}
+
+// New builds an orchestrator over an initial replica set.
+func New(target Target, launcher Launcher, initial ...Replica) (*Orchestrator, error) {
+	if target.MinReplicas <= 0 {
+		target.MinReplicas = 1
+	}
+	if target.MaxReplicas < target.MinReplicas {
+		target.MaxReplicas = target.MinReplicas
+	}
+	if len(initial) == 0 {
+		return nil, ErrNoReplicas
+	}
+	return &Orchestrator{target: target, launcher: launcher, replicas: initial}, nil
+}
+
+// Replicas returns the current replica count.
+func (o *Orchestrator) Replicas() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.replicas)
+}
+
+// Log returns the adaptation history.
+func (o *Orchestrator) Log() []Action {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Action(nil), o.log...)
+}
+
+// Observe runs one monitoring tick: sample every replica, detect
+// anomalies, react immediately (same tick — the simulated counterpart of
+// the paper's millisecond reactions). It returns the actions taken.
+func (o *Orchestrator) Observe() ([]Action, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.tick++
+	var actions []Action
+
+	// 1. Health: restart dead replicas.
+	for i, r := range o.replicas {
+		m := r.Sample()
+		if m.Healthy {
+			continue
+		}
+		if o.launcher == nil {
+			continue
+		}
+		fresh, err := o.launcher.Launch()
+		if err != nil {
+			return actions, fmt.Errorf("orchestrator: replacing %s: %w", r.ID(), err)
+		}
+		_ = o.launcher.Retire(r.ID())
+		o.replicas[i] = fresh
+		actions = append(actions, o.record(Action{
+			Kind: "restart", ReplicaID: r.ID(), Tick: o.tick,
+			Reason: "replica unhealthy",
+		}))
+	}
+
+	// 2. Load: scale out when any replica exceeds the queue target.
+	worst, total := 0, 0
+	for _, r := range o.replicas {
+		d := r.Sample().QueueDepth
+		total += d
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > o.target.MaxQueueDepth && len(o.replicas) < o.target.MaxReplicas && o.launcher != nil {
+		fresh, err := o.launcher.Launch()
+		if err != nil {
+			return actions, fmt.Errorf("orchestrator: scale-out: %w", err)
+		}
+		o.replicas = append(o.replicas, fresh)
+		actions = append(actions, o.record(Action{
+			Kind: "scale-out", Tick: o.tick,
+			Reason: fmt.Sprintf("queue depth %d > %d", worst, o.target.MaxQueueDepth),
+		}))
+	}
+
+	// 3. Efficiency: scale in when the whole fleet is idle enough that
+	// one fewer replica still meets the target.
+	if len(o.replicas) > o.target.MinReplicas && o.launcher != nil {
+		perReplica := total / len(o.replicas)
+		if perReplica < o.target.ScaleInBelow && worst < o.target.ScaleInBelow {
+			victim := o.replicas[len(o.replicas)-1]
+			if err := o.launcher.Retire(victim.ID()); err != nil {
+				return actions, fmt.Errorf("orchestrator: scale-in: %w", err)
+			}
+			o.replicas = o.replicas[:len(o.replicas)-1]
+			actions = append(actions, o.record(Action{
+				Kind: "scale-in", ReplicaID: victim.ID(), Tick: o.tick,
+				Reason: fmt.Sprintf("mean queue depth %d < %d", perReplica, o.target.ScaleInBelow),
+			}))
+		}
+	}
+	return actions, nil
+}
+
+func (o *Orchestrator) record(a Action) Action {
+	o.log = append(o.log, a)
+	o.reactions++
+	return a
+}
+
+// Dispatcher routes incoming work to the least-loaded replica — the
+// orchestration layer's load balancing over queue-depth metrics.
+type Dispatcher struct {
+	o *Orchestrator
+}
+
+// NewDispatcher builds a dispatcher over an orchestrator's replica set.
+func NewDispatcher(o *Orchestrator) *Dispatcher { return &Dispatcher{o: o} }
+
+// Pick returns the replica with the shallowest queue (stable by ID).
+func (d *Dispatcher) Pick() (Replica, error) {
+	d.o.mu.Lock()
+	defer d.o.mu.Unlock()
+	if len(d.o.replicas) == 0 {
+		return nil, ErrNoReplicas
+	}
+	sorted := append([]Replica(nil), d.o.replicas...)
+	sort.Slice(sorted, func(i, j int) bool {
+		di, dj := sorted[i].Sample().QueueDepth, sorted[j].Sample().QueueDepth
+		if di != dj {
+			return di < dj
+		}
+		return sorted[i].ID() < sorted[j].ID()
+	})
+	return sorted[0], nil
+}

@@ -1,0 +1,252 @@
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeReplica is a controllable Replica.
+type fakeReplica struct {
+	id      string
+	mu      sync.Mutex
+	metrics Metrics
+}
+
+func (f *fakeReplica) ID() string { return f.id }
+
+func (f *fakeReplica) Sample() Metrics {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.metrics
+}
+
+func (f *fakeReplica) set(m Metrics) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.metrics = m
+}
+
+// fakeLauncher mints replicas and records retirements.
+type fakeLauncher struct {
+	mu      sync.Mutex
+	next    int
+	retired []string
+	fail    bool
+}
+
+func (l *fakeLauncher) Launch() (Replica, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.fail {
+		return nil, errors.New("capacity exhausted")
+	}
+	l.next++
+	return &fakeReplica{id: fmt.Sprintf("r%02d", l.next), metrics: Metrics{Healthy: true}}, nil
+}
+
+func (l *fakeLauncher) Retire(id string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retired = append(l.retired, id)
+	return nil
+}
+
+func healthy(id string, depth int) *fakeReplica {
+	return &fakeReplica{id: id, metrics: Metrics{Healthy: true, QueueDepth: depth}}
+}
+
+func TestNewRequiresReplicas(t *testing.T) {
+	if _, err := New(DefaultTarget(), &fakeLauncher{}); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("err = %v, want ErrNoReplicas", err)
+	}
+}
+
+func TestScaleOutOnDeepQueue(t *testing.T) {
+	l := &fakeLauncher{}
+	r := healthy("r00", 100)
+	o, err := New(DefaultTarget(), l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err := o.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || actions[0].Kind != "scale-out" {
+		t.Fatalf("actions = %+v", actions)
+	}
+	if o.Replicas() != 2 {
+		t.Fatalf("Replicas = %d", o.Replicas())
+	}
+}
+
+func TestScaleOutBoundedByMax(t *testing.T) {
+	l := &fakeLauncher{}
+	target := DefaultTarget()
+	target.MaxReplicas = 2
+	o, err := New(target, l, healthy("r00", 100), healthy("r01", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err := o.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 0 {
+		t.Fatalf("scaled beyond MaxReplicas: %+v", actions)
+	}
+}
+
+func TestScaleInWhenIdle(t *testing.T) {
+	l := &fakeLauncher{}
+	o, err := New(DefaultTarget(), l, healthy("r00", 0), healthy("r01", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err := o.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || actions[0].Kind != "scale-in" {
+		t.Fatalf("actions = %+v", actions)
+	}
+	if o.Replicas() != 1 {
+		t.Fatalf("Replicas = %d", o.Replicas())
+	}
+	if len(l.retired) != 1 || l.retired[0] != "r01" {
+		t.Fatalf("retired = %v", l.retired)
+	}
+}
+
+func TestScaleInRespectsMin(t *testing.T) {
+	l := &fakeLauncher{}
+	o, err := New(DefaultTarget(), l, healthy("r00", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err := o.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 0 || o.Replicas() != 1 {
+		t.Fatalf("scaled below MinReplicas: %+v", actions)
+	}
+}
+
+func TestRestartUnhealthyReplicaSameTick(t *testing.T) {
+	l := &fakeLauncher{}
+	sick := healthy("r-sick", 5)
+	sick.set(Metrics{Healthy: false})
+	o, err := New(DefaultTarget(), l, sick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err := o.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detection latency is zero ticks: the same Observe that saw the
+	// failure replaced the replica.
+	if len(actions) != 1 || actions[0].Kind != "restart" || actions[0].Tick != 1 {
+		t.Fatalf("actions = %+v", actions)
+	}
+	if o.Replicas() != 1 {
+		t.Fatalf("Replicas = %d", o.Replicas())
+	}
+	if len(l.retired) != 1 || l.retired[0] != "r-sick" {
+		t.Fatalf("retired = %v", l.retired)
+	}
+}
+
+func TestLaunchFailureSurfaced(t *testing.T) {
+	l := &fakeLauncher{fail: true}
+	o, err := New(DefaultTarget(), l, healthy("r00", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Observe(); err == nil {
+		t.Fatal("launch failure swallowed")
+	}
+}
+
+func TestAdaptationLog(t *testing.T) {
+	l := &fakeLauncher{}
+	r := healthy("r00", 100)
+	o, _ := New(DefaultTarget(), l, r)
+	if _, err := o.Observe(); err != nil {
+		t.Fatal(err)
+	}
+	r.set(Metrics{Healthy: true, QueueDepth: 0})
+	// New replica is idle too: scale back in.
+	if _, err := o.Observe(); err != nil {
+		t.Fatal(err)
+	}
+	log := o.Log()
+	if len(log) != 2 || log[0].Kind != "scale-out" || log[1].Kind != "scale-in" {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestDispatcherPicksLeastLoaded(t *testing.T) {
+	o, err := New(DefaultTarget(), &fakeLauncher{},
+		healthy("a", 9), healthy("b", 2), healthy("c", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(o)
+	r, err := d.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID() != "b" {
+		t.Fatalf("picked %s, want b", r.ID())
+	}
+}
+
+func TestClosedLoopConvergesUnderLoadSwing(t *testing.T) {
+	// Simulated load swing: a burst arrives, the orchestrator scales out
+	// until per-replica depth is within target, then the burst drains and
+	// it scales back to the minimum.
+	l := &fakeLauncher{}
+	first := healthy("r00", 0)
+	o, err := New(DefaultTarget(), l, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := 600 // queued requests
+	for tick := 0; tick < 100; tick++ {
+		// Distribute pending load over replicas, serve 8/replica/tick.
+		n := o.Replicas()
+		per := pending / n
+		o.mu.Lock()
+		for _, r := range o.replicas {
+			r.(*fakeReplica).set(Metrics{Healthy: true, QueueDepth: per})
+		}
+		o.mu.Unlock()
+		served := 8 * n
+		if served > pending {
+			served = pending
+		}
+		pending -= served
+		if _, err := o.Observe(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pending != 0 {
+		t.Fatalf("%d requests still pending", pending)
+	}
+	if got := o.Replicas(); got != 1 {
+		t.Fatalf("did not scale back to minimum: %d replicas", got)
+	}
+	sawOut := false
+	for _, a := range o.Log() {
+		if a.Kind == "scale-out" {
+			sawOut = true
+		}
+	}
+	if !sawOut {
+		t.Fatal("burst never triggered scale-out")
+	}
+}

@@ -1,0 +1,233 @@
+// Package registry implements the image registry of the secure Docker
+// workflow (paper Figure 2). The registry is untrusted: it stores secure
+// images whose security-relevant content is protected by the FS protection
+// file, so clients verify digests and manifest signatures after every pull
+// instead of trusting the store. The package offers both an in-process
+// store and an HTTP front end (net/http) with a matching client.
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/image"
+)
+
+// Errors returned by the registry and client.
+var (
+	ErrNotFound = errors.New("registry: not found")
+	ErrConflict = errors.New("registry: digest already bound to different content")
+)
+
+// Registry is an in-memory content-addressed image store.
+type Registry struct {
+	mu        sync.RWMutex
+	manifests map[string]image.Manifest       // "name:tag" -> manifest
+	layers    map[cryptbox.Digest]image.Layer // digest -> layer
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		manifests: make(map[string]image.Manifest),
+		layers:    make(map[cryptbox.Digest]image.Layer),
+	}
+}
+
+// Push stores an image. An honest registry checks layer digests on ingest;
+// the Tamper* methods below simulate a dishonest one.
+func (r *Registry) Push(img *image.Image) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, l := range img.Layers {
+		d := l.Digest()
+		if d != img.Manifest.LayerDigests[i] {
+			return fmt.Errorf("%w: layer %d", image.ErrDigestMismatch, i)
+		}
+		r.layers[d] = l
+	}
+	r.manifests[img.Ref()] = img.Manifest
+	return nil
+}
+
+// Pull retrieves an image by reference. Callers must img.Verify() — the
+// registry is not trusted to return what was pushed.
+func (r *Registry) Pull(name, tag string) (*image.Image, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.manifests[name+":"+tag]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s:%s", ErrNotFound, name, tag)
+	}
+	img := &image.Image{Manifest: m}
+	for _, d := range m.LayerDigests {
+		l, ok := r.layers[d]
+		if !ok {
+			return nil, fmt.Errorf("%w: layer %s", ErrNotFound, d)
+		}
+		img.Layers = append(img.Layers, l)
+	}
+	return img, nil
+}
+
+// List returns all stored references.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.manifests))
+	for ref := range r.manifests {
+		out = append(out, ref)
+	}
+	return out
+}
+
+// TamperLayer overwrites the stored layer bytes behind a digest without
+// updating the digest — what a malicious registry operator can do. Clients
+// must detect this on Verify.
+func (r *Registry) TamperLayer(d cryptbox.Digest, mutate func(*image.Layer)) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.layers[d]
+	if !ok {
+		return false
+	}
+	mutate(&l)
+	r.layers[d] = l
+	return true
+}
+
+// TamperManifest rewrites a stored manifest in place.
+func (r *Registry) TamperManifest(ref string, mutate func(*image.Manifest)) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.manifests[ref]
+	if !ok {
+		return false
+	}
+	mutate(&m)
+	r.manifests[ref] = m
+	return true
+}
+
+// ---- HTTP front end ----
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	PUT  /v2/images/{name}/{tag}   (full image JSON)
+//	GET  /v2/images/{name}/{tag}
+//	GET  /v2/list
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/images/", func(w http.ResponseWriter, req *http.Request) {
+		// Image names may contain slashes (e.g. smartgrid/analytics); the
+		// final path segment is the tag, everything before it the name.
+		ref := strings.TrimPrefix(req.URL.Path, "/v2/images/")
+		cut := strings.LastIndex(ref, "/")
+		if cut <= 0 || cut == len(ref)-1 {
+			http.Error(w, "want /v2/images/{name}/{tag}", http.StatusBadRequest)
+			return
+		}
+		name, tag := ref[:cut], ref[cut+1:]
+		switch req.Method {
+		case http.MethodPut:
+			body, err := io.ReadAll(io.LimitReader(req.Body, 64<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			var img image.Image
+			if err := json.Unmarshal(body, &img); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if img.Manifest.Name != name || img.Manifest.Tag != tag {
+				http.Error(w, "manifest reference mismatch", http.StatusBadRequest)
+				return
+			}
+			if err := r.Push(&img); err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			w.WriteHeader(http.StatusCreated)
+		case http.MethodGet:
+			img, err := r.Pull(name, tag)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(img); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/v2/list", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(r.List()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// Client talks to a registry HTTP front end.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: http.DefaultClient}
+}
+
+// Push uploads an image.
+func (c *Client) Push(img *image.Image) error {
+	body, err := json.Marshal(img)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/v2/images/%s/%s", c.BaseURL, img.Manifest.Name, img.Manifest.Tag)
+	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("registry: push failed: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// Pull downloads and returns an image. The caller must Verify it.
+func (c *Client) Pull(name, tag string) (*image.Image, error) {
+	resp, err := c.HTTP.Get(fmt.Sprintf("%s/v2/images/%s/%s", c.BaseURL, name, tag))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s:%s", ErrNotFound, name, tag)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("registry: pull failed: %s", resp.Status)
+	}
+	var img image.Image
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&img); err != nil {
+		return nil, err
+	}
+	return &img, nil
+}

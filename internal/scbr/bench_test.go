@@ -1,0 +1,54 @@
+package scbr
+
+import (
+	"testing"
+
+	"securecloud/internal/cryptbox"
+)
+
+func BenchmarkInsertUnaccounted(b *testing.B) {
+	ix := NewIndex(IndexConfig{})
+	w := NewWorkload(DefaultWorkload(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Insert(w.NextSubscription())
+	}
+}
+
+func BenchmarkMatch10k(b *testing.B) {
+	ix := NewIndex(IndexConfig{})
+	w := NewWorkload(DefaultWorkload(2))
+	for i := 0; i < 10000; i++ {
+		ix.Insert(w.NextSubscription())
+	}
+	events := make([]Event, 256)
+	for i := range events {
+		events[i] = w.NextEvent()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Match(events[i%len(events)])
+	}
+}
+
+func BenchmarkCovers(b *testing.B) {
+	w := NewWorkload(DefaultWorkload(3))
+	s1, s2 := w.NextSubscription(), w.NextSubscription()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s1.Covers(s2)
+	}
+}
+
+func BenchmarkSealPublication(b *testing.B) {
+	w := NewWorkload(DefaultWorkload(4))
+	e := w.NextEvent()
+	var key cryptbox.Key
+	key[0] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SealPublication(key, "client", e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package scbr
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/sim"
+)
+
+// Broker is the SCBR routing engine. Its matching state (the containment
+// index) lives inside an enclave; clients talk to it in encrypted
+// envelopes over per-client session keys established with an attested
+// Diffie-Hellman exchange. The untrusted host routing the envelopes learns
+// neither filters nor publication content — the privacy property that
+// motivates SCBR (§V-B).
+type Broker struct {
+	enc *enclave.Enclave
+	ix  *Index
+
+	mu       sync.Mutex
+	sessions map[string]cryptbox.Key // clientID -> session key
+	owners   map[uint64]string       // subscription ID -> clientID
+	queues   map[string][]Delivery
+	nextSub  uint64
+}
+
+// BrokerConfig sizes the broker.
+type BrokerConfig struct {
+	// PayloadBytes per subscription in the index (routing state).
+	PayloadBytes int
+	// CheckCost is the CPU cost per filter comparison.
+	CheckCost sim.Cycles
+}
+
+// DefaultBrokerConfig mirrors the SCBR prototype's footprint.
+func DefaultBrokerConfig() BrokerConfig {
+	return BrokerConfig{PayloadBytes: 2048, CheckCost: 450}
+}
+
+// NewBroker builds a broker whose index lives on the enclave heap.
+func NewBroker(enc *enclave.Enclave, cfg BrokerConfig) (*Broker, error) {
+	arena, err := enc.HeapArena()
+	if err != nil {
+		return nil, err
+	}
+	ix := NewIndex(IndexConfig{
+		Mem:          enc.Memory(),
+		Arena:        arena,
+		PayloadBytes: cfg.PayloadBytes,
+		CheckCost:    cfg.CheckCost,
+	})
+	return &Broker{
+		enc:      enc,
+		ix:       ix,
+		sessions: make(map[string]cryptbox.Key),
+		owners:   make(map[uint64]string),
+		queues:   make(map[string][]Delivery),
+	}, nil
+}
+
+// Index exposes the underlying index (diagnostics, benchmarks).
+func (b *Broker) Index() *Index { return b.ix }
+
+// Enclave returns the broker's enclave.
+func (b *Broker) Enclave() *enclave.Enclave { return b.enc }
+
+// Handshake is the broker half of the session establishment: it receives
+// the client's X25519 public key and returns the broker's. The session key
+// is derived inside the enclave.
+func (b *Broker) Handshake(clientID string, clientPub []byte) ([]byte, error) {
+	pub, err := ecdh.X25519().NewPublicKey(clientPub)
+	if err != nil {
+		return nil, fmt.Errorf("scbr: client key: %w", err)
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := priv.ECDH(pub)
+	if err != nil {
+		return nil, err
+	}
+	key, err := sessionKeyFrom(shared, clientID)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.sessions[clientID] = key
+	b.mu.Unlock()
+	return priv.PublicKey().Bytes(), nil
+}
+
+func sessionKeyFrom(shared []byte, clientID string) (cryptbox.Key, error) {
+	raw, err := cryptbox.HKDF(shared, nil, []byte("scbr-session|"+clientID), cryptbox.KeySize)
+	if err != nil {
+		return cryptbox.Key{}, err
+	}
+	return cryptbox.KeyFromBytes(raw)
+}
+
+func (b *Broker) session(clientID string) (cryptbox.Key, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k, ok := b.sessions[clientID]
+	if !ok {
+		return cryptbox.Key{}, fmt.Errorf("%w: %s", ErrUnknownClient, clientID)
+	}
+	return k, nil
+}
+
+// Subscribe registers an encrypted subscription and returns its broker-
+// assigned ID. The matching step — decrypt, containment search, insert —
+// runs inside the enclave (one entry per request).
+func (b *Broker) Subscribe(env Envelope) (uint64, error) {
+	key, err := b.session(env.ClientID)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.enc.EEnter(); err != nil {
+		return 0, err
+	}
+	defer func() { _ = b.enc.EExit() }()
+
+	raw, err := openEnvelope(key, env)
+	if err != nil {
+		return 0, err
+	}
+	var s Subscription
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return 0, fmt.Errorf("scbr: decoding subscription: %w", err)
+	}
+	b.mu.Lock()
+	b.nextSub++
+	s.ID = b.nextSub
+	b.owners[s.ID] = env.ClientID
+	b.mu.Unlock()
+	s.Normalize()
+	b.ix.Insert(s)
+	return s.ID, nil
+}
+
+// Unsubscribe removes a subscription. Only the client that registered it
+// may remove it; the broker enforces ownership inside the enclave.
+func (b *Broker) Unsubscribe(clientID string, subID uint64) error {
+	if _, err := b.session(clientID); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	owner, ok := b.owners[subID]
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("scbr: unknown subscription %d", subID)
+	}
+	if owner != clientID {
+		return fmt.Errorf("scbr: subscription %d not owned by %s", subID, clientID)
+	}
+	if err := b.enc.EEnter(); err != nil {
+		return err
+	}
+	defer func() { _ = b.enc.EExit() }()
+	b.ix.Remove(subID)
+	b.mu.Lock()
+	delete(b.owners, subID)
+	b.mu.Unlock()
+	return nil
+}
+
+// Publish routes an encrypted publication: decrypt inside the enclave,
+// match against the containment index, and enqueue one re-encrypted
+// delivery per matching subscriber under that subscriber's session key.
+func (b *Broker) Publish(env Envelope) (delivered int, err error) {
+	key, err := b.session(env.ClientID)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.enc.EEnter(); err != nil {
+		return 0, err
+	}
+	defer func() { _ = b.enc.EExit() }()
+
+	raw, err := openEnvelope(key, env)
+	if err != nil {
+		return 0, err
+	}
+	var e Event
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return 0, fmt.Errorf("scbr: decoding publication: %w", err)
+	}
+	matched := b.ix.Match(e)
+
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := make(map[string]bool, len(matched))
+	for _, subID := range matched {
+		client := b.owners[subID]
+		if client == "" || seen[client] {
+			continue
+		}
+		seen[client] = true
+		ck := b.sessions[client]
+		box, err := cryptbox.NewBox(ck)
+		if err != nil {
+			return delivered, err
+		}
+		sealed, err := box.Seal(payload, []byte("delivery|"+client))
+		if err != nil {
+			return delivered, err
+		}
+		b.queues[client] = append(b.queues[client], Delivery{SubscriberID: client, Sealed: sealed})
+		delivered++
+	}
+	return delivered, nil
+}
+
+// Drain returns and clears a client's pending deliveries (what the
+// untrusted transport would push to the subscriber).
+func (b *Broker) Drain(clientID string) []Delivery {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.queues[clientID]
+	b.queues[clientID] = nil
+	return out
+}
+
+// Client is an SCBR publisher/subscriber endpoint holding its session key.
+type Client struct {
+	ID  string
+	key cryptbox.Key
+}
+
+// Connect establishes a session with the broker. When svc and quoter are
+// non-nil the client first attests the broker's enclave against policy —
+// refusing to hand filters to an unverified router.
+func Connect(b *Broker, clientID string, svc *attest.Service, quoter *attest.Quoter, policy attest.Policy) (*Client, error) {
+	if svc != nil && quoter != nil {
+		if _, err := attest.AttestEnclave(b.enc, quoter, svc, policy, nil); err != nil {
+			return nil, fmt.Errorf("scbr: broker attestation failed: %w", err)
+		}
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	brokerPub, err := b.Handshake(clientID, priv.PublicKey().Bytes())
+	if err != nil {
+		return nil, err
+	}
+	bp, err := ecdh.X25519().NewPublicKey(brokerPub)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := priv.ECDH(bp)
+	if err != nil {
+		return nil, err
+	}
+	key, err := sessionKeyFrom(shared, clientID)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{ID: clientID, key: key}, nil
+}
+
+// Subscribe seals and registers a subscription.
+func (c *Client) Subscribe(b *Broker, s Subscription) (uint64, error) {
+	env, err := SealSubscription(c.key, c.ID, s)
+	if err != nil {
+		return 0, err
+	}
+	return b.Subscribe(env)
+}
+
+// Publish seals and routes an event.
+func (c *Client) Publish(b *Broker, e Event) (int, error) {
+	env, err := SealPublication(c.key, c.ID, e)
+	if err != nil {
+		return 0, err
+	}
+	return b.Publish(env)
+}
+
+// Receive drains and decrypts pending deliveries.
+func (c *Client) Receive(b *Broker) ([]Event, error) {
+	var out []Event
+	for _, d := range b.Drain(c.ID) {
+		e, err := OpenDelivery(c.key, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+package scbr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+)
+
+func brokerEnclave(t *testing.T) (*enclave.Platform, *enclave.Enclave) {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	var signer cryptbox.Digest
+	signer[0] = 0x5C
+	e, err := p.ECreate(64<<20, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EAdd([]byte("scbr-broker-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EInit(); err != nil {
+		t.Fatal(err)
+	}
+	return p, e
+}
+
+func TestBrokerEndToEnd(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, err := NewBroker(enc, DefaultBrokerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subCli, err := Connect(b, "subscriber-1", nil, nil, attest.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubCli, err := Connect(b, "publisher-1", nil, nil, attest.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, _ := NewSubscription(0, map[string]Interval{"voltage": iv(220, 240)})
+	if _, err := subCli.Subscribe(b, s); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := pubCli.Publish(b, Event{
+		Attrs:   map[string]float64{"voltage": 231},
+		Payload: []byte("feeder-7 reading"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered to %d subscribers, want 1", n)
+	}
+	events, err := subCli.Receive(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || string(events[0].Payload) != "feeder-7 reading" {
+		t.Fatalf("received %v", events)
+	}
+
+	// Non-matching publication delivers nothing.
+	n, err = pubCli.Publish(b, Event{Attrs: map[string]float64{"voltage": 190}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("non-matching event delivered to %d", n)
+	}
+}
+
+func TestBrokerRejectsUnknownClient(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	env := Envelope{ClientID: "stranger", Kind: KindPublication, Sealed: []byte("x")}
+	if _, err := b.Publish(env); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("err = %v, want ErrUnknownClient", err)
+	}
+	if _, err := b.Subscribe(env); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("err = %v, want ErrUnknownClient", err)
+	}
+}
+
+func TestBrokerRejectsForgedEnvelope(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	if _, err := Connect(b, "c1", nil, nil, attest.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	// An attacker who knows the client ID but not the session key.
+	forged, _ := SealPublication(cryptbox.Key{0xFF}, "c1", Event{Attrs: map[string]float64{"a": 1}})
+	if _, err := b.Publish(forged); !errors.Is(err, ErrBadEnvelope) {
+		t.Fatalf("err = %v, want ErrBadEnvelope", err)
+	}
+}
+
+func TestEnvelopesOpaqueOnWire(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	cli, _ := Connect(b, "c1", nil, nil, attest.Policy{})
+	s, _ := NewSubscription(0, map[string]Interval{"secret-attr": iv(1, 2)})
+	env, err := SealSubscription(cli.key, cli.ID, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(env.Sealed, []byte("secret-attr")) {
+		t.Fatal("subscription filter readable on the wire")
+	}
+}
+
+func TestDeliveriesEncryptedPerSubscriber(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	alice, _ := Connect(b, "alice", nil, nil, attest.Policy{})
+	bob, _ := Connect(b, "bob", nil, nil, attest.Policy{})
+	pub, _ := Connect(b, "pub", nil, nil, attest.Policy{})
+
+	s, _ := NewSubscription(0, map[string]Interval{"a": iv(0, 10)})
+	if _, err := alice.Subscribe(b, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(b, Event{Attrs: map[string]float64{"a": 5}, Payload: []byte("for alice")}); err != nil {
+		t.Fatal(err)
+	}
+	// Bob cannot decrypt Alice's queued delivery.
+	stolen := b.Drain("alice")
+	if len(stolen) != 1 {
+		t.Fatalf("queued %d deliveries", len(stolen))
+	}
+	if _, err := OpenDelivery(bob.key, stolen[0]); err == nil {
+		t.Fatal("bob decrypted alice's delivery")
+	}
+	if _, err := OpenDelivery(alice.key, stolen[0]); err != nil {
+		t.Fatalf("alice cannot decrypt her own delivery: %v", err)
+	}
+}
+
+func TestBrokerAttestationGate(t *testing.T) {
+	p, enc := brokerEnclave(t)
+	svc := attest.NewService()
+	quoter, err := svc.Provision(p, "broker-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	m, _ := enc.Measurement()
+
+	good := attest.Policy{AllowedMREnclave: []cryptbox.Digest{m}}
+	if _, err := Connect(b, "c1", svc, quoter, good); err != nil {
+		t.Fatalf("attested connect failed: %v", err)
+	}
+	var wrong cryptbox.Digest
+	wrong[0] = 1
+	bad := attest.Policy{AllowedMREnclave: []cryptbox.Digest{wrong}}
+	if _, err := Connect(b, "c2", svc, quoter, bad); err == nil {
+		t.Fatal("client connected to a broker failing its policy")
+	}
+}
+
+func TestBrokerHandshakeBadKey(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	if _, err := b.Handshake("c1", []byte("short")); err == nil {
+		t.Fatal("malformed client key accepted")
+	}
+}
+
+func TestBrokerOneDeliveryPerSubscriberManyFilters(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	cli, _ := Connect(b, "c1", nil, nil, attest.Policy{})
+	pub, _ := Connect(b, "pub", nil, nil, attest.Policy{})
+	for i := 0; i < 5; i++ {
+		s, _ := NewSubscription(0, map[string]Interval{"a": iv(0, float64(10+i))})
+		if _, err := cli.Subscribe(b, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := pub.Publish(b, Event{Attrs: map[string]float64{"a": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d copies to one subscriber with 5 matching filters", n)
+	}
+}
+
+func TestBrokerUnsubscribe(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	cli, _ := Connect(b, "c1", nil, nil, attest.Policy{})
+	pub, _ := Connect(b, "pub", nil, nil, attest.Policy{})
+	s, _ := NewSubscription(0, map[string]Interval{"a": iv(0, 10)})
+	subID, err := cli.Subscribe(b, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Unsubscribe("c1", subID); err != nil {
+		t.Fatal(err)
+	}
+	n, err := pub.Publish(b, Event{Attrs: map[string]float64{"a": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("delivered to %d after unsubscribe", n)
+	}
+}
+
+func TestBrokerUnsubscribeOwnershipEnforced(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	alice, _ := Connect(b, "alice", nil, nil, attest.Policy{})
+	if _, err := Connect(b, "mallory", nil, nil, attest.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSubscription(0, map[string]Interval{"a": iv(0, 10)})
+	subID, _ := alice.Subscribe(b, s)
+	if err := b.Unsubscribe("mallory", subID); err == nil {
+		t.Fatal("foreign client removed alice's subscription")
+	}
+	if err := b.Unsubscribe("alice", 9999); err == nil {
+		t.Fatal("unknown subscription removed")
+	}
+	if err := b.Unsubscribe("stranger", subID); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("err = %v, want ErrUnknownClient", err)
+	}
+}
+
+func TestBrokerChargesEnclaveTransitions(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	cli, _ := Connect(b, "c1", nil, nil, attest.Policy{})
+	before := enc.Memory().Breakdown()[enclave.CauseTransition]
+	s, _ := NewSubscription(0, map[string]Interval{"a": iv(0, 1)})
+	if _, err := cli.Subscribe(b, s); err != nil {
+		t.Fatal(err)
+	}
+	after := enc.Memory().Breakdown()[enclave.CauseTransition]
+	if after <= before {
+		t.Fatal("subscription request did not charge an enclave entry")
+	}
+}

@@ -1,0 +1,280 @@
+package scbr
+
+import (
+	"securecloud/internal/enclave"
+	"securecloud/internal/sim"
+)
+
+// IndexConfig wires a containment index to the simulated memory hierarchy.
+// With a nil Memory the index runs unaccounted (plain data structure).
+type IndexConfig struct {
+	// Mem is the accounting view the index's traversals are charged to:
+	// an enclave view for the in-enclave broker, an untrusted view for the
+	// baseline.
+	Mem *enclave.Memory
+	// Arena hands out the simulated addresses of index nodes. Required
+	// when Mem is set.
+	Arena *enclave.Arena
+	// PayloadBytes is stored per subscription beyond the filter itself
+	// (routing state, client handle, queue pointers). It controls how much
+	// memory occupancy each registration adds, which is the x-axis of
+	// Figure 3.
+	PayloadBytes int
+	// CheckCost is the pure-CPU cost of one covering/matching comparison,
+	// charged symmetrically in and out of enclaves.
+	CheckCost sim.Cycles
+}
+
+// node is one resident subscription in the containment forest. Parents
+// cover their children: every event matching a child also matches the
+// parent, so a failed parent check prunes the whole subtree. Filters
+// equivalent to the node's (mutual covering) are stored in its bucket
+// rather than as a degenerate chain — the classic pub/sub optimisation for
+// popular identical filters.
+type node struct {
+	sub      Subscription
+	children []*node
+	bucket   []dupEntry
+	addr     uint64
+	hdrBytes int
+	payBytes int
+}
+
+// dupEntry is one equivalent filter sharing a node.
+type dupEntry struct {
+	id   uint64
+	addr uint64
+}
+
+// Index is SCBR's containment-forest subscription store. It is not safe
+// for concurrent use; the broker serialises access the way the enclave's
+// single matching thread does.
+type Index struct {
+	cfg   IndexConfig
+	root  node // sentinel; its children are the forest roots
+	count int
+	bytes int64
+
+	// traversal statistics for the harness
+	checks uint64
+}
+
+// NewIndex builds an index with the given accounting configuration.
+func NewIndex(cfg IndexConfig) *Index {
+	return &Index{cfg: cfg}
+}
+
+// Count returns the number of stored subscriptions.
+func (ix *Index) Count() int { return ix.count }
+
+// MemoryBytes returns the simulated occupancy of the subscription store —
+// the x-axis of Figure 3.
+func (ix *Index) MemoryBytes() int64 { return ix.bytes }
+
+// Checks returns the cumulative number of cover/match comparisons.
+func (ix *Index) Checks() uint64 { return ix.checks }
+
+// touchFilter charges one comparison against a node: read its header and
+// predicate records, pay the comparison CPU cost.
+func (ix *Index) touchFilter(n *node) {
+	ix.checks++
+	if ix.cfg.Mem == nil {
+		return
+	}
+	ix.cfg.Mem.Access(n.addr, n.hdrBytes, false)
+	if ix.cfg.CheckCost > 0 {
+		ix.cfg.Mem.ChargeCPU(ix.cfg.CheckCost)
+	}
+}
+
+// newNode allocates the storage of a subscription.
+func (ix *Index) newNode(s Subscription) *node {
+	n := &node{
+		sub:      s,
+		hdrBytes: s.StorageBytes(),
+		payBytes: ix.cfg.PayloadBytes,
+	}
+	total := n.hdrBytes + n.payBytes
+	if ix.cfg.Arena != nil {
+		n.addr = ix.cfg.Arena.Alloc(total)
+	}
+	return n
+}
+
+// Insert registers a subscription: descend the forest to the most specific
+// covering filter, attach below it (or join its equivalence bucket), and
+// re-parent any of its siblings the new filter covers. This is the
+// "registration" operation measured in Figure 3.
+func (ix *Index) Insert(s Subscription) {
+	cur := &ix.root
+	for {
+		var next *node
+		for _, ch := range cur.children {
+			ix.touchFilter(ch)
+			if ch.sub.Covers(s) {
+				if s.Covers(ch.sub) {
+					// Equivalent filter: join the bucket.
+					ix.addDup(ch, s)
+					return
+				}
+				next = ch
+				break
+			}
+		}
+		if next == nil {
+			break
+		}
+		cur = next
+	}
+	n := ix.newNode(s)
+
+	// Re-parent children of cur that the new subscription covers.
+	var keep, moved []*node
+	for _, ch := range cur.children {
+		ix.touchFilter(ch)
+		if s.Covers(ch.sub) {
+			moved = append(moved, ch)
+		} else {
+			keep = append(keep, ch)
+		}
+	}
+	n.children = moved
+	cur.children = append(keep, n)
+
+	// Write the node: header plus payload (routing state).
+	if ix.cfg.Mem != nil {
+		ix.cfg.Mem.Access(n.addr, n.hdrBytes+n.payBytes, true)
+	}
+	ix.count++
+	ix.bytes += int64(n.hdrBytes + n.payBytes)
+}
+
+// Match returns the IDs of all subscriptions matching e, pruning subtrees
+// whose covering ancestors fail. The result order is deterministic
+// (pre-order traversal).
+func (ix *Index) Match(e Event) []uint64 {
+	var out []uint64
+	ix.matchFrom(&ix.root, e, &out)
+	return out
+}
+
+func (ix *Index) matchFrom(cur *node, e Event, out *[]uint64) {
+	for _, ch := range cur.children {
+		ix.touchFilter(ch)
+		if !ch.sub.Matches(e) {
+			// Children are covered by ch: nothing below can match.
+			continue
+		}
+		*out = append(*out, ch.sub.ID)
+		ix.deliverBucket(ch, out)
+		ix.matchFrom(ch, e, out)
+	}
+}
+
+// deliverBucket appends all equivalent filters of a matched node, touching
+// each entry's routing record.
+func (ix *Index) deliverBucket(n *node, out *[]uint64) {
+	for _, d := range n.bucket {
+		if ix.cfg.Mem != nil {
+			ix.cfg.Mem.Access(d.addr, 16, false)
+		}
+		*out = append(*out, d.id)
+	}
+}
+
+// addDup stores an equivalent filter in a node's bucket, allocating and
+// writing its routing record.
+func (ix *Index) addDup(n *node, s Subscription) {
+	d := dupEntry{id: s.ID}
+	size := 16 + ix.cfg.PayloadBytes
+	if ix.cfg.Arena != nil {
+		d.addr = ix.cfg.Arena.Alloc(size)
+	}
+	if ix.cfg.Mem != nil {
+		ix.cfg.Mem.Access(d.addr, size, true)
+	}
+	n.bucket = append(n.bucket, d)
+	ix.count++
+	ix.bytes += int64(size)
+}
+
+// MatchNaive checks every stored subscription without pruning — the
+// reference matcher used by tests and the comparison baseline for the
+// containment ablation.
+func (ix *Index) MatchNaive(e Event) []uint64 {
+	var out []uint64
+	var walk func(*node)
+	walk = func(cur *node) {
+		for _, ch := range cur.children {
+			ix.touchFilter(ch)
+			if ch.sub.Matches(e) {
+				out = append(out, ch.sub.ID)
+				ix.deliverBucket(ch, &out)
+			}
+			walk(ch)
+		}
+	}
+	walk(&ix.root)
+	return out
+}
+
+// Remove unregisters a subscription by ID. Children of a removed node are
+// re-attached to its parent, preserving the covering invariant (a parent
+// covers everything below it, transitively). It reports whether the ID
+// was present.
+func (ix *Index) Remove(id uint64) bool {
+	return ix.removeFrom(&ix.root, id)
+}
+
+func (ix *Index) removeFrom(cur *node, id uint64) bool {
+	for i, ch := range cur.children {
+		ix.touchFilter(ch)
+		if ch.sub.ID == id {
+			if len(ch.bucket) > 0 {
+				// Equivalent filters share the node: promote the first
+				// bucket member to own it; structure is unchanged.
+				ch.sub.ID = ch.bucket[0].id
+				ch.bucket = ch.bucket[1:]
+			} else {
+				// Splice the node out; its children keep a covering
+				// ancestor (cur covers ch covers them).
+				cur.children = append(cur.children[:i], cur.children[i+1:]...)
+				cur.children = append(cur.children, ch.children...)
+			}
+			ix.count--
+			ix.bytes -= int64(ch.hdrBytes + ch.payBytes)
+			return true
+		}
+		// Check the bucket for the ID.
+		for j, d := range ch.bucket {
+			if d.id == id {
+				ch.bucket = append(ch.bucket[:j], ch.bucket[j+1:]...)
+				ix.count--
+				ix.bytes -= int64(16 + ix.cfg.PayloadBytes)
+				return true
+			}
+		}
+		if ix.removeFrom(ch, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Depth returns the maximum depth of the forest (test/diagnostic hook).
+func (ix *Index) Depth() int {
+	var depth func(*node) int
+	depth = func(cur *node) int {
+		best := 0
+		for _, ch := range cur.children {
+			if d := depth(ch); d > best {
+				best = d
+			}
+		}
+		return best + 1
+	}
+	return depth(&ix.root) - 1
+}
+
+// RootFanout returns the number of forest roots (diagnostic hook).
+func (ix *Index) RootFanout() int { return len(ix.root.children) }

@@ -1,0 +1,159 @@
+package scbr
+
+import (
+	"testing"
+)
+
+// grid builds the test overlay:
+//
+//	      root
+//	     /    \
+//	   west    east
+//	  /    \
+//	w1      w2
+func grid(t *testing.T) map[string]*Router {
+	t.Helper()
+	routers, err := Tree(map[string]string{
+		"west": "root",
+		"east": "root",
+		"w1":   "west",
+		"w2":   "west",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routers) != 5 {
+		t.Fatalf("built %d routers", len(routers))
+	}
+	return routers
+}
+
+func TestTreeRejectsSelfParent(t *testing.T) {
+	if _, err := Tree(map[string]string{"a": "a"}); err == nil {
+		t.Fatal("self-parent accepted")
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	r := NewRouter("solo", nil)
+	s, _ := NewSubscription(1, map[string]Interval{"v": iv(0, 10)})
+	r.Subscribe(s)
+	if n := r.Publish(Event{Attrs: map[string]float64{"v": 5}}); n != 1 {
+		t.Fatalf("delivered %d, want 1", n)
+	}
+	if n := r.Publish(Event{Attrs: map[string]float64{"v": 50}}); n != 0 {
+		t.Fatalf("non-matching delivered %d", n)
+	}
+}
+
+func TestCrossRouterDelivery(t *testing.T) {
+	routers := grid(t)
+	s, _ := NewSubscription(1, map[string]Interval{"v": iv(0, 10)})
+	routers["w1"].Subscribe(s)
+
+	// Publish at the opposite corner of the tree.
+	if n := routers["east"].Publish(Event{Attrs: map[string]float64{"v": 7}}); n != 1 {
+		t.Fatalf("delivered %d across the overlay, want 1", n)
+	}
+	if n := routers["east"].Publish(Event{Attrs: map[string]float64{"v": 70}}); n != 0 {
+		t.Fatalf("non-matching delivered %d", n)
+	}
+}
+
+func TestDeliveryToMultipleSubtrees(t *testing.T) {
+	routers := grid(t)
+	s1, _ := NewSubscription(1, map[string]Interval{"v": iv(0, 10)})
+	s2, _ := NewSubscription(2, map[string]Interval{"v": iv(5, 15)})
+	s3, _ := NewSubscription(3, map[string]Interval{"v": iv(100, 200)})
+	routers["w1"].Subscribe(s1)
+	routers["east"].Subscribe(s2)
+	routers["w2"].Subscribe(s3)
+
+	if n := routers["w2"].Publish(Event{Attrs: map[string]float64{"v": 7}}); n != 2 {
+		t.Fatalf("delivered %d, want 2 (w1 and east)", n)
+	}
+}
+
+func TestDownwardPruning(t *testing.T) {
+	routers := grid(t)
+	s, _ := NewSubscription(1, map[string]Interval{"v": iv(0, 10)})
+	routers["east"].Subscribe(s)
+
+	before := routers["west"].Hops()
+	// Publication at root matching only east must not descend into west.
+	if n := routers["root"].Publish(Event{Attrs: map[string]float64{"v": 5}}); n != 1 {
+		t.Fatalf("delivered %d", n)
+	}
+	if routers["west"].Hops() != before {
+		t.Fatal("event descended into an uninterested subtree")
+	}
+}
+
+func TestCoveringAggregationUpstream(t *testing.T) {
+	routers := grid(t)
+	wide, _ := NewSubscription(1, map[string]Interval{"v": iv(0, 100)})
+	routers["w1"].Subscribe(wide)
+	// Narrower filters at the same router must not be re-announced.
+	for id := uint64(2); id <= 10; id++ {
+		narrow, _ := NewSubscription(id, map[string]Interval{"v": iv(10, 20)})
+		routers["w1"].Subscribe(narrow)
+	}
+	if got := routers["w1"].AnnouncedUpstream(); got != 1 {
+		t.Fatalf("announced %d filters upstream, want 1 (covering aggregation)", got)
+	}
+	// And west aggregates towards root too.
+	if got := routers["west"].AnnouncedUpstream(); got != 1 {
+		t.Fatalf("west announced %d, want 1", got)
+	}
+	// Deliveries still reach all 10 local filters.
+	if n := routers["east"].Publish(Event{Attrs: map[string]float64{"v": 15}}); n != 10 {
+		t.Fatalf("delivered %d, want 10", n)
+	}
+}
+
+func TestAggregationReducesUpstreamState(t *testing.T) {
+	routers := grid(t)
+	w := NewWorkload(DefaultWorkload(31))
+	total := 0
+	for i := 0; i < 2000; i++ {
+		routers["w1"].Subscribe(w.NextSubscription())
+		total++
+	}
+	announced := routers["w1"].AnnouncedUpstream()
+	if announced >= total/2 {
+		t.Fatalf("aggregation weak: %d of %d filters announced upstream", announced, total)
+	}
+}
+
+func TestOverlayMatchesSingleBrokerSemantics(t *testing.T) {
+	// The overlay must deliver exactly what one big index would.
+	routers := grid(t)
+	reference := NewIndex(IndexConfig{})
+	w := NewWorkload(DefaultWorkload(17))
+	ids := []string{"root", "west", "east", "w1", "w2"}
+	for i := 0; i < 1000; i++ {
+		s := w.NextSubscription()
+		reference.Insert(s)
+		routers[ids[i%len(ids)]].Subscribe(s)
+	}
+	for i := 0; i < 100; i++ {
+		e := w.NextEvent()
+		want := len(reference.Match(e))
+		got := routers[ids[i%len(ids)]].Publish(e)
+		if got != want {
+			t.Fatalf("event %d: overlay delivered %d, single broker %d", i, got, want)
+		}
+	}
+}
+
+func TestHopsAccounting(t *testing.T) {
+	routers := grid(t)
+	s, _ := NewSubscription(1, map[string]Interval{"v": iv(0, 10)})
+	routers["east"].Subscribe(s)
+	routers["w1"].Publish(Event{Attrs: map[string]float64{"v": 5}})
+	// w1 -> west -> root -> east: three forwards, one per router.
+	totalHops := routers["w1"].Hops() + routers["west"].Hops() + routers["root"].Hops()
+	if totalHops != 3 {
+		t.Fatalf("total hops = %d, want 3", totalHops)
+	}
+}

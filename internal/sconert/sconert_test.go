@@ -1,0 +1,318 @@
+package sconert
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/fsshield"
+	"securecloud/internal/shield"
+)
+
+// env bundles a full test environment: platform, attestation, CAS.
+type env struct {
+	platform *enclave.Platform
+	svc      *attest.Service
+	quoter   *attest.Quoter
+	cas      *CAS
+	host     *shield.Host
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	svc := attest.NewService()
+	q, err := svc.Provision(p, "test-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{platform: p, svc: svc, quoter: q, cas: NewCAS(svc), host: shield.NewHost()}
+}
+
+func (e *env) buildEnclave(t *testing.T, code []byte) *enclave.Enclave {
+	t.Helper()
+	var signer cryptbox.Digest
+	signer[0] = 0xAA
+	enc, err := e.platform.ECreate(1<<20, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.EAdd(code); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EInit(); err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func measurementPolicy(t *testing.T, enc *enclave.Enclave) attest.Policy {
+	t.Helper()
+	m, err := enc.Measurement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return attest.Policy{AllowedMREnclave: []cryptbox.Digest{m}}
+}
+
+func TestSCFMarshalRoundTrip(t *testing.T) {
+	var fsKey cryptbox.Key
+	fsKey[3] = 9
+	scf, err := NewSCF(fsKey, cryptbox.Sum([]byte("pf")), []string{"serve", "--port=8080"}, map[string]string{"MODE": "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := scf.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSCF(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FSProtectionKey != fsKey || len(got.Args) != 2 || got.Env["MODE"] != "prod" {
+		t.Fatal("SCF fields lost in round trip")
+	}
+	if _, err := UnmarshalSCF([]byte("junk")); err == nil {
+		t.Fatal("garbage SCF accepted")
+	}
+}
+
+func TestNewSCFKeysDistinct(t *testing.T) {
+	scf, err := NewSCF(cryptbox.Key{}, cryptbox.Digest{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scf.StdinKey == scf.StdoutKey || scf.StdoutKey == scf.StderrKey {
+		t.Fatal("stream keys not distinct")
+	}
+}
+
+func TestFetchSCFHappyPath(t *testing.T) {
+	e := newEnv(t)
+	enc := e.buildEnclave(t, []byte("app"))
+	scf, _ := NewSCF(cryptbox.Key{1}, cryptbox.Digest{}, []string{"run"}, nil)
+	e.cas.Register(measurementPolicy(t, enc), scf)
+
+	got, err := FetchSCF(enc, e.quoter, e.cas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FSProtectionKey != scf.FSProtectionKey || got.StdoutKey != scf.StdoutKey {
+		t.Fatal("fetched SCF differs from registered SCF")
+	}
+}
+
+func TestFetchSCFDeniedForWrongEnclave(t *testing.T) {
+	e := newEnv(t)
+	genuine := e.buildEnclave(t, []byte("genuine"))
+	impostor := e.buildEnclave(t, []byte("impostor"))
+	scf, _ := NewSCF(cryptbox.Key{1}, cryptbox.Digest{}, nil, nil)
+	e.cas.Register(measurementPolicy(t, genuine), scf)
+
+	if _, err := FetchSCF(impostor, e.quoter, e.cas); !errors.Is(err, ErrNoSCF) {
+		t.Fatalf("impostor fetched SCF: %v", err)
+	}
+}
+
+func TestFetchSCFDeniedWithoutRegistration(t *testing.T) {
+	e := newEnv(t)
+	enc := e.buildEnclave(t, []byte("app"))
+	if _, err := FetchSCF(enc, e.quoter, e.cas); !errors.Is(err, ErrNoSCF) {
+		t.Fatalf("err = %v, want ErrNoSCF", err)
+	}
+}
+
+func TestCASRejectsBadQuote(t *testing.T) {
+	e := newEnv(t)
+	enc := e.buildEnclave(t, []byte("app"))
+	scf, _ := NewSCF(cryptbox.Key{1}, cryptbox.Digest{}, nil, nil)
+	e.cas.Register(measurementPolicy(t, enc), scf)
+
+	r, _ := enc.CreateReport(make([]byte, 32))
+	quote, _ := e.quoter.Quote(r)
+	quote.Report.MRSigner[0] ^= 1
+	if _, err := e.cas.RequestSCF(quote); err == nil {
+		t.Fatal("CAS released SCF for a tampered quote")
+	}
+}
+
+func TestCASChannelConfidentiality(t *testing.T) {
+	// The CAS response must not contain the SCF in plaintext: the host
+	// relaying it is untrusted.
+	e := newEnv(t)
+	enc := e.buildEnclave(t, []byte("app"))
+	marker := cryptbox.Key{0xDE, 0xAD, 0xBE, 0xEF, 0xDE, 0xAD, 0xBE, 0xEF, 0xDE, 0xAD, 0xBE, 0xEF, 0xDE, 0xAD, 0xBE, 0xEF}
+	scf, _ := NewSCF(marker, cryptbox.Digest{}, nil, nil)
+	e.cas.Register(measurementPolicy(t, enc), scf)
+
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, _ := enc.CreateReport(priv.PublicKey().Bytes())
+	quote, _ := e.quoter.Quote(report)
+	resp, err := e.cas.RequestSCF(quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(resp.SealedSCF, marker[:]) {
+		t.Fatal("SCF key material visible in CAS response")
+	}
+}
+
+func TestBootFullStack(t *testing.T) {
+	e := newEnv(t)
+	enc := e.buildEnclave(t, []byte("app"))
+
+	// Build a protected FS like an image build would.
+	rootKey := cryptbox.Key{7}
+	pfs := fsshield.NewFS(1024)
+	if err := pfs.WriteFile("/app/model.bin", bytes.Repeat([]byte("W"), 3000), fsshield.ModeEncrypted, rootKey); err != nil {
+		t.Fatal(err)
+	}
+	pfKey, _ := cryptbox.DeriveKey(rootKey, "pf")
+	sealedPF, err := pfs.ProtectionFile().Seal(pfKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scf, _ := NewSCF(pfKey, cryptbox.Sum(sealedPF), []string{"serve"}, map[string]string{"A": "1"})
+	e.cas.Register(measurementPolicy(t, enc), scf)
+
+	rt, err := Boot(BootConfig{
+		Enclave: enc, Quoter: e.quoter, CAS: e.cas, Host: e.host,
+		Mode: shield.ModeAsync, SealedProtectionFile: sealedPF, Blobs: pfs.Blobs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rt.FS().ReadFile("/app/model.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 3000 {
+		t.Fatalf("protected file read %d bytes, want 3000", len(data))
+	}
+	if got := rt.SCF().Env["A"]; got != "1" {
+		t.Fatalf("env lost: %q", got)
+	}
+	if rt.TCBBytes() != enc.Size() {
+		t.Fatal("TCB accounting mismatch")
+	}
+}
+
+func TestBootDetectsSubstitutedProtectionFile(t *testing.T) {
+	e := newEnv(t)
+	enc := e.buildEnclave(t, []byte("app"))
+	pfKey := cryptbox.Key{9}
+	pf := fsshield.NewProtectionFile(0)
+	sealedPF, _ := pf.Seal(pfKey)
+	scf, _ := NewSCF(pfKey, cryptbox.Sum(sealedPF), nil, nil)
+	e.cas.Register(measurementPolicy(t, enc), scf)
+
+	// The registry/host substitutes a different (also validly sealed)
+	// protection file.
+	other, _ := fsshield.NewProtectionFile(0).Seal(pfKey)
+	_, err := Boot(BootConfig{
+		Enclave: enc, Quoter: e.quoter, CAS: e.cas, Host: e.host,
+		SealedProtectionFile: other,
+	})
+	if !errors.Is(err, ErrFSHashMismatch) {
+		t.Fatalf("substituted protection file: err = %v, want ErrFSHashMismatch", err)
+	}
+}
+
+func TestBootIncompleteConfig(t *testing.T) {
+	if _, err := Boot(BootConfig{}); err == nil {
+		t.Fatal("empty BootConfig accepted")
+	}
+}
+
+func TestRuntimeStdioEncrypted(t *testing.T) {
+	e := newEnv(t)
+	enc := e.buildEnclave(t, []byte("app"))
+	scf, _ := NewSCF(cryptbox.Key{1}, cryptbox.Digest{}, nil, nil)
+	e.cas.Register(measurementPolicy(t, enc), scf)
+	rt, err := Boot(BootConfig{Enclave: enc, Quoter: e.quoter, CAS: e.cas, Host: e.host})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Stdout([]byte("TOP-SECRET-OUTPUT")); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range e.host.Records("stdio/stdout") {
+		if bytes.Contains(rec, []byte("TOP-SECRET-OUTPUT")) {
+			t.Fatal("stdout plaintext reached the host")
+		}
+	}
+	if err := rt.Stderr([]byte("diag")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerRunsAllTasks(t *testing.T) {
+	e := newEnv(t)
+	enc := e.buildEnclave(t, []byte("app"))
+	s := NewScheduler(enc, 4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		s.Go(func() { n.Add(1) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+	tasks, entries := s.Stats()
+	if tasks != 100 {
+		t.Fatalf("Stats tasks = %d", tasks)
+	}
+	if entries > 4 {
+		t.Fatalf("used %d enclave entries for 100 tasks with 4 TCS", entries)
+	}
+}
+
+func TestSchedulerAmortisesTransitions(t *testing.T) {
+	e := newEnv(t)
+	enc := e.buildEnclave(t, []byte("app"))
+	s := NewScheduler(enc, 2)
+	before := enc.Memory().Breakdown()[enclave.CauseTransition]
+	for i := 0; i < 50; i++ {
+		s.Go(func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spent := enc.Memory().Breakdown()[enclave.CauseTransition] - before
+	perTask := enc.Platform().Config().Cost.Transition * 50
+	if spent >= perTask {
+		t.Fatalf("scheduler spent %d transition cycles; naive per-task model spends %d", spent, perTask)
+	}
+}
+
+func TestSchedulerEmptyRun(t *testing.T) {
+	e := newEnv(t)
+	enc := e.buildEnclave(t, []byte("app"))
+	s := NewScheduler(enc, 2)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerUninitialisedEnclave(t *testing.T) {
+	e := newEnv(t)
+	var signer cryptbox.Digest
+	enc, _ := e.platform.ECreate(1<<20, signer)
+	s := NewScheduler(enc, 2)
+	s.Go(func() {})
+	if err := s.Run(); err == nil {
+		t.Fatal("scheduler ran on an uninitialised enclave")
+	}
+}

@@ -1,0 +1,244 @@
+package smartgrid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TheftAlert names a suspected meter with its evidence.
+type TheftAlert struct {
+	Feeder string
+	// GapKW is the average feeder-vs-meter-sum shortfall.
+	GapKW float64
+	// Suspects are the meters most consistent with the shortfall,
+	// strongest first.
+	Suspects []string
+}
+
+// TheftDetector implements use case 1: it compares the utility's feeder
+// instrumentation against the sum of reported meter values per window —
+// theft appears as a persistent feeder-level shortfall — and then ranks
+// the feeder's meters by how far their reported consumption dropped below
+// their own historical profile.
+type TheftDetector struct {
+	// WindowTicks is the aggregation window.
+	WindowTicks int64
+	// GapThreshold is the relative shortfall that triggers an alert.
+	GapThreshold float64
+
+	// profile is the long-run mean reported power per meter (EWMA).
+	profile map[string]float64
+	// window accumulators
+	windowStart int64
+	repSum      map[string]float64 // feeder -> reported sum
+	trueSum     map[string]float64 // feeder -> instrumented sum
+	meterSum    map[string]float64 // meter -> reported sum in window
+	meterFd     map[string]string
+	samples     int64
+}
+
+// NewTheftDetector returns a detector with a one-hour window at 30-second
+// sampling. The 0.5% shortfall threshold sits above feeder instrumentation
+// noise (zero in this model; sub-0.1% in practice after technical-loss
+// correction) but below the signature of a single residential thief
+// under-reporting most of their consumption on a 50-meter feeder.
+func NewTheftDetector() *TheftDetector {
+	return &TheftDetector{
+		WindowTicks:  120,
+		GapThreshold: 0.005,
+		profile:      make(map[string]float64),
+		repSum:       make(map[string]float64),
+		trueSum:      make(map[string]float64),
+		meterSum:     make(map[string]float64),
+		meterFd:      make(map[string]string),
+	}
+}
+
+// Observe feeds one tick of readings plus the feeder ground truth. It
+// returns alerts at window boundaries (nil otherwise).
+func (d *TheftDetector) Observe(tick int64, readings []Reading, feederTrueKW map[string]float64) []TheftAlert {
+	for _, r := range readings {
+		d.repSum[r.Feeder] += r.PowerKW
+		d.meterSum[r.MeterID] += r.PowerKW
+		d.meterFd[r.MeterID] = r.Feeder
+		// EWMA profile of reported consumption.
+		if p, ok := d.profile[r.MeterID]; ok {
+			d.profile[r.MeterID] = 0.999*p + 0.001*r.PowerKW
+		} else {
+			d.profile[r.MeterID] = r.PowerKW
+		}
+	}
+	for fd, kw := range feederTrueKW {
+		d.trueSum[fd] += kw
+	}
+	d.samples++
+	if d.samples < d.WindowTicks {
+		return nil
+	}
+	alerts := d.closeWindow()
+	d.samples = 0
+	d.windowStart = tick + 1
+	return alerts
+}
+
+// closeWindow evaluates the finished window and resets accumulators.
+func (d *TheftDetector) closeWindow() []TheftAlert {
+	var alerts []TheftAlert
+	feeders := make([]string, 0, len(d.trueSum))
+	for fd := range d.trueSum {
+		feeders = append(feeders, fd)
+	}
+	sort.Strings(feeders)
+	for _, fd := range feeders {
+		truth := d.trueSum[fd]
+		reported := d.repSum[fd]
+		if truth <= 0 {
+			continue
+		}
+		gap := (truth - reported) / truth
+		if gap < d.GapThreshold {
+			continue
+		}
+		alerts = append(alerts, TheftAlert{
+			Feeder:   fd,
+			GapKW:    (truth - reported) / float64(d.WindowTicks),
+			Suspects: d.rankSuspects(fd),
+		})
+	}
+	d.repSum = make(map[string]float64)
+	d.trueSum = make(map[string]float64)
+	d.meterSum = make(map[string]float64)
+	return alerts
+}
+
+// rankSuspects orders a feeder's meters by profile shortfall.
+func (d *TheftDetector) rankSuspects(feeder string) []string {
+	type scored struct {
+		meter string
+		drop  float64
+	}
+	var all []scored
+	for meter, fd := range d.meterFd {
+		if fd != feeder {
+			continue
+		}
+		expected := d.profile[meter] * float64(d.WindowTicks)
+		if expected <= 0 {
+			continue
+		}
+		drop := (expected - d.meterSum[meter]) / expected
+		all = append(all, scored{meter: meter, drop: drop})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].drop != all[j].drop {
+			return all[i].drop > all[j].drop
+		}
+		return all[i].meter < all[j].meter
+	})
+	n := 3
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, 0, n)
+	for _, s := range all[:n] {
+		out = append(out, s.meter)
+	}
+	return out
+}
+
+// QualityEvent is a detected power-quality violation.
+type QualityEvent struct {
+	Feeder string
+	Tick   int64
+	Kind   string // "sag" | "swell"
+	// VoltV is the triggering per-feeder mean voltage.
+	VoltV float64
+}
+
+func (e QualityEvent) String() string {
+	return fmt.Sprintf("%s %s at tick %d (%.1f V)", e.Feeder, e.Kind, e.Tick, e.VoltV)
+}
+
+// QualityMonitor implements use case 2: per-feeder voltage monitoring with
+// immediate (same-tick) detection of sags and swells, feeding the
+// millisecond-scale orchestration reactions the paper describes.
+type QualityMonitor struct {
+	// SagBelow / SwellAbove are the trigger thresholds as fractions of
+	// nominal (defaults 0.90 / 1.10 per EN 50160).
+	SagBelow   float64
+	SwellAbove float64
+}
+
+// NewQualityMonitor returns a monitor with EN 50160-style thresholds.
+func NewQualityMonitor() *QualityMonitor {
+	return &QualityMonitor{SagBelow: 0.90, SwellAbove: 1.10}
+}
+
+// Observe checks one tick of readings and returns events, one per feeder
+// in violation.
+func (m *QualityMonitor) Observe(tick int64, readings []Reading) []QualityEvent {
+	sum := make(map[string]float64)
+	n := make(map[string]int)
+	for _, r := range readings {
+		sum[r.Feeder] += r.VoltV
+		n[r.Feeder]++
+	}
+	feeders := make([]string, 0, len(sum))
+	for fd := range sum {
+		feeders = append(feeders, fd)
+	}
+	sort.Strings(feeders)
+	var events []QualityEvent
+	for _, fd := range feeders {
+		mean := sum[fd] / float64(n[fd])
+		switch {
+		case mean < m.SagBelow*NominalVoltage:
+			events = append(events, QualityEvent{Feeder: fd, Tick: tick, Kind: "sag", VoltV: mean})
+		case mean > m.SwellAbove*NominalVoltage:
+			events = append(events, QualityEvent{Feeder: fd, Tick: tick, Kind: "swell", VoltV: mean})
+		}
+	}
+	return events
+}
+
+// ConsumptionStats summarises a fleet window (the map/reduce aggregation
+// workload of §III-B(3)).
+type ConsumptionStats struct {
+	TotalKWh float64
+	PeakKW   float64
+	PeakTick int64
+}
+
+// Aggregate folds readings (at tickSeconds cadence) into window stats.
+func Aggregate(readings []Reading, tickSeconds float64) ConsumptionStats {
+	perTick := make(map[int64]float64)
+	for _, r := range readings {
+		perTick[r.Tick] += r.PowerKW
+	}
+	var s ConsumptionStats
+	s.PeakTick = -1
+	for tick, kw := range perTick {
+		s.TotalKWh += kw * tickSeconds / 3600
+		if kw > s.PeakKW || (kw == s.PeakKW && (s.PeakTick == -1 || tick < s.PeakTick)) {
+			s.PeakKW = kw
+			s.PeakTick = tick
+		}
+	}
+	return s
+}
+
+// InferOccupancy demonstrates the privacy risk the paper cites ([15]:
+// appliance activity is visible in fine-grained traces): it flags the
+// ticks where a meter's consumption jumps, i.e. when someone switched a
+// load on. Its existence in the codebase is the argument for processing
+// this data only inside enclaves.
+func InferOccupancy(series []float64, jumpKW float64) []int {
+	var events []int
+	for i := 1; i < len(series); i++ {
+		if math.Abs(series[i]-series[i-1]) >= jumpKW {
+			events = append(events, i)
+		}
+	}
+	return events
+}

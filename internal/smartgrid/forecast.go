@@ -1,0 +1,95 @@
+package smartgrid
+
+import (
+	"errors"
+	"math"
+)
+
+// Forecaster predicts short-term aggregate load with an additive
+// Holt-Winters-style model: a smoothed level plus a seasonal index per
+// tick-of-day. Utilities run exactly this class of model over the metering
+// data the SecureCloud platform protects; it is the third big data
+// application of the smart-grid use case (load forecasting feeds both
+// purchasing and the orchestration layer's capacity planning).
+type Forecaster struct {
+	// Alpha smooths the level; Gamma smooths the seasonal indexes.
+	Alpha, Gamma float64
+
+	period   int64
+	level    float64
+	seasonal []float64
+	seeded   []bool
+	n        int64
+}
+
+// ErrCold is returned when the forecaster has not seen a full season yet.
+var ErrCold = errors.New("smartgrid: forecaster has not observed a full day")
+
+// NewForecaster builds a forecaster for the given season length (ticks
+// per day).
+func NewForecaster(period int64) *Forecaster {
+	if period <= 0 {
+		period = 2880
+	}
+	return &Forecaster{
+		Alpha:    0.2,
+		Gamma:    0.3,
+		period:   period,
+		seasonal: make([]float64, period),
+		seeded:   make([]bool, period),
+	}
+}
+
+// Observe feeds the aggregate load of one tick.
+func (f *Forecaster) Observe(tick int64, totalKW float64) {
+	s := tick % f.period
+	if f.n == 0 {
+		f.level = totalKW
+	}
+	if !f.seeded[s] {
+		f.seasonal[s] = totalKW - f.level
+		f.seeded[s] = true
+	} else {
+		deseason := totalKW - f.seasonal[s]
+		f.level = (1-f.Alpha)*f.level + f.Alpha*deseason
+		f.seasonal[s] = (1-f.Gamma)*f.seasonal[s] + f.Gamma*(totalKW-f.level)
+	}
+	f.n++
+}
+
+// Ready reports whether a full season has been observed.
+func (f *Forecaster) Ready() bool { return f.n >= f.period }
+
+// Forecast predicts the load at a future tick.
+func (f *Forecaster) Forecast(tick int64) (float64, error) {
+	if !f.Ready() {
+		return 0, ErrCold
+	}
+	v := f.level + f.seasonal[tick%f.period]
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// MAPE computes the mean absolute percentage error of the forecaster over
+// a horizon of (tick, actual) samples — the standard forecast-quality
+// score.
+func MAPE(forecasts, actuals []float64) float64 {
+	if len(forecasts) != len(actuals) || len(forecasts) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	n := 0
+	for i := range forecasts {
+		if actuals[i] == 0 {
+			continue
+		}
+		sum += math.Abs(forecasts[i]-actuals[i]) / actuals[i]
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,109 @@
+package smartgrid
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fleetLoad sums the fleet's true consumption at a tick.
+func fleetLoad(f *Fleet, tick int64) float64 {
+	_, feederKW := f.Tick(tick)
+	var sum float64
+	for _, kw := range feederKW {
+		sum += kw
+	}
+	return sum
+}
+
+func TestForecasterColdStart(t *testing.T) {
+	fc := NewForecaster(100)
+	if fc.Ready() {
+		t.Fatal("ready without data")
+	}
+	if _, err := fc.Forecast(0); !errors.Is(err, ErrCold) {
+		t.Fatalf("err = %v, want ErrCold", err)
+	}
+}
+
+func TestForecasterLearnsDailyShape(t *testing.T) {
+	const period = 288 // 5-minute ticks for speed
+	fleet := NewFleet(FleetConfig{Seed: 3, Meters: 300, MetersPerFeeder: 50, TicksPerDay: period})
+	fc := NewForecaster(period)
+
+	// Train on two days.
+	for tick := int64(0); tick < 2*period; tick++ {
+		fc.Observe(tick, fleetLoad(fleet, tick))
+	}
+	if !fc.Ready() {
+		t.Fatal("not ready after two days")
+	}
+	// Evaluate on the third day.
+	var forecasts, actuals []float64
+	for tick := 2 * int64(period); tick < 3*period; tick++ {
+		pred, err := fc.Forecast(tick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forecasts = append(forecasts, pred)
+		actuals = append(actuals, fleetLoad(fleet, tick))
+	}
+	mape := MAPE(forecasts, actuals)
+	if math.IsNaN(mape) || mape > 0.15 {
+		t.Fatalf("day-ahead MAPE = %.1f%%, want <15%%", 100*mape)
+	}
+}
+
+func TestForecasterBeatsFlatBaseline(t *testing.T) {
+	const period = 288
+	fleet := NewFleet(FleetConfig{Seed: 5, Meters: 300, MetersPerFeeder: 50, TicksPerDay: period})
+	fc := NewForecaster(period)
+	var trainSum float64
+	for tick := int64(0); tick < 2*period; tick++ {
+		l := fleetLoad(fleet, tick)
+		fc.Observe(tick, l)
+		trainSum += l
+	}
+	flat := trainSum / float64(2*period)
+
+	var fcErr, flatErr float64
+	for tick := 2 * int64(period); tick < 3*period; tick++ {
+		actual := fleetLoad(fleet, tick)
+		pred, _ := fc.Forecast(tick)
+		fcErr += math.Abs(pred - actual)
+		flatErr += math.Abs(flat - actual)
+	}
+	if fcErr >= flatErr {
+		t.Fatalf("seasonal forecaster (%.0f abs err) no better than flat mean (%.0f)", fcErr, flatErr)
+	}
+}
+
+func TestForecastNonNegative(t *testing.T) {
+	fc := NewForecaster(4)
+	for tick := int64(0); tick < 8; tick++ {
+		fc.Observe(tick, 0.1)
+	}
+	fc.level = -10 // force a pathological level
+	v, err := fc.Forecast(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 {
+		t.Fatalf("negative load forecast %f", v)
+	}
+}
+
+func TestMAPEEdgeCases(t *testing.T) {
+	if !math.IsNaN(MAPE(nil, nil)) {
+		t.Fatal("empty MAPE not NaN")
+	}
+	if !math.IsNaN(MAPE([]float64{1}, []float64{1, 2})) {
+		t.Fatal("length mismatch not NaN")
+	}
+	if !math.IsNaN(MAPE([]float64{1}, []float64{0})) {
+		t.Fatal("all-zero actuals not NaN")
+	}
+	if got := MAPE([]float64{110}, []float64{100}); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("MAPE = %f, want 0.1", got)
+	}
+}

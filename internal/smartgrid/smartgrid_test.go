@@ -1,0 +1,221 @@
+package smartgrid
+
+import (
+	"math"
+	"testing"
+)
+
+func smallFleet(seed int64) *Fleet {
+	return NewFleet(FleetConfig{
+		Seed:            seed,
+		Meters:          200,
+		MetersPerFeeder: 50,
+		TicksPerDay:     2880,
+		BaseLoadKW:      0.8,
+	})
+}
+
+func TestFleetDeterministic(t *testing.T) {
+	a, b := smallFleet(1), smallFleet(1)
+	ra, _ := a.Tick(100)
+	rb, _ := b.Tick(100)
+	if len(ra) != len(rb) {
+		t.Fatal("same seed, different reading counts")
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same seed diverged at reading %d", i)
+		}
+	}
+}
+
+func TestDailyShapePeaks(t *testing.T) {
+	night := dailyShape(0.1)   // ~2:24
+	evening := dailyShape(0.8) // ~19:12
+	if evening <= 2*night {
+		t.Fatalf("evening peak (%.2f) not clearly above night load (%.2f)", evening, night)
+	}
+}
+
+func TestReadingsPlausible(t *testing.T) {
+	f := smallFleet(2)
+	readings, feederKW := f.Tick(1200)
+	if len(readings) != 200 {
+		t.Fatalf("%d readings", len(readings))
+	}
+	for _, r := range readings {
+		if r.PowerKW <= 0 || r.PowerKW > 50 {
+			t.Fatalf("implausible power %f", r.PowerKW)
+		}
+		if r.VoltV < 200 || r.VoltV > 260 {
+			t.Fatalf("implausible voltage %f", r.VoltV)
+		}
+	}
+	if len(feederKW) != 4 {
+		t.Fatalf("%d feeders, want 4", len(feederKW))
+	}
+}
+
+func TestFeederTruthMatchesHonestSum(t *testing.T) {
+	f := smallFleet(3)
+	readings, feederKW := f.Tick(500)
+	sums := make(map[string]float64)
+	for _, r := range readings {
+		sums[r.Feeder] += r.PowerKW
+	}
+	for fd, truth := range feederKW {
+		if math.Abs(truth-sums[fd]) > 1e-9 {
+			t.Fatalf("honest fleet: feeder %s truth %.3f != reported %.3f", fd, truth, sums[fd])
+		}
+	}
+}
+
+func TestTheftVisibleInGap(t *testing.T) {
+	f := smallFleet(4)
+	f.InjectTheft(10, 0, 0.2)
+	readings, feederKW := f.Tick(800)
+	sums := make(map[string]float64)
+	for _, r := range readings {
+		sums[r.Feeder] += r.PowerKW
+	}
+	fd := f.FeederOf(10)
+	if feederKW[fd] <= sums[fd] {
+		t.Fatal("theft not visible as feeder shortfall")
+	}
+}
+
+func TestTheftDetectorFindsInjectedThief(t *testing.T) {
+	f := smallFleet(5)
+	const thief = 23
+	f.InjectTheft(thief, 0, 0.2)
+	d := NewTheftDetector()
+
+	// Warm profiles on ~2 windows, then detect.
+	var alerts []TheftAlert
+	for tick := int64(0); tick < 3*d.WindowTicks; tick++ {
+		readings, truth := f.Tick(tick)
+		if a := d.Observe(tick, readings, truth); a != nil {
+			alerts = a
+		}
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts, want 1 (only one feeder has theft)", len(alerts))
+	}
+	if alerts[0].Feeder != f.FeederOf(thief) {
+		t.Fatalf("alert on %s, thief on %s", alerts[0].Feeder, f.FeederOf(thief))
+	}
+}
+
+func TestTheftDetectorNoFalseAlarms(t *testing.T) {
+	f := smallFleet(6) // honest fleet
+	d := NewTheftDetector()
+	for tick := int64(0); tick < 4*d.WindowTicks; tick++ {
+		readings, truth := f.Tick(tick)
+		if alerts := d.Observe(tick, readings, truth); len(alerts) != 0 {
+			t.Fatalf("false alarm on honest fleet: %+v", alerts)
+		}
+	}
+}
+
+func TestTheftSuspectRanking(t *testing.T) {
+	f := smallFleet(7)
+	const thief = 5
+	d := NewTheftDetector()
+	// Build honest profiles first, then start the theft.
+	var tick int64
+	for ; tick < 2*d.WindowTicks; tick++ {
+		readings, truth := f.Tick(tick)
+		d.Observe(tick, readings, truth)
+	}
+	f.InjectTheft(thief, tick, 0.2)
+	var alerts []TheftAlert
+	for end := tick + 2*d.WindowTicks; tick < end; tick++ {
+		readings, truth := f.Tick(tick)
+		if a := d.Observe(tick, readings, truth); a != nil {
+			alerts = a
+		}
+	}
+	if len(alerts) == 0 {
+		t.Fatal("no alert after theft started")
+	}
+	found := false
+	for _, s := range alerts[0].Suspects {
+		if s == MeterName(thief) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("thief %s not among suspects %v", MeterName(thief), alerts[0].Suspects)
+	}
+}
+
+func TestQualityMonitorDetectsSagSameTick(t *testing.T) {
+	f := smallFleet(8)
+	f.InjectSag(1, 100, 110, 0.8)
+	m := NewQualityMonitor()
+	readings, _ := f.Tick(99)
+	if events := m.Observe(99, readings); len(events) != 0 {
+		t.Fatalf("sag detected before injection: %v", events)
+	}
+	readings, _ = f.Tick(100)
+	events := m.Observe(100, readings)
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	if events[0].Kind != "sag" || events[0].Feeder != "feeder-001" {
+		t.Fatalf("event = %+v", events[0])
+	}
+	// Detection latency is zero ticks: the paper's "milliseconds"
+	// requirement maps to same-sample detection here.
+	if events[0].Tick != 100 {
+		t.Fatal("detection lagged the sag")
+	}
+}
+
+func TestQualityMonitorSwell(t *testing.T) {
+	f := smallFleet(9)
+	f.InjectSag(2, 50, 60, 1.15) // depth > 1 is a swell
+	m := NewQualityMonitor()
+	readings, _ := f.Tick(55)
+	events := m.Observe(55, readings)
+	if len(events) != 1 || events[0].Kind != "swell" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	readings := []Reading{
+		{MeterID: "a", Tick: 0, PowerKW: 1},
+		{MeterID: "b", Tick: 0, PowerKW: 2},
+		{MeterID: "a", Tick: 1, PowerKW: 5},
+	}
+	s := Aggregate(readings, 30)
+	if s.PeakKW != 5 || s.PeakTick != 1 {
+		t.Fatalf("peak = %f at %d", s.PeakKW, s.PeakTick)
+	}
+	wantKWh := (3.0 + 5.0) * 30 / 3600
+	if math.Abs(s.TotalKWh-wantKWh) > 1e-9 {
+		t.Fatalf("TotalKWh = %f, want %f", s.TotalKWh, wantKWh)
+	}
+}
+
+func TestInferOccupancyFindsJumps(t *testing.T) {
+	series := []float64{0.2, 0.2, 2.5, 2.5, 0.3}
+	events := InferOccupancy(series, 1.0)
+	if len(events) != 2 || events[0] != 2 || events[1] != 4 {
+		t.Fatalf("events = %v", events)
+	}
+	if got := InferOccupancy(series, 10); len(got) != 0 {
+		t.Fatal("jump threshold ignored")
+	}
+}
+
+func TestFeederNaming(t *testing.T) {
+	f := smallFleet(10)
+	if f.FeederOf(0) != "feeder-000" || f.FeederOf(50) != "feeder-001" {
+		t.Fatal("feeder grouping wrong")
+	}
+	if MeterName(7) != "meter-00007" {
+		t.Fatalf("MeterName = %q", MeterName(7))
+	}
+}

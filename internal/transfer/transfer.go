@@ -1,0 +1,191 @@
+// Package transfer implements SecureCloud's component for the "efficient
+// transmission of large amounts of data" (paper §III-B(3)): bulk payloads
+// — meter archives, model files, map/reduce inputs — are cut into chunks,
+// compressed, encrypted, and authenticated under a Merkle tree, so they
+// can cross untrusted networks and storage out of order, resume after
+// interruption, and be verified chunk-by-chunk without trusting the
+// transport.
+package transfer
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"securecloud/internal/cryptbox"
+)
+
+// DefaultChunkSize balances per-chunk overhead against retransmission
+// granularity.
+const DefaultChunkSize = 256 << 10
+
+// Errors reported by the transfer layer.
+var (
+	ErrBadChunk   = errors.New("transfer: chunk failed verification")
+	ErrIncomplete = errors.New("transfer: chunks missing")
+	ErrManifest   = errors.New("transfer: manifest inconsistent")
+)
+
+// Manifest describes one packed payload: the trusted summary exchanged
+// over a small authenticated channel (e.g. inside an SCF or a micro-
+// service request), while the bulk chunks travel any untrusted way.
+type Manifest struct {
+	Name      string            `json:"name"`
+	Size      int64             `json:"size"`
+	ChunkSize int               `json:"chunk_size"`
+	Leaves    []cryptbox.Digest `json:"leaves"`
+	Root      cryptbox.Digest   `json:"root"`
+}
+
+// Chunks returns the number of chunks.
+func (m *Manifest) Chunks() int { return len(m.Leaves) }
+
+// Validate checks the manifest's internal consistency (root over leaves).
+func (m *Manifest) Validate() error {
+	if m.ChunkSize <= 0 || m.Size < 0 {
+		return fmt.Errorf("%w: bad geometry", ErrManifest)
+	}
+	if MerkleRoot(m.Leaves) != m.Root {
+		return fmt.Errorf("%w: root does not match leaves", ErrManifest)
+	}
+	return nil
+}
+
+// chunkAAD binds a ciphertext chunk to the payload and position.
+func chunkAAD(name string, idx int) []byte {
+	return []byte(fmt.Sprintf("transfer|%s|%d", name, idx))
+}
+
+// Pack compresses, encrypts and hashes data into transferable chunks plus
+// the manifest the receiver needs.
+func Pack(name string, data []byte, key cryptbox.Key, chunkSize int) (*Manifest, [][]byte, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	total := (len(data) + chunkSize - 1) / chunkSize
+	if total == 0 {
+		total = 1
+	}
+	m := &Manifest{Name: name, Size: int64(len(data)), ChunkSize: chunkSize}
+	chunks := make([][]byte, 0, total)
+	for i := 0; i < total; i++ {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		compressed, err := deflate(data[lo:hi])
+		if err != nil {
+			return nil, nil, err
+		}
+		sealed, err := box.Seal(compressed, chunkAAD(name, i))
+		if err != nil {
+			return nil, nil, err
+		}
+		chunks = append(chunks, sealed)
+		m.Leaves = append(m.Leaves, cryptbox.Sum(sealed))
+	}
+	m.Root = MerkleRoot(m.Leaves)
+	return m, chunks, nil
+}
+
+// Receiver reassembles a payload from chunks arriving in any order,
+// verifying each against the manifest on arrival.
+type Receiver struct {
+	manifest *Manifest
+	box      *cryptbox.Box
+	got      map[int][]byte
+}
+
+// NewReceiver builds a receiver for a validated manifest.
+func NewReceiver(m *Manifest, key cryptbox.Key) (*Receiver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{manifest: m, box: box, got: make(map[int][]byte)}, nil
+}
+
+// Accept verifies and stores one chunk. Duplicate deliveries of the same
+// valid chunk are idempotent.
+func (r *Receiver) Accept(idx int, chunk []byte) error {
+	if idx < 0 || idx >= r.manifest.Chunks() {
+		return fmt.Errorf("%w: index %d of %d", ErrBadChunk, idx, r.manifest.Chunks())
+	}
+	if cryptbox.Sum(chunk) != r.manifest.Leaves[idx] {
+		return fmt.Errorf("%w: leaf digest mismatch at %d", ErrBadChunk, idx)
+	}
+	r.got[idx] = append([]byte(nil), chunk...)
+	return nil
+}
+
+// Missing lists the chunk indexes still outstanding, ascending — the
+// resume request after an interrupted transfer.
+func (r *Receiver) Missing() []int {
+	var out []int
+	for i := 0; i < r.manifest.Chunks(); i++ {
+		if _, ok := r.got[i]; !ok {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Complete reports whether all chunks arrived.
+func (r *Receiver) Complete() bool { return len(r.got) == r.manifest.Chunks() }
+
+// Assemble decrypts, decompresses and concatenates the payload.
+func (r *Receiver) Assemble() ([]byte, error) {
+	if !r.Complete() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrIncomplete, len(r.got), r.manifest.Chunks())
+	}
+	out := make([]byte, 0, r.manifest.Size)
+	for i := 0; i < r.manifest.Chunks(); i++ {
+		compressed, err := r.box.Open(r.got[i], chunkAAD(r.manifest.Name, i))
+		if err != nil {
+			return nil, fmt.Errorf("%w: decrypting %d", ErrBadChunk, i)
+		}
+		plain, err := inflate(compressed)
+		if err != nil {
+			return nil, fmt.Errorf("transfer: inflating chunk %d: %w", i, err)
+		}
+		out = append(out, plain...)
+	}
+	if int64(len(out)) != r.manifest.Size {
+		return nil, fmt.Errorf("%w: assembled %d bytes, manifest says %d",
+			ErrManifest, len(out), r.manifest.Size)
+	}
+	return out, nil
+}
+
+func deflate(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func inflate(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	return io.ReadAll(io.LimitReader(r, 64<<20))
+}

@@ -1,0 +1,280 @@
+package transfer
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/sim"
+)
+
+func key() cryptbox.Key {
+	var k cryptbox.Key
+	k[7] = 0x7A
+	return k
+}
+
+// payload generates compressible-but-not-trivial test data.
+func payload(n int) []byte {
+	rng := sim.NewRand(9)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte('a' + rng.Intn(16))
+	}
+	return out
+}
+
+func TestPackReceiveRoundTrip(t *testing.T) {
+	data := payload(1 << 20)
+	m, chunks, err := Pack("meters.tar", data, key(), 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Chunks() != 16 {
+		t.Fatalf("chunks = %d, want 16", m.Chunks())
+	}
+	r, err := NewReceiver(m, key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver out of order.
+	for i := len(chunks) - 1; i >= 0; i-- {
+		if err := r.Accept(i, chunks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := r.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCompressionShrinksRedundantData(t *testing.T) {
+	data := bytes.Repeat([]byte("meter-00042,1.234,229.8\n"), 10000)
+	_, chunks, err := Pack("readings.csv", data, key(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total >= len(data)/2 {
+		t.Fatalf("compressed size %d not < half of %d", total, len(data))
+	}
+}
+
+func TestChunksOpaque(t *testing.T) {
+	data := bytes.Repeat([]byte("SECRET-READING"), 5000)
+	_, chunks, err := Pack("x", data, key(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks {
+		if bytes.Contains(c, []byte("SECRET-READING")) {
+			t.Fatal("plaintext visible in transfer chunk")
+		}
+	}
+}
+
+func TestTamperedChunkRejectedOnAccept(t *testing.T) {
+	m, chunks, _ := Pack("x", payload(300<<10), key(), 64<<10)
+	r, _ := NewReceiver(m, key())
+	bad := append([]byte(nil), chunks[2]...)
+	bad[10] ^= 1
+	if err := r.Accept(2, bad); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("err = %v, want ErrBadChunk", err)
+	}
+}
+
+func TestChunkIndexSwapRejected(t *testing.T) {
+	m, chunks, _ := Pack("x", payload(300<<10), key(), 64<<10)
+	r, _ := NewReceiver(m, key())
+	if err := r.Accept(0, chunks[1]); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("chunk delivered under wrong index accepted: %v", err)
+	}
+}
+
+func TestOutOfRangeIndex(t *testing.T) {
+	m, chunks, _ := Pack("x", payload(1000), key(), 512)
+	r, _ := NewReceiver(m, key())
+	if err := r.Accept(99, chunks[0]); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.Accept(-1, chunks[0]); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResumeAfterInterruption(t *testing.T) {
+	m, chunks, _ := Pack("x", payload(640<<10), key(), 64<<10)
+	r, _ := NewReceiver(m, key())
+	// First session delivers even chunks only.
+	for i := 0; i < len(chunks); i += 2 {
+		if err := r.Accept(i, chunks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Complete() {
+		t.Fatal("complete with half the chunks")
+	}
+	missing := r.Missing()
+	if len(missing) != len(chunks)/2 {
+		t.Fatalf("missing %d, want %d", len(missing), len(chunks)/2)
+	}
+	if _, err := r.Assemble(); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("assemble incomplete: %v", err)
+	}
+	// Resume: deliver exactly what is missing.
+	for _, i := range missing {
+		if err := r.Accept(i, chunks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Complete() {
+		t.Fatal("not complete after resume")
+	}
+	if _, err := r.Assemble(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateDeliveryIdempotent(t *testing.T) {
+	m, chunks, _ := Pack("x", payload(2048), key(), 1024)
+	r, _ := NewReceiver(m, key())
+	for i := 0; i < 3; i++ {
+		if err := r.Accept(0, chunks[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(r.Missing()) != len(chunks)-1 {
+		t.Fatal("duplicate delivery corrupted progress tracking")
+	}
+}
+
+func TestForgedManifestRejected(t *testing.T) {
+	m, _, _ := Pack("x", payload(4096), key(), 1024)
+	m.Leaves[0][0] ^= 1 // leaves no longer match root
+	if _, err := NewReceiver(m, key()); !errors.Is(err, ErrManifest) {
+		t.Fatalf("err = %v, want ErrManifest", err)
+	}
+}
+
+func TestWrongKeyFailsAtAssemble(t *testing.T) {
+	m, chunks, _ := Pack("x", payload(2048), key(), 1024)
+	var wrong cryptbox.Key
+	wrong[0] = 0xDD
+	r, err := NewReceiver(m, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range chunks {
+		if err := r.Accept(i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Assemble(); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("err = %v, want ErrBadChunk", err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	m, chunks, err := Pack("empty", nil, key(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReceiver(m, key())
+	for i, c := range chunks {
+		if err := r.Accept(i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := r.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty payload assembled to %d bytes", len(got))
+	}
+}
+
+func TestMerkleRootProperties(t *testing.T) {
+	mk := func(vals ...byte) []cryptbox.Digest {
+		var out []cryptbox.Digest
+		for _, v := range vals {
+			out = append(out, cryptbox.Sum([]byte{v}))
+		}
+		return out
+	}
+	if MerkleRoot(mk(1, 2)) == MerkleRoot(mk(2, 1)) {
+		t.Fatal("root ignores leaf order")
+	}
+	if MerkleRoot(mk(1, 2, 3)) == MerkleRoot(mk(1, 2)) {
+		t.Fatal("root ignores extra leaf")
+	}
+	if MerkleRoot(mk(1)) != MerkleRoot(mk(1)) {
+		t.Fatal("root not deterministic")
+	}
+	if MerkleRoot(nil) == (cryptbox.Digest{}) {
+		t.Fatal("empty root is zero digest")
+	}
+}
+
+func TestPropMerkleProofs(t *testing.T) {
+	f := func(seed int64, nLeaves uint8) bool {
+		n := int(nLeaves%31) + 1
+		rng := sim.NewRand(seed)
+		leaves := make([]cryptbox.Digest, n)
+		for i := range leaves {
+			var b [8]byte
+			rng.Read(b[:])
+			leaves[i] = cryptbox.Sum(b[:])
+		}
+		root := MerkleRoot(leaves)
+		for idx := 0; idx < n; idx++ {
+			proof := Proof(leaves, idx)
+			if !VerifyProof(leaves[idx], proof, root) {
+				return false
+			}
+			// A different leaf must not verify with this proof.
+			var other cryptbox.Digest
+			other[0] = ^leaves[idx][0]
+			if VerifyProof(other, proof, root) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPackAssembleRoundTrip(t *testing.T) {
+	f := func(data []byte, chunkPow uint8) bool {
+		cs := 64 << (chunkPow % 6) // 64..2048
+		m, chunks, err := Pack("p", data, key(), cs)
+		if err != nil {
+			return false
+		}
+		r, err := NewReceiver(m, key())
+		if err != nil {
+			return false
+		}
+		for i, c := range chunks {
+			if err := r.Accept(i, c); err != nil {
+				return false
+			}
+		}
+		got, err := r.Assemble()
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,9 @@
 // Benchmarks regenerating every quantitative statement of the SecureCloud
 // paper (DATE '17). Each benchmark reports the simulated-cycle metrics the
-// corresponding figure/claim is about; wall-clock ns/op is the simulator's
-// own speed and not meaningful for the reproduction.
+// corresponding figure/claim is about. Wall-clock ns/op measures the
+// simulator itself — with the batched accounting fast path (see the "cost
+// model & performance" section in doc.go) it is tracked per PR by
+// scripts/bench_smoke.sh as the simulator-speed trajectory.
 //
 // Full-fidelity sweeps (all nine x-axis points of Figure 3, full ops) run
 // via the cmd/ tools; the benchmarks use reduced but shape-preserving

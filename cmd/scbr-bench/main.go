@@ -9,11 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"securecloud/internal/enclave"
 	"securecloud/internal/scbr"
@@ -28,6 +30,7 @@ func main() {
 	faultCost := flag.Uint64("faultcost", 0,
 		"override the EPC page-fault cost in cycles (0 = model default; published\n"+
 			"measurements span ~40k-200k cycles; ~200k reproduces the paper's 18x)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON (points + wall-clock) instead of the table")
 	flag.Parse()
 
 	cfg := scbr.DefaultFigure3Config()
@@ -49,15 +52,36 @@ func main() {
 		platform.Cost.EPCFault = sim.Cycles(*faultCost)
 		cfg.Platform = platform
 	}
-	fmt.Printf("platform: EPC %d MiB (%d MiB usable), LLC %d MiB, EPC fault %d cycles\n",
-		platform.EPCBytes>>20,
-		(platform.EPCBytes-platform.EPCReservedBytes)>>20,
-		platform.LLCBytes>>20, platform.Cost.EPCFault)
+	if !*jsonOut {
+		fmt.Printf("platform: EPC %d MiB (%d MiB usable), LLC %d MiB, EPC fault %d cycles\n",
+			platform.EPCBytes>>20,
+			(platform.EPCBytes-platform.EPCReservedBytes)>>20,
+			platform.LLCBytes>>20, platform.Cost.EPCFault)
+	}
 
+	start := time.Now()
 	results, err := scbr.RunFigure3(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scbr-bench: %v\n", err)
 		os.Exit(1)
 	}
+	elapsed := time.Since(start)
+	if *jsonOut {
+		out := struct {
+			WallClockSeconds float64             `json:"wall_clock_seconds"`
+			MeasureOps       int                 `json:"measure_ops"`
+			PayloadBytes     int                 `json:"payload_bytes"`
+			Seed             int64               `json:"seed"`
+			Points           []scbr.Figure3Point `json:"points"`
+		}{elapsed.Seconds(), cfg.MeasureOps, cfg.PayloadBytes, cfg.Seed, results}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "scbr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	scbr.WriteFigure3(os.Stdout, results)
+	fmt.Printf("# sweep wall clock: %.2fs\n", elapsed.Seconds())
 }

@@ -23,4 +23,47 @@
 //
 // The benchmarks in bench_test.go regenerate every quantitative statement
 // of the paper; see EXPERIMENTS.md for paper-vs-measured results.
+//
+// # Cost model & performance
+//
+// All simulated costs flow through one hot path: enclave.Memory.Access
+// walks the cache lines of an access, consulting the shared LLC and EPC
+// models, and charges cycles into a sim.Counter ledger while advancing the
+// platform's sim.Clock. That path is engineered so the simulator's own
+// overhead stays far below the costs it models:
+//
+//   - Typed causes. Accounting categories ("llc-hit", "epc-fault", ...)
+//     are interned once as sim.Cause values — small integers indexing a
+//     fixed-size array ledger in sim.Counter. Charging is an array add; no
+//     string hashing or map insertion happens per event. The string-keyed
+//     Charge/Cost/Events/Snapshot API remains as a compatibility shim.
+//
+//   - Batched commits. Access accumulates per-cause event counts in stack
+//     locals while it walks lines, then commits once: one ledger charge,
+//     one fault-counter update and one atomic clock advance per call,
+//     instead of three lock acquisitions per 64-byte line. Because every
+//     per-event cost is a fixed platform constant, the batched totals are
+//     bit-identical to per-line charging — golden tests in internal/enclave
+//     and internal/scbr pin this equivalence exactly.
+//
+//   - Bulk access APIs. AccessRange (contiguous), AccessN (scattered, e.g.
+//     every record of a bucket) and AccessStride (page warm-up loops) let
+//     data structures charge a whole node, payload or batch under a single
+//     platform-lock acquisition and a single commit. The SCBR index,
+//     kvstore, fsshield and eventbus layers all charge through these.
+//
+//   - An O(ways) LLC. The set-associative cache keeps flat tag/last-use
+//     arrays; a hit updates one stamp instead of memmoving the set into
+//     recency order, and eviction picks the minimum stamp — exactly
+//     classic LRU, so hit/miss sequences are unchanged.
+//
+// The sim.Clock advance is a single atomic add, so concurrent Memory views
+// on one platform never serialize on time-keeping. Fault counters and the
+// ledger reset together under the platform mutex (Memory.ResetAccounting),
+// so harnesses never observe a half-reset view.
+//
+// A practical consequence: wall-clock ns/op in the benchmarks is now a
+// meaningful signal of simulator speed itself (the modeled costs are the
+// sim-cycle metrics). scripts/bench_smoke.sh records both in BENCH_*.json
+// to track the simulator-performance trajectory across PRs.
 package securecloud

@@ -1,0 +1,3 @@
+module securecloud
+
+go 1.24.0

@@ -1,5 +1,7 @@
 package enclave
 
+import "math/bits"
+
 // llc is a set-associative last-level-cache simulator with LRU replacement
 // within each set. It tracks which cache lines are present so the memory
 // model can decide whether an access is served by the cache (same cost in
@@ -9,79 +11,286 @@ package enclave
 // The simulator is shared between the trusted and untrusted views of one
 // platform, mirroring hardware: enclave and normal lines compete for the
 // same physical cache.
+//
+// Layout: one flat array of per-way records (tag, last-use stamp, insert
+// epoch) indexed by set*assoc+way, so probing a set walks a single
+// contiguous block of host memory. The hit path is a single-compare scan
+// plus one page-epoch check; a hit updates one stamp (no memmove into
+// recency order). Eviction picks the way with the minimum stamp — exactly
+// classic LRU.
+//
+// Invalidation is lazy: invalidateRange bumps a per-page epoch instead of
+// scanning sets for every tag in the range. A way whose recorded epoch no
+// longer matches its page's current epoch is dead — it never hits, and the
+// victim scan treats it like an empty way (stamp 0). Dead ways are
+// observationally identical to eagerly-cleared ways, so hit/miss and
+// eviction sequences — and with them all simulated cycle counts — are
+// unchanged; but flushing an EPC page costs one counter bump instead of a
+// scan of a page's worth of sets.
 type llc struct {
 	lineSize uint64
+	pageSize uint64
 	numSets  uint64
-	ways     int
-	// sets[s] is an LRU-ordered slice of line tags, most recent last.
-	sets [][]uint64
+	// setMask is numSets-1 when numSets is a power of two (every realistic
+	// geometry), letting the set lookup use a mask instead of a modulo;
+	// otherwise ^0 as a sentinel for the slow path.
+	setMask uint64
+	// lppShift is log2(PageSize/LineSize) when that ratio is a power of
+	// two, so a way's page derives from its tag by one shift; -1 selects
+	// the general multiply/divide path.
+	lppShift int8
+	assoc    int
+	ways     []llcWay
+	// hints[s] is the way of set s that hit or filled most recently.
+	// Probing it first turns the common re-touch of a hot line into a
+	// single compare; it is only a scan-order shortcut for the equality
+	// search, so LRU state evolves identically with or without it.
+	hints []uint8
+	tick  uint64
+
+	// Per-page invalidation epochs, two-level like the EPC residency
+	// index: dense array for pages at or above enclaveRangeBase, map for
+	// the rare low (untrusted-range) pages.
+	epochBase  uint64
+	pageEpochs []uint32
+	lowEpochs  map[uint64]uint32
 }
 
-func newLLC(totalBytes, lineSize uint64, ways int) *llc {
+// llcWay is the metadata of one cache way, packed to 16 bytes so one
+// 16-way set spans four host cache lines: the tag, and a second word
+// holding the last-use stamp (high 40 bits) next to the insert-time page
+// epoch (low 24 bits).
+type llcWay struct {
+	tag uint64
+	se  uint64 // stamp<<epochBits | (epoch & epochMask); stamp 0 = empty
+}
+
+const (
+	epochBits = 24
+	epochMask = (1 << epochBits) - 1
+	// maxStamp bounds the use-time counter; reaching it triggers a
+	// renormalization that compresses every set's stamps to their ranks
+	// (order-preserving, so LRU behaviour is unchanged). A 40-bit stamp
+	// lasts ~10^12 accesses between renormalizations.
+	maxStamp = (uint64(1) << 40) - 1
+)
+
+// emptyTag marks a free way. Real tags are addr/lineSize and cannot reach
+// it (that would need an address in the top line of the address space).
+const emptyTag = ^uint64(0)
+
+func newLLC(totalBytes, lineSize, pageSize uint64, assoc int) *llc {
 	if lineSize == 0 {
 		lineSize = 64
 	}
-	if ways <= 0 {
-		ways = 16
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+	if assoc <= 0 {
+		assoc = 16
 	}
 	numLines := totalBytes / lineSize
-	numSets := numLines / uint64(ways)
+	numSets := numLines / uint64(assoc)
 	if numSets == 0 {
 		numSets = 1
 	}
-	return &llc{
-		lineSize: lineSize,
-		numSets:  numSets,
-		ways:     ways,
-		sets:     make([][]uint64, numSets),
+	ways := make([]llcWay, numSets*uint64(assoc))
+	for i := range ways {
+		ways[i].tag = emptyTag
 	}
+	setMask := ^uint64(0)
+	if numSets&(numSets-1) == 0 {
+		setMask = numSets - 1
+	}
+	lppShift := int8(-1)
+	if pageSize%lineSize == 0 {
+		if lpp := pageSize / lineSize; lpp&(lpp-1) == 0 {
+			lppShift = int8(bits.TrailingZeros64(lpp))
+		}
+	}
+	return &llc{
+		lineSize:  lineSize,
+		pageSize:  pageSize,
+		numSets:   numSets,
+		setMask:   setMask,
+		lppShift:  lppShift,
+		assoc:     assoc,
+		ways:      ways,
+		hints:     make([]uint8, numSets),
+		epochBase: enclaveRangeBase / pageSize,
+	}
+}
+
+// pageEpoch returns the current invalidation epoch of page.
+func (c *llc) pageEpoch(page uint64) uint32 {
+	if page >= c.epochBase {
+		off := page - c.epochBase
+		if off < uint64(len(c.pageEpochs)) {
+			return c.pageEpochs[off]
+		}
+		return 0
+	}
+	return c.lowEpochs[page]
+}
+
+// tagPage returns the page of a way's line, derived from its tag.
+func (c *llc) tagPage(tag uint64) uint64 {
+	if c.lppShift >= 0 {
+		return tag >> uint8(c.lppShift)
+	}
+	return tag * c.lineSize / c.pageSize
 }
 
 // access touches the line containing addr and reports whether it hit.
 func (c *llc) access(addr uint64) bool {
-	tag := addr / c.lineSize
-	s := tag % c.numSets
-	set := c.sets[s]
-	for i, t := range set {
-		if t == tag {
-			// Move to MRU position.
-			copy(set[i:], set[i+1:])
-			set[len(set)-1] = tag
+	return c.accessTag(addr/c.lineSize, addr/c.pageSize)
+}
+
+// accessTag is the hot-path form of access: the caller already knows the
+// line tag and the page, so no divisions are repeated here.
+func (c *llc) accessTag(tag, page uint64) bool {
+	pe := uint64(c.pageEpoch(page)) & epochMask
+	s := tag & c.setMask
+	if c.setMask == ^uint64(0) {
+		s = tag % c.numSets
+	}
+	base := int(s) * c.assoc
+	set := c.ways[base : base+c.assoc]
+	if c.tick >= maxStamp-1 {
+		c.renormalizeStamps()
+	}
+	c.tick++
+	se := c.tick<<epochBits | pe
+	if h := c.hints[s]; int(h) < len(set) {
+		if w := &set[h]; w.tag == tag && w.se&epochMask == pe {
+			w.se = se
 			return true
 		}
 	}
-	if len(set) < c.ways {
-		c.sets[s] = append(set, tag)
-		return false
+	for i := range set {
+		if set[i].tag == tag {
+			if set[i].se&epochMask != pe {
+				continue // dead way: invalidated since insert
+			}
+			set[i].se = se
+			c.hints[s] = uint8(i)
+			return true
+		}
 	}
-	// Evict LRU (front), insert at MRU (back).
-	copy(set, set[1:])
-	set[len(set)-1] = tag
+	// Miss: evict the LRU way. Empty and dead ways count as stamp 0 and
+	// are chosen before any live line.
+	victim := 0
+	min := ^uint64(0)
+	for i := range set {
+		st := set[i].se >> epochBits
+		if st != 0 && set[i].se&epochMask != uint64(c.pageEpoch(c.tagPage(set[i].tag)))&epochMask {
+			st = 0 // dead way: as good as empty
+		}
+		if st < min {
+			min, victim = st, i
+			if st == 0 {
+				break // nothing beats an empty way, and ties pick the first
+			}
+		}
+	}
+	set[victim] = llcWay{tag: tag, se: se}
+	c.hints[s] = uint8(victim)
 	return false
 }
 
-// invalidateRange drops all lines overlapping [addr, addr+size). Used when
-// EPC pages are evicted: their cached lines are flushed and re-encrypted.
-func (c *llc) invalidateRange(addr, size uint64) {
-	first := addr / c.lineSize
-	last := (addr + size - 1) / c.lineSize
-	for tag := first; tag <= last; tag++ {
-		s := tag % c.numSets
-		set := c.sets[s]
-		for i, t := range set {
-			if t == tag {
-				c.sets[s] = append(set[:i], set[i+1:]...)
-				break
+// renormalizeStamps compresses every set's stamps to their within-set rank
+// (1..assoc), preserving relative order — and therefore LRU behaviour —
+// exactly, then rewinds the tick. Runs once per ~10^12 accesses.
+func (c *llc) renormalizeStamps() {
+	orig := make([]uint64, c.assoc)
+	for base := 0; base < len(c.ways); base += c.assoc {
+		set := c.ways[base : base+c.assoc]
+		for i := range set {
+			orig[i] = set[i].se >> epochBits
+		}
+		// Rank assignment: a live way's new stamp is 1 + the number of
+		// live ways in its set with a strictly smaller original stamp.
+		for i := range set {
+			if orig[i] == 0 {
+				continue
 			}
+			rank := uint64(1)
+			for j := range orig {
+				if orig[j] != 0 && orig[j] < orig[i] {
+					rank++
+				}
+			}
+			set[i].se = rank<<epochBits | set[i].se&epochMask
+		}
+	}
+	c.tick = uint64(c.assoc)
+}
+
+// invalidateRange drops all cached lines of the pages overlapping
+// [addr, addr+size). Invalidation is page-granular, mirroring EWB: SGX
+// evicts and re-encrypts whole EPC pages, and the only caller flushes
+// exactly one evicted page. Lazy: bumps the epoch of every page in the
+// range; resident lines of those pages become dead in place.
+func (c *llc) invalidateRange(addr, size uint64) {
+	first := addr / c.pageSize
+	last := (addr + size - 1) / c.pageSize
+	for p := first; p <= last; p++ {
+		c.invalidatePage(p)
+	}
+}
+
+// invalidatePage flushes all cached lines of one page: a single epoch bump.
+// Ways store epochs truncated to epochBits, so just before a page's epoch
+// would wrap back into an in-use value its stale ways are cleared eagerly
+// and its epoch rewinds to zero — dead lines can never resurrect.
+func (c *llc) invalidatePage(page uint64) {
+	if page >= c.epochBase {
+		off := page - c.epochBase
+		if off >= uint64(len(c.pageEpochs)) {
+			grown := make([]uint32, off+1+1024)
+			copy(grown, c.pageEpochs)
+			c.pageEpochs = grown
+		}
+		if c.pageEpochs[off] >= epochMask-1 {
+			c.purgePage(page)
+			c.pageEpochs[off] = 0
+			return
+		}
+		c.pageEpochs[off]++
+		return
+	}
+	if c.lowEpochs == nil {
+		c.lowEpochs = make(map[uint64]uint32)
+	}
+	if c.lowEpochs[page] >= epochMask-1 {
+		c.purgePage(page)
+		c.lowEpochs[page] = 0
+		return
+	}
+	c.lowEpochs[page]++
+}
+
+// purgePage eagerly empties every way holding a line of page. Runs once per
+// ~16.7M invalidations of one page, keeping the lazy epoch scheme exact
+// across epoch wrap-around.
+func (c *llc) purgePage(page uint64) {
+	for i := range c.ways {
+		if w := &c.ways[i]; w.tag != emptyTag && c.tagPage(w.tag) == page {
+			w.tag = emptyTag
+			w.se = 0
 		}
 	}
 }
 
-// lines returns the number of resident lines (test hook).
+// lines returns the number of live resident lines (test hook).
 func (c *llc) lines() int {
 	n := 0
-	for _, s := range c.sets {
-		n += len(s)
+	for i := range c.ways {
+		w := &c.ways[i]
+		if w.tag != emptyTag && w.se>>epochBits != 0 &&
+			w.se&epochMask == uint64(c.pageEpoch(c.tagPage(w.tag)))&epochMask {
+			n++
+		}
 	}
 	return n
 }

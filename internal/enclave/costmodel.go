@@ -69,7 +69,7 @@ func DefaultCostModel() CostModel {
 }
 
 // Cause labels used in the cycle ledger. Exposed so harnesses can report a
-// cost breakdown per cause.
+// cost breakdown per cause (the string keys of Memory.Breakdown).
 const (
 	CauseLLCHit     = "llc-hit"
 	CauseDRAM       = "dram"
@@ -78,4 +78,17 @@ const (
 	CauseMinorFault = "minor-fault"
 	CauseTransition = "transition"
 	CauseAEX        = "aex"
+)
+
+// Typed causes: interned once at package init so the accounting hot path
+// charges by array index instead of hashing a string per cache line.
+var (
+	causeLLCHit     = sim.RegisterCause(CauseLLCHit)
+	causeDRAM       = sim.RegisterCause(CauseDRAM)
+	causeMEE        = sim.RegisterCause(CauseMEE)
+	causeEPCFault   = sim.RegisterCause(CauseEPCFault)
+	causeMinorFault = sim.RegisterCause(CauseMinorFault)
+	causeTransition = sim.RegisterCause(CauseTransition)
+	causeAEX        = sim.RegisterCause(CauseAEX)
+	causeCPU        = sim.RegisterCause(CauseCPU)
 )

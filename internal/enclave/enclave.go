@@ -204,7 +204,7 @@ func (e *Enclave) EEnter() error {
 	e.p.mu.Lock()
 	e.depth++
 	e.p.mu.Unlock()
-	e.mem.charge(CauseTransition, e.p.cfg.Cost.Transition)
+	e.mem.charge(causeTransition, e.p.cfg.Cost.Transition)
 	return nil
 }
 
@@ -231,7 +231,7 @@ func (e *Enclave) Entered() bool {
 // syscall from enclave code. SCONE's asynchronous syscall interface exists
 // precisely to avoid this cost.
 func (e *Enclave) OCall() {
-	e.mem.charge(CauseTransition, e.p.cfg.Cost.Transition)
+	e.mem.charge(causeTransition, e.p.cfg.Cost.Transition)
 }
 
 // Interrupt simulates an asynchronous enclave exit (AEX) plus ERESUME, as
@@ -240,7 +240,7 @@ func (e *Enclave) Interrupt() {
 	e.p.mu.Lock()
 	e.aex++
 	e.p.mu.Unlock()
-	e.mem.charge(CauseAEX, e.p.cfg.Cost.AEX)
+	e.mem.charge(causeAEX, e.p.cfg.Cost.AEX)
 }
 
 // AEXCount returns the number of asynchronous exits so far (interrupts and

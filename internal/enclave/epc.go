@@ -9,23 +9,40 @@ package enclave
 //
 // Replacement is CLOCK (second chance), approximating the Linux SGX
 // driver's reclaim behaviour.
+//
+// Residency is tracked two-level: ELRANGEs are allocated contiguously
+// upward from enclaveRangeBase, so pages in the enclave range live in a
+// dense page-offset array (one array load on the touch fast path). Pages
+// below the range — untrusted addresses routed through an enclave view,
+// e.g. the shield's shared-memory syscall queue — fall back to a small map.
 type epc struct {
 	pageSize uint64
 	capacity int // usable pages
 
-	// resident maps page number -> index in the clock ring.
-	resident map[uint64]int
-	ring     []epcSlot
+	// basePage is enclaveRangeBase/pageSize: the origin of index.
+	basePage uint64
+	// index maps page-basePage -> ring slot (or -1) for enclave-range
+	// pages. It grows on demand with the highest page touched.
+	index []int32
+	// low tracks pages below basePage (rare; untrusted regions accessed
+	// through an enclave view).
+	low      map[uint64]int32
+	resident int
+	// lastPage/lastIdx memoize the most recent resident hit so repeated
+	// touches of one page (consecutive probes of the same node) skip the
+	// index lookup. lastIdx is -1 when invalid.
+	lastPage uint64
+	lastIdx  int32
+	// The CLOCK ring, split into parallel arrays: refd is the hot byte the
+	// touch fast path sets (kept dense so it stays cache-resident), pages
+	// and occupied are only read when the hand sweeps.
+	pages    []uint64
+	refd     []bool
+	occupied []bool
 	hand     int
 
 	evictions uint64
 	loads     uint64
-}
-
-type epcSlot struct {
-	page     uint64
-	refd     bool
-	occupied bool
 }
 
 func newEPC(totalBytes, reservedBytes, pageSize uint64) *epc {
@@ -40,9 +57,60 @@ func newEPC(totalBytes, reservedBytes, pageSize uint64) *epc {
 	return &epc{
 		pageSize: pageSize,
 		capacity: cap,
-		resident: make(map[uint64]int, cap),
-		ring:     make([]epcSlot, cap),
+		basePage: enclaveRangeBase / pageSize,
+		pages:    make([]uint64, cap),
+		refd:     make([]bool, cap),
+		occupied: make([]bool, cap),
+		lastIdx:  -1,
 	}
+}
+
+// lookup returns the ring slot of page, or -1 when not resident.
+func (e *epc) lookup(page uint64) int32 {
+	if page >= e.basePage {
+		off := page - e.basePage
+		if off >= uint64(len(e.index)) {
+			return -1
+		}
+		return e.index[off]
+	}
+	if idx, ok := e.low[page]; ok {
+		return idx
+	}
+	return -1
+}
+
+// set records page as resident in ring slot idx.
+func (e *epc) set(page uint64, idx int32) {
+	if page >= e.basePage {
+		off := page - e.basePage
+		if off >= uint64(len(e.index)) {
+			grown := make([]int32, off+1+1024)
+			for i := len(e.index); i < len(grown); i++ {
+				grown[i] = -1
+			}
+			copy(grown, e.index)
+			e.index = grown
+		}
+		e.index[off] = idx
+		return
+	}
+	if e.low == nil {
+		e.low = make(map[uint64]int32)
+	}
+	e.low[page] = idx
+}
+
+// clear removes page from the residency index.
+func (e *epc) clear(page uint64) {
+	if page >= e.basePage {
+		off := page - e.basePage
+		if off < uint64(len(e.index)) {
+			e.index[off] = -1
+		}
+		return
+	}
+	delete(e.low, page)
 }
 
 // touch ensures the page containing addr is EPC-resident. It returns
@@ -50,33 +118,46 @@ func newEPC(totalBytes, reservedBytes, pageSize uint64) *epc {
 // be loaded (an EPC page fault in SGX terms), and evictedPage identifies a
 // victim page written back to untrusted memory, if any.
 func (e *epc) touch(addr uint64) (faulted bool, evicted uint64, evictedValid bool) {
-	page := addr / e.pageSize
-	if idx, ok := e.resident[page]; ok {
-		e.ring[idx].refd = true
+	return e.touchPage(addr / e.pageSize)
+}
+
+// touchPage is the hot-path form of touch for callers that already know
+// the page number.
+func (e *epc) touchPage(page uint64) (faulted bool, evicted uint64, evictedValid bool) {
+	if e.lastIdx >= 0 && page == e.lastPage {
+		e.refd[e.lastIdx] = true
+		return false, 0, false
+	}
+	if idx := e.lookup(page); idx >= 0 {
+		e.refd[idx] = true
+		e.lastPage, e.lastIdx = page, idx
 		return false, 0, false
 	}
 	e.loads++
 	// Find a free or victim slot with CLOCK.
 	for {
-		slot := &e.ring[e.hand]
-		if !slot.occupied {
-			slot.page, slot.refd, slot.occupied = page, true, true
-			e.resident[page] = e.hand
-			e.hand = (e.hand + 1) % e.capacity
+		h := e.hand
+		if !e.occupied[h] {
+			e.pages[h], e.refd[h], e.occupied[h] = page, true, true
+			e.set(page, int32(h))
+			e.lastPage, e.lastIdx = page, int32(h)
+			e.resident++
+			e.hand = (h + 1) % e.capacity
 			return true, 0, false
 		}
-		if slot.refd {
-			slot.refd = false
-			e.hand = (e.hand + 1) % e.capacity
+		if e.refd[h] {
+			e.refd[h] = false
+			e.hand = (h + 1) % e.capacity
 			continue
 		}
 		// Evict this page.
-		evicted, evictedValid = slot.page, true
-		delete(e.resident, slot.page)
+		evicted, evictedValid = e.pages[h], true
+		e.clear(evicted)
 		e.evictions++
-		slot.page, slot.refd = page, true
-		e.resident[page] = e.hand
-		e.hand = (e.hand + 1) % e.capacity
+		e.pages[h], e.refd[h] = page, true
+		e.set(page, int32(h))
+		e.lastPage, e.lastIdx = page, int32(h)
+		e.hand = (h + 1) % e.capacity
 		return true, evicted, evictedValid
 	}
 }
@@ -87,12 +168,14 @@ func (e *epc) release(base, size uint64) {
 	first := base / e.pageSize
 	last := (base + size - 1) / e.pageSize
 	for p := first; p <= last; p++ {
-		if idx, ok := e.resident[p]; ok {
-			e.ring[idx] = epcSlot{}
-			delete(e.resident, p)
+		if idx := e.lookup(p); idx >= 0 {
+			e.pages[idx], e.refd[idx], e.occupied[idx] = 0, false, false
+			e.clear(p)
+			e.resident--
 		}
 	}
+	e.lastIdx = -1
 }
 
 // residentPages returns how many pages are currently resident.
-func (e *epc) residentPages() int { return len(e.resident) }
+func (e *epc) residentPages() int { return e.resident }

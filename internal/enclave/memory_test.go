@@ -133,9 +133,9 @@ func TestAccessSpansMultipleLines(t *testing.T) {
 	m := p.UntrustedMemory()
 	base := p.AllocUntrusted(4096)
 	m.Access(base, 8, false)
-	one := m.ledger.Events(CauseDRAM) + m.ledger.Events(CauseLLCHit)
+	one := m.Events(CauseDRAM) + m.Events(CauseLLCHit)
 	m.Access(base+1024, 256, false) // 4 lines
-	total := m.ledger.Events(CauseDRAM) + m.ledger.Events(CauseLLCHit)
+	total := m.Events(CauseDRAM) + m.Events(CauseLLCHit)
 	if total-one != 4 {
 		t.Fatalf("256-byte access touched %d lines, want 4", total-one)
 	}
@@ -203,7 +203,7 @@ func TestEnclavesCompeteForEPC(t *testing.T) {
 }
 
 func TestLLCSimBasics(t *testing.T) {
-	c := newLLC(1024, 64, 2) // 16 lines, 8 sets, 2-way
+	c := newLLC(1024, 64, 4096, 2) // 16 lines, 8 sets, 2-way
 	if c.access(0) {
 		t.Fatal("cold access hit")
 	}
@@ -219,14 +219,43 @@ func TestLLCSimBasics(t *testing.T) {
 }
 
 func TestLLCInvalidateRange(t *testing.T) {
-	c := newLLC(4096, 64, 4)
-	c.access(0)
-	c.access(64)
-	c.access(128)
+	c := newLLC(4096, 64, 4096, 4)
+	c.access(0)    // page 0
+	c.access(64)   // page 0
+	c.access(4096) // page 1
 	n := c.lines()
-	c.invalidateRange(0, 128) // drops lines at 0 and 64
+	c.invalidateRange(0, 4096) // flushes page 0: drops lines at 0 and 64
 	if got := c.lines(); got != n-2 {
 		t.Fatalf("lines after invalidate = %d, want %d", got, n-2)
+	}
+	if c.access(0) {
+		t.Fatal("invalidated line still hit")
+	}
+	if !c.access(4096) {
+		t.Fatal("line on untouched page was dropped")
+	}
+}
+
+func TestLLCStampRenormalizationPreservesLRU(t *testing.T) {
+	c := newLLC(4096, 64, 4096, 4) // 16 sets, 4-way
+	// Fill one set in a known recency order: strides of numSets*lineSize
+	// land in the same set.
+	const stride = 16 * 64
+	for i := uint64(0); i < 4; i++ {
+		c.access(i * stride) // LRU order after fills: 0,1,2,3 (0 oldest)
+	}
+	c.access(1 * stride) // now 0 is oldest, then 2, 3, 1
+	c.renormalizeStamps()
+	if c.tick != 4 {
+		t.Fatalf("tick after renormalization = %d, want assoc (4)", c.tick)
+	}
+	// A fifth line must evict the LRU, which is line 0.
+	c.access(4 * stride)
+	if !c.access(2*stride) || !c.access(3*stride) || !c.access(1*stride) {
+		t.Fatal("non-LRU line was evicted after stamp renormalization")
+	}
+	if c.access(0) {
+		t.Fatal("LRU line survived eviction after stamp renormalization")
 	}
 }
 

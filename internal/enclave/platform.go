@@ -49,6 +49,10 @@ func DefaultConfig() Config {
 type Platform struct {
 	cfg   Config
 	clock *sim.Clock
+	// linesPerPage is PageSize/LineSize when PageSize divides evenly (every
+	// realistic geometry), letting the access walk derive page boundaries
+	// by multiplication; 0 selects the general division path.
+	linesPerPage uint64
 
 	mu       sync.Mutex
 	cache    *llc
@@ -98,16 +102,21 @@ func NewPlatform(cfg Config) *Platform {
 	if err != nil {
 		panic(fmt.Sprintf("enclave: report key: %v", err))
 	}
+	var linesPerPage uint64
+	if cfg.LineSize > 0 && cfg.PageSize%cfg.LineSize == 0 {
+		linesPerPage = cfg.PageSize / cfg.LineSize
+	}
 	return &Platform{
-		cfg:       cfg,
-		clock:     sim.NewClock(),
-		cache:     newLLC(cfg.LLCBytes, cfg.LineSize, cfg.LLCWays),
-		pager:     newEPC(cfg.EPCBytes, cfg.EPCReservedBytes, cfg.PageSize),
-		nextBase:  enclaveRangeBase,
-		untrBump:  1 << 20,
-		enclaves:  make(map[uint64]*Enclave),
-		deviceKey: deviceKey,
-		reportKey: reportKey,
+		cfg:          cfg,
+		clock:        sim.NewClock(),
+		linesPerPage: linesPerPage,
+		cache:        newLLC(cfg.LLCBytes, cfg.LineSize, cfg.PageSize, cfg.LLCWays),
+		pager:        newEPC(cfg.EPCBytes, cfg.EPCReservedBytes, cfg.PageSize),
+		nextBase:     enclaveRangeBase,
+		untrBump:     1 << 20,
+		enclaves:     make(map[uint64]*Enclave),
+		deviceKey:    deviceKey,
+		reportKey:    reportKey,
 	}
 }
 

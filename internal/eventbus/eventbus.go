@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
 )
 
 // Message is one sealed bus message. Topic and sequence number are visible
@@ -181,20 +182,67 @@ func TopicKey(appRoot cryptbox.Key, topic string) (cryptbox.Key, error) {
 	return cryptbox.DeriveKey(appRoot, "topic:"+topic)
 }
 
+// stageBytes is the size of the simulated staging window through which an
+// accounted endpoint copies sealed messages to or from the untrusted bus.
+const stageBytes = 64 << 10
+
+// Accounting wires a bus endpoint to the simulated SGX memory hierarchy:
+// the enclave-side copy of every sealed message (out on publish, in on
+// receive) is charged through the endpoint's Memory view. A zero Accounting
+// leaves the endpoint unaccounted.
+type Accounting = enclave.Accounting
+
+// acctStage is the per-endpoint staging window in simulated memory.
+type acctStage struct {
+	mem  *enclave.Memory
+	addr uint64
+}
+
+func newAcctStage(acct Accounting) *acctStage {
+	if !acct.Enabled() {
+		return nil
+	}
+	return &acctStage{mem: acct.Mem, addr: acct.Arena.Alloc(stageBytes)}
+}
+
+// chargeCopy charges a copy of total bytes through the staging window as a
+// handful of bulk accesses (one commit per window-full) instead of one
+// access per message.
+func (st *acctStage) chargeCopy(total int, write bool) {
+	if st == nil || total <= 0 {
+		return
+	}
+	for total > 0 {
+		n := total
+		if n > stageBytes {
+			n = stageBytes
+		}
+		st.mem.AccessRange(st.addr, n, write)
+		total -= n
+	}
+}
+
 // Publisher seals messages onto one topic.
 type Publisher struct {
 	bus   *Bus
 	topic string
 	box   *cryptbox.Box
+	stage *acctStage
 }
 
 // NewPublisher builds a publisher for topic with its topic key.
 func NewPublisher(bus *Bus, topic string, key cryptbox.Key) (*Publisher, error) {
+	return NewPublisherAccounted(bus, topic, key, Accounting{})
+}
+
+// NewPublisherAccounted builds a publisher whose outbound copies are
+// charged to the given simulated memory view.
+func NewPublisherAccounted(bus *Bus, topic string, key cryptbox.Key, acct Accounting) (*Publisher, error) {
 	box, err := cryptbox.NewBox(key)
 	if err != nil {
 		return nil, err
 	}
-	return &Publisher{bus: bus, topic: topic, box: box}, nil
+	return &Publisher{bus: bus, topic: topic, box: box, stage: newAcctStage(acct)}, nil
 }
 
 // Publish seals body and hands it to the bus, returning its sequence
@@ -205,6 +253,7 @@ func (p *Publisher) Publish(body []byte) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	p.stage.chargeCopy(len(sealed), true)
 	return p.bus.publish(p.topic, sealed)
 }
 
@@ -215,10 +264,18 @@ type Subscriber struct {
 	box     *cryptbox.Box
 	handle  int
 	lastSeq uint64
+	stage   *acctStage
 }
 
 // NewSubscriber registers a subscription on topic with its topic key.
 func NewSubscriber(bus *Bus, topic string, key cryptbox.Key) (*Subscriber, error) {
+	return NewSubscriberAccounted(bus, topic, key, Accounting{})
+}
+
+// NewSubscriberAccounted registers a subscription whose inbound copies are
+// charged to the given simulated memory view. The whole drained batch is
+// charged as bulk accesses through one staging window, not per message.
+func NewSubscriberAccounted(bus *Bus, topic string, key cryptbox.Key, acct Accounting) (*Subscriber, error) {
 	box, err := cryptbox.NewBox(key)
 	if err != nil {
 		return nil, err
@@ -227,7 +284,7 @@ func NewSubscriber(bus *Bus, topic string, key cryptbox.Key) (*Subscriber, error
 	if err != nil {
 		return nil, err
 	}
-	return &Subscriber{bus: bus, topic: topic, box: box, handle: h}, nil
+	return &Subscriber{bus: bus, topic: topic, box: box, handle: h, stage: newAcctStage(acct)}, nil
 }
 
 // Receive drains, authenticates and decrypts pending messages. It fails on
@@ -235,6 +292,13 @@ func NewSubscriber(bus *Bus, topic string, key cryptbox.Key) (*Subscriber, error
 // reordering traffic).
 func (s *Subscriber) Receive() ([][]byte, error) {
 	msgs := s.bus.drain(s.topic, s.handle)
+	if s.stage != nil {
+		total := 0
+		for _, m := range msgs {
+			total += len(m.Sealed)
+		}
+		s.stage.chargeCopy(total, false)
+	}
 	out := make([][]byte, 0, len(msgs))
 	for _, m := range msgs {
 		if m.Seq <= s.lastSeq {
@@ -262,6 +326,13 @@ type Pending struct {
 // crash between receive and process must not lose grid telemetry.
 func (s *Subscriber) Lease(max int) ([]Pending, error) {
 	msgs := s.bus.peek(s.topic, s.handle, max)
+	if s.stage != nil {
+		total := 0
+		for _, m := range msgs {
+			total += len(m.Sealed)
+		}
+		s.stage.chargeCopy(total, false)
+	}
 	out := make([]Pending, 0, len(msgs))
 	for _, m := range msgs {
 		body, err := s.box.Open(m.Sealed, []byte("topic|"+m.Topic))

@@ -1,0 +1,84 @@
+package fsshield
+
+import (
+	"bytes"
+	"testing"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+)
+
+func acctView(t *testing.T) Accounting {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	var signer cryptbox.Digest
+	enc, err := p.ECreate(16<<20, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.EAdd([]byte("fs")); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EInit(); err != nil {
+		t.Fatal(err)
+	}
+	arena, err := enc.HeapArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Accounting{Mem: enc.Memory(), Arena: arena}
+}
+
+func TestAccountedFSChargesChunkIO(t *testing.T) {
+	acct := acctView(t)
+	fs := NewFS(4 << 10).WithAccounting(acct)
+	var root cryptbox.Key
+	data := bytes.Repeat([]byte("secure-cloud-"), 2000) // ~26 KB, 7 chunks
+
+	acct.Mem.ResetAccounting()
+	if err := fs.WriteFile("/data/readings", data, ModeEncrypted, root); err != nil {
+		t.Fatal(err)
+	}
+	afterWrite := acct.Mem.Cycles()
+	if afterWrite == 0 {
+		t.Fatal("accounted WriteFile charged no cycles")
+	}
+
+	got, err := fs.ReadFile("/data/readings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("accounted round-trip corrupted data")
+	}
+	if acct.Mem.Cycles() == afterWrite {
+		t.Fatal("accounted ReadFile charged no cycles")
+	}
+
+	beforeChunk := acct.Mem.Cycles()
+	if _, err := fs.ReadChunk("/data/readings", 2); err != nil {
+		t.Fatal(err)
+	}
+	chunkCost := acct.Mem.Cycles() - beforeChunk
+	if chunkCost == 0 {
+		t.Fatal("accounted ReadChunk charged no cycles")
+	}
+	if chunkCost >= acct.Mem.Cycles()-afterWrite-chunkCost {
+		t.Fatal("single-chunk read should cost less than the whole-file read")
+	}
+}
+
+func TestUnaccountedFSUnchanged(t *testing.T) {
+	fs := NewFS(4 << 10)
+	var root cryptbox.Key
+	if err := fs.WriteFile("/f", []byte("x"), ModeEncrypted, root); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "x" {
+		t.Fatal("unaccounted FS round-trip failed")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
 	"securecloud/internal/sim"
 )
 
@@ -34,7 +35,21 @@ type node struct {
 	key   string
 	value []byte // sealed
 	next  []*node
+	addr  uint64 // simulated address when accounting is enabled
+	bytes int    // simulated footprint (header + key + sealed value + links)
 }
+
+// nodeProbeBytes is the simulated cost of inspecting one skip-list node
+// during a descent: the header, link pointers and key prefix a comparison
+// reads before deciding to advance or drop a level.
+const nodeProbeBytes = 64
+
+// Accounting wires a Store to the simulated SGX memory hierarchy. With a
+// zero Accounting the store runs as a plain data structure. With Mem and
+// Arena set, every node lives at a simulated address and each operation
+// charges its traversal through the bulk access API: one batched commit
+// per descent instead of one lock round-trip per visited node.
+type Accounting = enclave.Accounting
 
 // Store is an ordered, encrypted key/value store. Not safe for concurrent
 // use; the owning micro-service serialises access (as the single-threaded
@@ -47,21 +62,85 @@ type Store struct {
 	length  int
 	rng     *rand.Rand
 	version uint64
+
+	acct  Accounting
+	probe []uint64 // scratch: node addresses visited by one descent
 }
 
 // New builds a store sealing with key. The seed fixes skip-list geometry.
 func New(key cryptbox.Key, seed int64) (*Store, error) {
+	return NewAccounted(key, seed, Accounting{})
+}
+
+// NewAccounted builds a store whose skip-list traversals and record I/O are
+// charged to the given simulated memory view. A zero Accounting yields an
+// unaccounted store, identical to New.
+func NewAccounted(key cryptbox.Key, seed int64, acct Accounting) (*Store, error) {
 	box, err := cryptbox.NewBox(key)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{
+	s := &Store{
 		key:   key,
 		box:   box,
 		head:  &node{next: make([]*node, maxLevel)},
 		level: 1,
 		rng:   sim.NewRand(seed),
-	}, nil
+		acct:  acct,
+	}
+	if s.accounted() {
+		s.head.bytes = nodeProbeBytes + 8*maxLevel
+		s.head.addr = acct.Arena.Alloc(s.head.bytes)
+	}
+	return s, nil
+}
+
+func (s *Store) accounted() bool { return s.acct.Enabled() }
+
+// noteProbe records one node inspection for the current descent's batch.
+func (s *Store) noteProbe(n *node) {
+	if s.accounted() {
+		s.probe = append(s.probe, n.addr)
+	}
+}
+
+// commitProbes charges all node inspections accumulated by one descent as
+// a single bulk access.
+func (s *Store) commitProbes() {
+	if s.accounted() && len(s.probe) > 0 {
+		s.acct.Mem.AccessN(s.probe, nodeProbeBytes, false)
+	}
+	s.probe = s.probe[:0]
+}
+
+// nodeFootprint is the simulated size of a node's storage.
+func nodeFootprint(n *node) int {
+	return nodeProbeBytes + len(n.key) + len(n.value) + 8*len(n.next)
+}
+
+// placeNode assigns a simulated address covering the node's full footprint.
+func (s *Store) placeNode(n *node) {
+	if !s.accounted() {
+		return
+	}
+	n.bytes = nodeFootprint(n)
+	n.addr = s.acct.Arena.Alloc(n.bytes)
+	s.acct.Mem.AccessRange(n.addr, n.bytes, true)
+}
+
+// replaceNodeValue re-places a node whose value changed size: the record is
+// rewritten where it stands when it still fits, or relocated when it grew,
+// so later reads charge the real footprint.
+func (s *Store) replaceNodeValue(n *node) {
+	if !s.accounted() {
+		return
+	}
+	size := nodeFootprint(n)
+	if size > n.bytes {
+		n.addr = s.acct.Arena.Alloc(size)
+	}
+	n.bytes = size
+	s.acct.Mem.AccessRange(n.addr, n.bytes, true)
 }
 
 // Len returns the number of stored records.
@@ -79,12 +158,17 @@ func (s *Store) randomLevel() int {
 }
 
 // findPredecessors fills update[i] with the rightmost node at level i whose
-// key precedes k.
+// key precedes k. Every node inspected by a comparison is noted in the
+// probe batch; callers charge the whole descent with commitProbes.
 func (s *Store) findPredecessors(k string, update []*node) *node {
 	cur := s.head
 	for i := s.level - 1; i >= 0; i-- {
 		for cur.next[i] != nil && cur.next[i].key < k {
+			s.noteProbe(cur.next[i])
 			cur = cur.next[i]
+		}
+		if cur.next[i] != nil {
+			s.noteProbe(cur.next[i]) // the comparison that stopped the level
 		}
 		update[i] = cur
 	}
@@ -103,9 +187,11 @@ func (s *Store) Put(key string, value []byte) error {
 	}
 	update := make([]*node, maxLevel)
 	cand := s.findPredecessors(key, update)
+	s.commitProbes()
 	s.version++
 	if cand != nil && cand.key == key {
 		cand.value = sealed
+		s.replaceNodeValue(cand)
 		return nil
 	}
 	lvl := s.randomLevel()
@@ -120,16 +206,36 @@ func (s *Store) Put(key string, value []byte) error {
 		n.next[i] = update[i].next[i]
 		update[i].next[i] = n
 	}
+	s.placeNode(n)
+	s.chargeLinkWrites(update[:lvl])
 	s.length++
 	return nil
+}
+
+// chargeLinkWrites charges the pointer stores that splice a node in or out:
+// one 8-byte write per touched predecessor, committed as a single batch.
+func (s *Store) chargeLinkWrites(preds []*node) {
+	if !s.accounted() || len(preds) == 0 {
+		return
+	}
+	s.probe = s.probe[:0]
+	for _, p := range preds {
+		s.probe = append(s.probe, p.addr)
+	}
+	s.acct.Mem.AccessN(s.probe, 8, true)
+	s.probe = s.probe[:0]
 }
 
 // Get returns the value stored under key.
 func (s *Store) Get(key string) ([]byte, error) {
 	update := make([]*node, maxLevel)
 	cand := s.findPredecessors(key, update)
+	s.commitProbes()
 	if cand == nil || cand.key != key {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if s.accounted() {
+		s.acct.Mem.AccessRange(cand.addr, cand.bytes, false)
 	}
 	plain, err := s.box.Open(cand.value, valueAAD(key))
 	if err != nil {
@@ -142,14 +248,18 @@ func (s *Store) Get(key string) ([]byte, error) {
 func (s *Store) Delete(key string) bool {
 	update := make([]*node, maxLevel)
 	cand := s.findPredecessors(key, update)
+	s.commitProbes()
 	if cand == nil || cand.key != key {
 		return false
 	}
+	var relinked []*node
 	for i := 0; i < s.level; i++ {
 		if update[i].next[i] == cand {
 			update[i].next[i] = cand.next[i]
+			relinked = append(relinked, update[i])
 		}
 	}
+	s.chargeLinkWrites(relinked)
 	for s.level > 1 && s.head.next[s.level-1] == nil {
 		s.level--
 	}
@@ -165,18 +275,27 @@ type Pair struct {
 }
 
 // Range returns all records with lo <= key < hi in key order. An empty hi
-// means "to the end".
+// means "to the end". The descent and the level-0 scan are charged as one
+// bulk access each; record payload reads are charged per record.
 func (s *Store) Range(lo, hi string) ([]Pair, error) {
 	var out []Pair
 	cur := s.head
 	for i := s.level - 1; i >= 0; i-- {
 		for cur.next[i] != nil && cur.next[i].key < lo {
+			s.noteProbe(cur.next[i])
 			cur = cur.next[i]
 		}
+		if cur.next[i] != nil {
+			s.noteProbe(cur.next[i]) // the comparison that stopped the level
+		}
 	}
+	s.commitProbes()
 	for n := cur.next[0]; n != nil; n = n.next[0] {
 		if hi != "" && n.key >= hi {
 			break
+		}
+		if s.accounted() {
+			s.acct.Mem.AccessRange(n.addr, n.bytes, false)
 		}
 		plain, err := s.box.Open(n.value, valueAAD(n.key))
 		if err != nil {

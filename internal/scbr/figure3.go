@@ -128,9 +128,8 @@ func RunFigure3(cfg Figure3Config) ([]Figure3Point, error) {
 		memOut := pOut.UntrustedMemory()
 		base := pOut.AllocUntrusted(arenaSize)
 		pageSize := pOut.Config().PageSize
-		for addr := base; addr < base+arenaSize; addr += pageSize {
-			memOut.Access(addr, 1, true)
-		}
+		nPages := int((arenaSize + pageSize - 1) / pageSize)
+		memOut.AccessStride(base, pageSize, nPages, 1, true)
 		arenaOut := enclave.NewArena(memOut, base, arenaSize)
 		outCycles, outFaults := runRegistration(memOut, arenaOut, cfg, target)
 

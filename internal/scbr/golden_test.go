@@ -1,0 +1,186 @@
+package scbr
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+)
+
+// The golden tests pin the simulated-cycle outputs of the accounting hot
+// path. The values in testdata/ were recorded on the reference (pre-
+// optimization) implementation; any fast-path change to sim or enclave must
+// reproduce them bit-for-bit. Regenerate only when the cost MODEL itself is
+// deliberately changed: GOLDEN_UPDATE=1 go test ./internal/scbr -run Golden
+//
+// Floats are stored as full-precision strings so the comparison is exact to
+// the last bit, not within an epsilon.
+
+// goldenPlatform is a shrunken platform (4 MiB EPC, 256 KiB LLC) so the
+// below/above-EPC regimes of the paper are exercised in milliseconds.
+func goldenPlatform() enclave.Config {
+	return enclave.Config{
+		EPCBytes:         4 << 20,
+		EPCReservedBytes: 1 << 20,
+		LLCBytes:         256 << 10,
+		LLCWays:          8,
+		LineSize:         64,
+		PageSize:         4096,
+	}
+}
+
+type matchGolden struct {
+	Cycles uint64 `json:"sim_cycles"`
+	Faults uint64 `json:"faults"`
+	IDs    uint64 `json:"matched_ids"` // total matches delivered (workload shape)
+}
+
+type figure3Golden struct {
+	OccupancyMB string `json:"occupancy_mb"`
+	TimeRatio   string `json:"time_ratio"`
+	FaultRatio  string `json:"fault_ratio"`
+	InFaults    uint64 `json:"in_faults"`
+	OutFaults   uint64 `json:"out_faults"`
+}
+
+type golden struct {
+	MatchResident matchGolden     `json:"match_resident"`
+	MatchSwapping matchGolden     `json:"match_swapping"`
+	Figure3       []figure3Golden `json:"figure3"`
+}
+
+// runGoldenMatch builds a subscription store of targetBytes inside an
+// enclave on the golden platform and runs 200 matches, returning the exact
+// accounting outcome.
+func runGoldenMatch(t *testing.T, targetBytes int64) matchGolden {
+	t.Helper()
+	p := enclave.NewPlatform(goldenPlatform())
+	var signer cryptbox.Digest
+	enc, err := p.ECreate(uint64(targetBytes)+(4<<20), signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.EAdd([]byte("scbr-golden")); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EInit(); err != nil {
+		t.Fatal(err)
+	}
+	arena, err := enc.HeapArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(IndexConfig{
+		Mem: enc.Memory(), Arena: arena, PayloadBytes: 600, CheckCost: 450,
+	})
+	w := NewWorkload(DefaultWorkload(42))
+	for ix.MemoryBytes() < targetBytes {
+		ix.Insert(w.NextSubscription())
+	}
+	events := make([]Event, 32)
+	for i := range events {
+		events[i] = w.NextEvent()
+	}
+	enc.Memory().ResetAccounting()
+	var ids uint64
+	for i := 0; i < 200; i++ {
+		ids += uint64(len(ix.Match(events[i%len(events)])))
+	}
+	return matchGolden{
+		Cycles: uint64(enc.Memory().Cycles()),
+		Faults: enc.Memory().Faults(),
+		IDs:    ids,
+	}
+}
+
+// runGoldenFigure3 sweeps one below-EPC and one above-EPC occupancy on the
+// golden platform.
+func runGoldenFigure3(t *testing.T) []figure3Golden {
+	t.Helper()
+	cfg := Figure3Config{
+		OccupanciesMB: []float64{1, 6},
+		MeasureOps:    100,
+		PayloadBytes:  600,
+		CheckCost:     450,
+		Seed:          42,
+		Platform:      goldenPlatform(),
+	}
+	points, err := RunFigure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]figure3Golden, len(points))
+	for i, p := range points {
+		out[i] = figure3Golden{
+			OccupancyMB: strconv.FormatFloat(p.OccupancyMB, 'g', -1, 64),
+			TimeRatio:   strconv.FormatFloat(p.TimeRatio, 'g', -1, 64),
+			FaultRatio:  strconv.FormatFloat(p.FaultRatio, 'g', -1, 64),
+			InFaults:    p.InsideFaults,
+			OutFaults:   p.OutsideFaults,
+		}
+	}
+	return out
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden_metrics.json") }
+
+func TestGoldenDeterminism(t *testing.T) {
+	got := golden{
+		MatchResident: runGoldenMatch(t, 1<<20), // 1 MB: EPC-resident
+		MatchSwapping: runGoldenMatch(t, 6<<20), // 6 MB: swap-bound
+		Figure3:       runGoldenFigure3(t),
+	}
+
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded golden metrics: %s", raw)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("golden file missing (record with GOLDEN_UPDATE=1): %v", err)
+	}
+	var want golden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.MatchResident != want.MatchResident {
+		t.Errorf("resident match metrics drifted:\n got %+v\nwant %+v", got.MatchResident, want.MatchResident)
+	}
+	if got.MatchSwapping != want.MatchSwapping {
+		t.Errorf("swapping match metrics drifted:\n got %+v\nwant %+v", got.MatchSwapping, want.MatchSwapping)
+	}
+	if len(got.Figure3) != len(want.Figure3) {
+		t.Fatalf("figure3 points = %d, want %d", len(got.Figure3), len(want.Figure3))
+	}
+	for i := range want.Figure3 {
+		if got.Figure3[i] != want.Figure3[i] {
+			t.Errorf("figure3[%s] drifted:\n got %+v\nwant %+v",
+				want.Figure3[i].OccupancyMB, got.Figure3[i], want.Figure3[i])
+		}
+	}
+}
+
+// TestGoldenRunToRun guards the premise of the golden file: the same seed
+// must produce identical metrics on two runs within one process.
+func TestGoldenRunToRun(t *testing.T) {
+	a := runGoldenMatch(t, 1<<20)
+	b := runGoldenMatch(t, 1<<20)
+	if a != b {
+		t.Fatalf("same-seed runs diverged: %+v vs %+v", a, b)
+	}
+}

@@ -57,6 +57,16 @@ type Index struct {
 
 	// traversal statistics for the harness
 	checks uint64
+
+	// sp is the open accounting span of the operation in progress: every
+	// node probe and record write of one Insert/Match/Remove accumulates
+	// into it and commits once when the operation ends.
+	sp *enclave.Span
+
+	// lastMatchLen sizes the next Match's result slice: successive matches
+	// deliver similar fan-outs, so a right-sized single allocation replaces
+	// a doubling growth chain of garbage per call.
+	lastMatchLen int
 }
 
 // NewIndex builds an index with the given accounting configuration.
@@ -74,16 +84,25 @@ func (ix *Index) MemoryBytes() int64 { return ix.bytes }
 // Checks returns the cumulative number of cover/match comparisons.
 func (ix *Index) Checks() uint64 { return ix.checks }
 
+// begin opens the accounting span of one index operation; the returned
+// func commits it. With no memory view attached both are no-ops.
+func (ix *Index) begin() func() {
+	if ix.cfg.Mem == nil {
+		return func() {}
+	}
+	ix.sp = ix.cfg.Mem.BeginSpan()
+	return func() {
+		ix.sp.End()
+		ix.sp = nil
+	}
+}
+
 // touchFilter charges one comparison against a node: read its header and
 // predicate records, pay the comparison CPU cost.
 func (ix *Index) touchFilter(n *node) {
 	ix.checks++
-	if ix.cfg.Mem == nil {
-		return
-	}
-	ix.cfg.Mem.Access(n.addr, n.hdrBytes, false)
-	if ix.cfg.CheckCost > 0 {
-		ix.cfg.Mem.ChargeCPU(ix.cfg.CheckCost)
+	if ix.sp != nil {
+		ix.sp.AccessCPU(n.addr, n.hdrBytes, false, ix.cfg.CheckCost)
 	}
 }
 
@@ -106,6 +125,7 @@ func (ix *Index) newNode(s Subscription) *node {
 // re-parent any of its siblings the new filter covers. This is the
 // "registration" operation measured in Figure 3.
 func (ix *Index) Insert(s Subscription) {
+	defer ix.begin()()
 	cur := &ix.root
 	for {
 		var next *node
@@ -142,8 +162,8 @@ func (ix *Index) Insert(s Subscription) {
 	cur.children = append(keep, n)
 
 	// Write the node: header plus payload (routing state).
-	if ix.cfg.Mem != nil {
-		ix.cfg.Mem.Access(n.addr, n.hdrBytes+n.payBytes, true)
+	if ix.sp != nil {
+		ix.sp.Access(n.addr, n.hdrBytes+n.payBytes, true)
 	}
 	ix.count++
 	ix.bytes += int64(n.hdrBytes + n.payBytes)
@@ -153,30 +173,32 @@ func (ix *Index) Insert(s Subscription) {
 // whose covering ancestors fail. The result order is deterministic
 // (pre-order traversal).
 func (ix *Index) Match(e Event) []uint64 {
-	var out []uint64
-	ix.matchFrom(&ix.root, e, &out)
+	defer ix.begin()()
+	out := make([]uint64, 0, ix.lastMatchLen+16)
+	ix.matchFrom(&ix.root, viewOf(e), &out)
+	ix.lastMatchLen = len(out)
 	return out
 }
 
-func (ix *Index) matchFrom(cur *node, e Event, out *[]uint64) {
+func (ix *Index) matchFrom(cur *node, ev eventView, out *[]uint64) {
 	for _, ch := range cur.children {
 		ix.touchFilter(ch)
-		if !ch.sub.Matches(e) {
+		if !ch.sub.matchesView(ev) {
 			// Children are covered by ch: nothing below can match.
 			continue
 		}
 		*out = append(*out, ch.sub.ID)
 		ix.deliverBucket(ch, out)
-		ix.matchFrom(ch, e, out)
+		ix.matchFrom(ch, ev, out)
 	}
 }
 
 // deliverBucket appends all equivalent filters of a matched node, touching
-// each entry's routing record.
+// every entry's routing record within the operation's span.
 func (ix *Index) deliverBucket(n *node, out *[]uint64) {
 	for _, d := range n.bucket {
-		if ix.cfg.Mem != nil {
-			ix.cfg.Mem.Access(d.addr, 16, false)
+		if ix.sp != nil {
+			ix.sp.Access(d.addr, 16, false)
 		}
 		*out = append(*out, d.id)
 	}
@@ -190,8 +212,8 @@ func (ix *Index) addDup(n *node, s Subscription) {
 	if ix.cfg.Arena != nil {
 		d.addr = ix.cfg.Arena.Alloc(size)
 	}
-	if ix.cfg.Mem != nil {
-		ix.cfg.Mem.Access(d.addr, size, true)
+	if ix.sp != nil {
+		ix.sp.Access(d.addr, size, true)
 	}
 	n.bucket = append(n.bucket, d)
 	ix.count++
@@ -202,12 +224,14 @@ func (ix *Index) addDup(n *node, s Subscription) {
 // reference matcher used by tests and the comparison baseline for the
 // containment ablation.
 func (ix *Index) MatchNaive(e Event) []uint64 {
+	defer ix.begin()()
+	ev := viewOf(e)
 	var out []uint64
 	var walk func(*node)
 	walk = func(cur *node) {
 		for _, ch := range cur.children {
 			ix.touchFilter(ch)
-			if ch.sub.Matches(e) {
+			if ch.sub.matchesView(ev) {
 				out = append(out, ch.sub.ID)
 				ix.deliverBucket(ch, &out)
 			}
@@ -223,6 +247,7 @@ func (ix *Index) MatchNaive(e Event) []uint64 {
 // covers everything below it, transitively). It reports whether the ID
 // was present.
 func (ix *Index) Remove(id uint64) bool {
+	defer ix.begin()()
 	return ix.removeFrom(&ix.root, id)
 }
 

@@ -115,22 +115,64 @@ func (s Subscription) Matches(e Event) bool {
 	return true
 }
 
+// attrVal is one attribute of an eventView.
+type attrVal struct {
+	attr string
+	val  float64
+}
+
+// eventView is an event's attributes in sorted order: the matcher-internal
+// representation that lets a filter check run as a linear merge against the
+// (equally sorted) predicate list instead of one map lookup per predicate.
+type eventView []attrVal
+
+// viewOf flattens an event's attribute map into sorted form. Built once
+// per matched event, amortized over every node the traversal visits.
+func viewOf(e Event) eventView {
+	ev := make(eventView, 0, len(e.Attrs))
+	for a, v := range e.Attrs {
+		ev = append(ev, attrVal{attr: a, val: v})
+	}
+	sort.Slice(ev, func(i, j int) bool { return ev[i].attr < ev[j].attr })
+	return ev
+}
+
+// matchesView is Matches against the sorted view; results are identical.
+func (s Subscription) matchesView(ev eventView) bool {
+	j := 0
+	for i := range s.Preds {
+		p := &s.Preds[i]
+		for j < len(ev) && ev[j].attr < p.Attr {
+			j++
+		}
+		if j >= len(ev) || ev[j].attr != p.Attr || !p.Interval.Contains(ev[j].val) {
+			return false
+		}
+	}
+	return true
+}
+
 // Covers reports whether s is at least as general as other: every event
 // matching other also matches s. For conjunctive interval filters this
 // holds iff for every predicate of s, other constrains the same attribute
-// with an interval contained in s's.
+// with an interval contained in s's. Both predicate lists are in canonical
+// sorted order, so the check is a single linear merge.
 func (s Subscription) Covers(other Subscription) bool {
-	for _, p := range s.Preds {
-		oiv, ok := other.get(p.Attr)
-		if !ok {
-			// other is unconstrained on this attribute: it admits values
-			// outside p unless p admits everything.
-			if !p.Interval.Covers(FullRange()) {
+	j := 0
+	for i := range s.Preds {
+		p := &s.Preds[i]
+		for j < len(other.Preds) && other.Preds[j].Attr < p.Attr {
+			j++
+		}
+		if j < len(other.Preds) && other.Preds[j].Attr == p.Attr {
+			if !p.Interval.Covers(other.Preds[j].Interval) {
 				return false
 			}
 			continue
 		}
-		if !p.Interval.Covers(oiv) {
+		// other is unconstrained on this attribute: it admits values
+		// outside p unless p admits everything.
+		if !p.Interval.Covers(FullRange()) {
 			return false
 		}
 	}

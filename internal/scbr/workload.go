@@ -167,7 +167,22 @@ func (w *Workload) NextEvent() Event {
 	return Event{Attrs: attrs, Payload: []byte("payload")}
 }
 
+// scopeAttrs interns the per-level attribute names: every predicate and
+// event shares one string object per level instead of allocating a copy,
+// which shrinks the live heap the GC marks and lets equality compares take
+// the pointer-identity fast path.
+var scopeAttrs = [...]string{
+	"scope0", "scope1", "scope2", "scope3", "scope4",
+	"scope5", "scope6", "scope7", "scope8", "scope9",
+}
+
 func scopeAttr(level int) string {
+	if level >= 0 && level < len(scopeAttrs) {
+		return scopeAttrs[level]
+	}
+	// Deeper levels keep the historical single-rune suffix so attribute
+	// names — and with them canonical predicate order and every derived
+	// metric — are unchanged for any configurable depth.
 	return "scope" + string(rune('0'+level))
 }
 

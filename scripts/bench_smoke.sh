@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — the per-PR performance smoke: a reduced Figure 3 sweep
+# through cmd/scbr-bench plus the CacheMissVsSwap benchmark, folded into one
+# BENCH_<n>.json recording wall-clock (simulator speed) next to sim-cycle
+# metrics (modeled costs). Run from the repo root:
+#
+#   scripts/bench_smoke.sh [N]
+#
+# N selects the output file BENCH_N.json (default 1). The sweep is reduced
+# (3 points, 200 ops) so the smoke finishes in well under a minute; the
+# full-fidelity nine-point sweep remains `go run ./cmd/scbr-bench`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-1}"
+OUT="BENCH_${N}.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "bench-smoke: reduced Figure 3 sweep (60,120,200 MB @ 200 ops)" >&2
+go run ./cmd/scbr-bench -ops 200 -points 60,120,200 -payload 1200 -json \
+    >"$TMP/sweep.json"
+
+echo "bench-smoke: go test -bench=CacheMissVsSwap -benchtime=1x" >&2
+go test -run '^$' -bench 'CacheMissVsSwap' -benchtime=1x . >"$TMP/bench.txt" 2>&1 \
+    || { cat "$TMP/bench.txt" >&2; exit 1; }
+
+# Fold `store=NMB  iters  X ns/op  F faults/match  C sim-cycles/match` lines
+# into JSON objects.
+awk '
+/^BenchmarkCacheMissVsSwap/ {
+    name=$1; sub(/^BenchmarkCacheMissVsSwap\//, "", name); sub(/-[0-9]+$/, "", name)
+    ns=""; faults=""; cycles=""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "faults/match") faults = $i
+        if ($(i+1) == "sim-cycles/match") cycles = $i
+    }
+    printf "%s{\"case\":\"%s\",\"wall_ns_per_op\":%s,\"faults_per_match\":%s,\"sim_cycles_per_match\":%s}", sep, name, ns, faults, cycles
+    sep=","
+}
+BEGIN { printf "[" } END { printf "]" }
+' "$TMP/bench.txt" >"$TMP/cachemiss.json"
+
+# scripts/seed_baseline.json (committed) records the pre-optimization seed
+# measurements this trajectory is judged against; embed it when present.
+SEED_BASELINE="scripts/seed_baseline.json"
+{
+    echo "{"
+    echo "  \"generated_by\": \"scripts/bench_smoke.sh\","
+    echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"go_version\": \"$(go env GOVERSION)\","
+    if [ -f "$SEED_BASELINE" ]; then
+        echo "  \"seed_baseline\": $(cat "$SEED_BASELINE"),"
+    fi
+    echo "  \"cache_miss_vs_swap\": $(cat "$TMP/cachemiss.json"),"
+    echo "  \"figure3_reduced_sweep\": $(cat "$TMP/sweep.json")"
+    echo "}"
+} >"$OUT"
+
+echo "bench-smoke: wrote $OUT" >&2

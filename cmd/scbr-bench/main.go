@@ -31,12 +31,17 @@ func main() {
 		"override the EPC page-fault cost in cycles (0 = model default; published\n"+
 			"measurements span ~40k-200k cycles; ~200k reproduces the paper's 18x)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON (points + wall-clock) instead of the table")
+	parallel := flag.Int("parallel", 1,
+		"run up to N occupancy points concurrently (each point is an independent\n"+
+			"pair of simulated platforms, so values are bit-identical to -parallel 1;\n"+
+			"only the wall clock changes)")
 	flag.Parse()
 
 	cfg := scbr.DefaultFigure3Config()
 	cfg.MeasureOps = *ops
 	cfg.PayloadBytes = *payload
 	cfg.Seed = *seed
+	cfg.Parallel = *parallel
 	cfg.OccupanciesMB = nil
 	for _, s := range strings.Split(*points, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -72,8 +77,9 @@ func main() {
 			MeasureOps       int                 `json:"measure_ops"`
 			PayloadBytes     int                 `json:"payload_bytes"`
 			Seed             int64               `json:"seed"`
+			Parallel         int                 `json:"parallel"`
 			Points           []scbr.Figure3Point `json:"points"`
-		}{elapsed.Seconds(), cfg.MeasureOps, cfg.PayloadBytes, cfg.Seed, results}
+		}{elapsed.Seconds(), cfg.MeasureOps, cfg.PayloadBytes, cfg.Seed, cfg.Parallel, results}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {

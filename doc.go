@@ -66,4 +66,55 @@
 // meaningful signal of simulator speed itself (the modeled costs are the
 // sim-cycle metrics). scripts/bench_smoke.sh records both in BENCH_*.json
 // to track the simulator-performance trajectory across PRs.
+//
+// # Concurrency model
+//
+// The SCBR routing layer runs shard-per-core while keeping every simulated
+// figure deterministic:
+//
+//   - What is sharded. The broker's subscription store is a
+//     scbr.ShardedIndex: P containment forests keyed by subscription ID
+//     (ID mod P), each on its own simulated platform + enclave — the
+//     partitioned-broker deployment where every core owns a slice of the
+//     filter set. Insert/Unsubscribe write-lock only the home shard;
+//     Publish matches all shards through a bounded worker fan-out and
+//     merges results into ascending-ID order. The shard count is a
+//     topology parameter (it changes placement and therefore the figures);
+//     the worker count is execution-only (totals are identical for any
+//     value).
+//
+//   - Snapshot match reads. Concurrent matches charge their traversals
+//     through enclave.Memory.BeginSnapshotSpan: probes consult — but never
+//     mutate — LLC and EPC state, with a span-local overlay so re-touches
+//     within one operation behave as hits (as they would after a mutating
+//     first touch; evictions a real run might trigger are deferred). Since
+//     nothing mutates, probe totals commute: aggregate sim-cycles and
+//     faults are bit-identical for any interleaving and any GOMAXPROCS.
+//     The platform mutex is held only for the final ledger commit, so
+//     matches on different shards — and on the same shard — run in
+//     parallel.
+//
+//   - What stays under the platform mutex. All mutating accounting: index
+//     registrations (ordinary spans hold the shard platform's mutex for
+//     the traversal), fault-counter and ledger commits, enclave
+//     transitions on the broker's front enclave, and every figure-3 /
+//     golden path, which still runs the exact single-threaded model PR 1
+//     pinned. Golden tests are unchanged.
+//
+//   - Determinism guarantees. Single-threaded figures are bit-identical to
+//     the committed goldens. The Figure 3 sweep's points build independent
+//     twin platforms, so `scbr-bench -parallel N` runs them concurrently
+//     with bit-identical values. BenchmarkBrokerPublishParallel measures
+//     per-op sim-cycles/faults in a sequential pass against the frozen
+//     store — identical at every -cpu setting — and reports sim-speedup,
+//     the summed-shard-cycles to critical-path (slowest shard) ratio an
+//     ideal shard-per-core machine realises.
+//
+// The hot envelope path pairs this with a compact binary publication/
+// subscription codec (JSON remains the client-facing form; the broker
+// sniffs both), interned per-session AEAD contexts (cryptbox.CachedBox),
+// pooled scratch buffers, and delivery sealing outside every broker lock.
+// The event bus gained PublishBatch/PollBatch (one mutex acquisition per
+// batch, one seal per message however many subscribers fan out) and prunes
+// per-subscriber lease state on Subscriber.Close.
 package securecloud

@@ -36,7 +36,12 @@ func main() {
 	if err := enc.EInit(); err != nil {
 		log.Fatal(err)
 	}
-	broker, err := scbr.NewBroker(enc, scbr.DefaultBrokerConfig())
+	// One shard keeps both filters in a single containment forest so the
+	// nesting diagnostics below are exact; production brokers default to a
+	// shard per core (see BrokerConfig.Shards).
+	cfg := scbr.DefaultBrokerConfig()
+	cfg.Shards = 1
+	broker, err := scbr.NewBroker(enc, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // KeySize is the symmetric key size in bytes (AES-128).
@@ -85,13 +86,24 @@ func (b *Box) SetNonceSource(r io.Reader) { b.nonceRand = r }
 // Seal encrypts plaintext with the given additional authenticated data.
 // The output layout is nonce || ciphertext+tag.
 func (b *Box) Seal(plaintext, aad []byte) ([]byte, error) {
-	nonce := make([]byte, NonceSize)
-	if _, err := io.ReadFull(b.nonceRand, nonce); err != nil {
+	return b.SealAppend(nil, plaintext, aad)
+}
+
+// SealAppend is Seal appending to dst (which may be nil, or a recycled
+// buffer from GetScratch): the hot-path form that lets callers reuse
+// sealing buffers instead of allocating one per message.
+func (b *Box) SealAppend(dst, plaintext, aad []byte) ([]byte, error) {
+	var nonce [NonceSize]byte
+	if _, err := io.ReadFull(b.nonceRand, nonce[:]); err != nil {
 		return nil, fmt.Errorf("cryptbox: reading nonce: %w", err)
 	}
-	out := make([]byte, 0, NonceSize+len(plaintext)+b.aead.Overhead())
-	out = append(out, nonce...)
-	return b.aead.Seal(out, nonce, plaintext, aad), nil
+	if cap(dst)-len(dst) < NonceSize+len(plaintext)+b.aead.Overhead() {
+		grown := make([]byte, len(dst), len(dst)+NonceSize+len(plaintext)+b.aead.Overhead())
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, nonce[:]...)
+	return b.aead.Seal(dst, nonce[:], plaintext, aad), nil
 }
 
 // Open authenticates and decrypts data produced by Seal with the same AAD.
@@ -109,6 +121,47 @@ func (b *Box) Open(sealed, aad []byte) ([]byte, error) {
 
 // Overhead returns the ciphertext expansion of Seal in bytes.
 func (b *Box) Overhead() int { return NonceSize + b.aead.Overhead() }
+
+// boxCache interns one Box per key for CachedBox.
+var boxCache sync.Map // Key -> *Box
+
+// CachedBox returns a process-wide interned Box for key, building the AES
+// cipher and GCM context only on first use. Hot paths that previously
+// constructed a fresh AEAD per message (one key-schedule expansion each)
+// share one instance instead; a Box is safe for concurrent Seal/Open.
+// The cache never evicts: it holds one entry per distinct key ever passed,
+// so it suits long-lived keys (client identities, topic keys, test
+// fixtures). Components that mint unbounded ephemeral keys — e.g. a broker
+// handshaking churning sessions — must hold a per-session Box from NewBox
+// instead of interning here. Never call SetNonceSource on a cached box: it
+// would redirect nonce randomness for every holder.
+func CachedBox(key Key) (*Box, error) {
+	if b, ok := boxCache.Load(key); ok {
+		return b.(*Box), nil
+	}
+	b, err := NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := boxCache.LoadOrStore(key, b)
+	return actual.(*Box), nil
+}
+
+// scratchPool recycles the short-lived buffers hot paths assemble
+// plaintexts and sealed frames in.
+var scratchPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+// GetScratch returns an empty recycled buffer for transient encode/seal
+// work. Return it with PutScratch once nothing retains it (sealed output
+// handed to a queue must be copied or simply not pooled).
+func GetScratch() []byte { return scratchPool.Get().([]byte)[:0] }
+
+// PutScratch recycles a buffer obtained from GetScratch.
+func PutScratch(b []byte) {
+	if cap(b) > 0 {
+		scratchPool.Put(b[:0]) //nolint:staticcheck // slice header boxing is fine here
+	}
+}
 
 // MAC computes HMAC-SHA256 over data with the key.
 func MAC(key Key, data []byte) [MACSize]byte {

@@ -293,3 +293,79 @@ func BenchmarkHKDF(b *testing.B) {
 		}
 	}
 }
+
+func TestSealAppendReusesBuffer(t *testing.T) {
+	box, err := NewBox(testKey(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 1024)
+	sealed, err := box.SealAppend(buf, []byte("payload"), []byte("aad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &sealed[0] != &buf[:1][0] {
+		t.Fatal("SealAppend reallocated despite sufficient capacity")
+	}
+	pt, err := box.Open(sealed, []byte("aad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "payload" {
+		t.Fatalf("roundtrip = %q", pt)
+	}
+	// Appending after a prefix keeps the prefix intact.
+	prefixed, err := box.SealAppend([]byte("hdr|"), []byte("p2"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prefixed[:4]) != "hdr|" {
+		t.Fatal("prefix clobbered")
+	}
+	if _, err := box.Open(prefixed[4:], nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedBoxInterns(t *testing.T) {
+	a, err := CachedBox(testKey(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedBox(testKey(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same key produced distinct cached boxes")
+	}
+	c, err := CachedBox(testKey(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("distinct keys shared a cached box")
+	}
+	sealed, err := a.Seal([]byte("x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(sealed, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScratchPoolRoundtrip(t *testing.T) {
+	buf := GetScratch()
+	if len(buf) != 0 {
+		t.Fatalf("scratch not empty: %d", len(buf))
+	}
+	buf = append(buf, []byte("transient")...)
+	PutScratch(buf)
+	again := GetScratch()
+	if len(again) != 0 {
+		t.Fatalf("recycled scratch not reset: %d", len(again))
+	}
+	PutScratch(again)
+	PutScratch(nil) // must not panic
+}

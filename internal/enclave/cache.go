@@ -198,6 +198,29 @@ func (c *llc) accessTag(tag, page uint64) bool {
 	return false
 }
 
+// probeTag reports whether the line is cached without touching any cache
+// state: no stamp update, no tick, no fill, no hint move. It is the
+// read-only twin of accessTag used by snapshot accounting spans — safe to
+// call concurrently from many goroutines provided no mutating access runs
+// at the same time (callers serialize mutators externally).
+func (c *llc) probeTag(tag, page uint64) bool {
+	pe := uint64(c.pageEpoch(page)) & epochMask
+	s := tag & c.setMask
+	if c.setMask == ^uint64(0) {
+		s = tag % c.numSets
+	}
+	base := int(s) * c.assoc
+	set := c.ways[base : base+c.assoc]
+	for i := range set {
+		if set[i].tag == tag {
+			// Live iff its insert epoch matches the page's current epoch
+			// and the way is non-empty (stamp != 0).
+			return set[i].se>>epochBits != 0 && set[i].se&epochMask == pe
+		}
+	}
+	return false
+}
+
 // renormalizeStamps compresses every set's stamps to their within-set rank
 // (1..assoc), preserving relative order — and therefore LRU behaviour —
 // exactly, then rewinds the tick. Runs once per ~10^12 accesses.

@@ -162,6 +162,12 @@ func (e *epc) touchPage(page uint64) (faulted bool, evicted uint64, evictedValid
 	}
 }
 
+// isResident reports whether page is EPC-resident without touching any
+// replacement state: no reference bit, no memo update, no load. The
+// read-only twin of touchPage used by snapshot accounting spans; safe for
+// concurrent readers while mutators are externally serialized.
+func (e *epc) isResident(page uint64) bool { return e.lookup(page) >= 0 }
+
 // release drops all resident pages in [base, base+size), e.g. on EREMOVE
 // when an enclave is destroyed.
 func (e *epc) release(base, size uint64) {

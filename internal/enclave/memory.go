@@ -2,6 +2,7 @@ package enclave
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"securecloud/internal/sim"
@@ -195,6 +196,15 @@ func (m *Memory) AccessRangeCPU(addr uint64, size int, write bool, cpu sim.Cycle
 type Span struct {
 	m  *Memory
 	st acct
+
+	// ro marks a snapshot span: accesses probe the frozen cache and
+	// residency state without mutating it (see BeginSnapshotSpan). roLines
+	// and roPages are the span-local overlay — lines and pages this span
+	// already touched, which behave as cached/resident for the rest of the
+	// span, exactly as they would after a mutating first touch.
+	ro      bool
+	roLines map[uint64]struct{}
+	roPages map[uint64]struct{}
 }
 
 // BeginSpan opens a span. Every span must be closed with End.
@@ -204,12 +214,50 @@ func (m *Memory) BeginSpan() *Span {
 	return sp
 }
 
+// roSpanPool recycles snapshot spans (and their overlay maps), since the
+// concurrent match path opens one per operation.
+var roSpanPool = sync.Pool{New: func() any {
+	return &Span{
+		ro:      true,
+		roLines: make(map[uint64]struct{}, 512),
+		roPages: make(map[uint64]struct{}, 64),
+	}
+}}
+
+// BeginSnapshotSpan opens a read-only accounting span: every Access is
+// charged against the platform's current cache and residency state as a
+// pure probe — no LRU stamps move, no CLOCK bits flip, no pages load — so
+// the global simulation state is bit-identical before and after the span.
+// Within the span a local overlay makes re-touches of the same line or page
+// behave as hits, mirroring what a mutating first touch would have made
+// them; evictions a real execution might trigger are deferred (never
+// modeled), which is the documented snapshot approximation.
+//
+// Because snapshot spans mutate nothing, any interleaving of concurrent
+// snapshot spans charges the same totals — the property the sharded SCBR
+// broker relies on for deterministic parallel matching. The platform mutex
+// is only taken briefly by End to commit the ledger; the probe phase runs
+// lock-free. Callers must therefore guarantee no mutating access (ordinary
+// Access/Span, EEnter, allocation) runs on this platform while a snapshot
+// span is open — e.g. by holding the read side of a lock whose write side
+// covers all mutators.
+func (m *Memory) BeginSnapshotSpan() *Span {
+	sp := roSpanPool.Get().(*Span)
+	sp.m = m
+	return sp
+}
+
 // Access records one access of size bytes at addr within the span.
 func (sp *Span) Access(addr uint64, size int, write bool) {
 	_ = write
-	if size > 0 {
-		sp.m.accessLocked(&sp.st, addr, size)
+	if size <= 0 {
+		return
 	}
+	if sp.ro {
+		sp.probe(addr, size)
+		return
+	}
+	sp.m.accessLocked(&sp.st, addr, size)
 }
 
 // AccessCPU records one access plus cpu cycles of pure computation — the
@@ -220,9 +268,14 @@ func (sp *Span) AccessCPU(addr uint64, size int, write bool, cpu sim.Cycles) {
 		sp.st.cpu += cpu
 		sp.st.cpuN++
 	}
-	if size > 0 {
-		sp.m.accessLocked(&sp.st, addr, size)
+	if size <= 0 {
+		return
 	}
+	if sp.ro {
+		sp.probe(addr, size)
+		return
+	}
+	sp.m.accessLocked(&sp.st, addr, size)
 }
 
 // ChargeCPU records pure computation cycles within the span.
@@ -233,8 +286,83 @@ func (sp *Span) ChargeCPU(c sim.Cycles) {
 	}
 }
 
+// probe walks the cache lines of [addr, addr+size) read-only, accumulating
+// hit/miss/fault counts against frozen platform state plus the span-local
+// overlay. Mirrors accessLocked's page-by-page walk.
+func (sp *Span) probe(addr uint64, size int) {
+	m := sp.m
+	p := m.p
+	line := p.cfg.LineSize
+	pageSize := p.cfg.PageSize
+	first := addr / line
+	last := (addr + uint64(size) - 1) / line
+	inside := m.enc != nil
+	for l := first; l <= last; {
+		la := l * line
+		page := la / pageSize
+		sp.probePage(page)
+		var end uint64 // last tag on this page
+		if lpp := p.linesPerPage; lpp != 0 {
+			end = (page+1)*lpp - 1
+		} else {
+			end = ((page+1)*pageSize - 1) / line
+		}
+		if end > last {
+			end = last
+		}
+		for ; l <= end; l++ {
+			hit := true
+			if _, ok := sp.roLines[l]; !ok {
+				sp.roLines[l] = struct{}{}
+				hit = p.cache.probeTag(l, page)
+			}
+			if hit {
+				sp.st.hits++
+			} else if inside {
+				sp.st.mee++
+			} else {
+				sp.st.dram++
+			}
+		}
+	}
+}
+
+// probePage accounts residency for one page read-only: the first touch of a
+// non-resident page in this span charges a fault; afterwards the page is
+// locally resident.
+func (sp *Span) probePage(page uint64) {
+	if _, ok := sp.roPages[page]; ok {
+		return
+	}
+	sp.roPages[page] = struct{}{}
+	m := sp.m
+	if m.enc != nil {
+		if !m.p.pager.isResident(page) {
+			sp.st.epcF++
+		}
+		return
+	}
+	if _, ok := m.touched[page]; !ok {
+		sp.st.minorF++
+	}
+}
+
 // End commits the span's accumulated accounting and releases the platform.
+// Snapshot spans take the platform mutex only here, for the commit itself,
+// and are recycled.
 func (sp *Span) End() {
+	if sp.ro {
+		m := sp.m
+		m.p.mu.Lock()
+		m.commitLocked(&sp.st)
+		m.p.mu.Unlock()
+		sp.m = nil
+		sp.st = acct{}
+		clear(sp.roLines)
+		clear(sp.roPages)
+		roSpanPool.Put(sp)
+		return
+	}
 	sp.m.commitLocked(&sp.st)
 	sp.m.p.mu.Unlock()
 	sp.m = nil

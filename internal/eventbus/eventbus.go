@@ -80,61 +80,127 @@ func (b *Bus) subscribe(topic string) (int, error) {
 
 // publish appends a sealed message to all subscriber queues of the topic.
 func (b *Bus) publish(topic string, sealed []byte) (uint64, error) {
+	seqs, err := b.publishBatch(topic, [][]byte{sealed})
+	if err != nil {
+		return 0, err
+	}
+	return seqs[0], nil
+}
+
+// publishBatch appends a batch of sealed messages to all subscriber queues
+// of the topic under a single lock acquisition — the fan-out fast path.
+// All-or-nothing: back-pressure on any subscriber rejects the whole batch
+// before anything is enqueued.
+func (b *Bus) publishBatch(topic string, sealed [][]byte) ([]uint64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
-		return 0, ErrClosed
+		return nil, ErrClosed
 	}
-	b.seqs[topic]++
-	seq := b.seqs[topic]
-	m := Message{Topic: topic, Seq: seq, Sealed: sealed}
 	for id, q := range b.queues[topic] {
-		if len(q) >= QueueLimit {
-			return 0, fmt.Errorf("%w: topic %s subscriber %d", ErrBackPres, topic, id)
+		if len(q)+len(sealed) > QueueLimit {
+			return nil, fmt.Errorf("%w: topic %s subscriber %d", ErrBackPres, topic, id)
 		}
-		b.queues[topic][id] = append(q, m)
 	}
-	return seq, nil
+	seqs := make([]uint64, len(sealed))
+	for i, s := range sealed {
+		b.seqs[topic]++
+		seqs[i] = b.seqs[topic]
+		m := Message{Topic: topic, Seq: seqs[i], Sealed: s}
+		for id, q := range b.queues[topic] {
+			b.queues[topic][id] = append(q, m)
+		}
+	}
+	return seqs, nil
 }
 
 // drain pops all queued messages of a subscription handle.
 func (b *Bus) drain(topic string, id int) []Message {
+	return b.drainN(topic, id, 0)
+}
+
+// drainN pops up to max queued messages (0 = all) of a subscription handle
+// under one lock acquisition. Like drain, it pops messages regardless of
+// outstanding leases — mixing Lease with Receive/PollBatch on one handle
+// is unsupported.
+func (b *Bus) drainN(topic string, id int, max int) []Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	q := b.queues[topic][id]
-	b.queues[topic][id] = nil
-	return q
+	if max <= 0 || max >= len(q) {
+		if q != nil {
+			b.queues[topic][id] = nil
+		}
+		return q
+	}
+	out := append([]Message(nil), q[:max]...)
+	b.queues[topic][id] = append(q[:0:0], q[max:]...)
+	return out
+}
+
+// unsubscribe removes a subscription handle, pruning its queue and leases.
+// When the topic's last subscriber leaves, the topic's queue and lease maps
+// are dropped entirely (sequence numbers persist so a re-created topic
+// never regresses and replay protection holds across churn).
+func (b *Bus) unsubscribe(topic string, id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if qs := b.queues[topic]; qs != nil {
+		delete(qs, id)
+		if len(qs) == 0 {
+			delete(b.queues, topic)
+		}
+	}
+	b.pruneLease(topic, id)
+}
+
+// pruneLease drops the lease map of one subscriber handle and any empty
+// enclosing maps. Caller holds b.mu.
+func (b *Bus) pruneLease(topic string, id int) {
+	l := b.leased[topic]
+	if l == nil {
+		return
+	}
+	delete(l, id)
+	if len(l) == 0 {
+		delete(b.leased, topic)
+	}
 }
 
 // peek returns up to max queued messages, marking them leased (still
-// queued until acked).
+// queued until acked). Lease maps are created only when a message is
+// actually leased, so peeking an empty queue leaves no bookkeeping behind
+// (e.g. from a stale handle after Close).
 func (b *Bus) peek(topic string, id int, max int) []Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.leased == nil {
-		b.leased = make(map[string]map[int]map[uint64]bool)
-	}
-	if b.leased[topic] == nil {
-		b.leased[topic] = make(map[int]map[uint64]bool)
-	}
-	if b.leased[topic][id] == nil {
-		b.leased[topic][id] = make(map[uint64]bool)
-	}
+	mine := b.leased[topic][id]
 	var out []Message
 	for _, m := range b.queues[topic][id] {
 		if max > 0 && len(out) >= max {
 			break
 		}
-		if b.leased[topic][id][m.Seq] {
+		if mine[m.Seq] {
 			continue
 		}
-		b.leased[topic][id][m.Seq] = true
+		if mine == nil {
+			if b.leased == nil {
+				b.leased = make(map[string]map[int]map[uint64]bool)
+			}
+			if b.leased[topic] == nil {
+				b.leased[topic] = make(map[int]map[uint64]bool)
+			}
+			mine = make(map[uint64]bool)
+			b.leased[topic][id] = mine
+		}
+		mine[m.Seq] = true
 		out = append(out, m)
 	}
 	return out
 }
 
-// ack drops a leased message permanently.
+// ack drops a leased message permanently, pruning emptied lease maps so a
+// subscriber that consumed everything holds no residual bookkeeping.
 func (b *Bus) ack(topic string, id int, seq uint64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -144,6 +210,9 @@ func (b *Bus) ack(topic string, id int, seq uint64) bool {
 			b.queues[topic][id] = append(q[:i:i], q[i+1:]...)
 			if l := b.leased[topic]; l != nil && l[id] != nil {
 				delete(l[id], seq)
+				if len(l[id]) == 0 {
+					b.pruneLease(topic, id)
+				}
 			}
 			return true
 		}
@@ -160,6 +229,9 @@ func (b *Bus) nack(topic string, id int, seq uint64) bool {
 		return false
 	}
 	delete(l[id], seq)
+	if len(l[id]) == 0 {
+		b.pruneLease(topic, id)
+	}
 	return true
 }
 
@@ -227,6 +299,7 @@ type Publisher struct {
 	bus   *Bus
 	topic string
 	box   *cryptbox.Box
+	aad   []byte // "topic|<topic>", precomputed once
 	stage *acctStage
 }
 
@@ -236,20 +309,26 @@ func NewPublisher(bus *Bus, topic string, key cryptbox.Key) (*Publisher, error) 
 }
 
 // NewPublisherAccounted builds a publisher whose outbound copies are
-// charged to the given simulated memory view.
+// charged to the given simulated memory view. The AEAD context is built
+// once per endpoint and dies with it — endpoints are the unit callers
+// already manage, so per-topic churn cannot grow any process-wide state.
 func NewPublisherAccounted(bus *Bus, topic string, key cryptbox.Key, acct Accounting) (*Publisher, error) {
 	box, err := cryptbox.NewBox(key)
 	if err != nil {
 		return nil, err
 	}
-	return &Publisher{bus: bus, topic: topic, box: box, stage: newAcctStage(acct)}, nil
+	return &Publisher{
+		bus: bus, topic: topic, box: box,
+		aad:   []byte("topic|" + topic),
+		stage: newAcctStage(acct),
+	}, nil
 }
 
 // Publish seals body and hands it to the bus, returning its sequence
 // number. The seal binds the topic, so messages cannot be replayed across
 // topics by the bus.
 func (p *Publisher) Publish(body []byte) (uint64, error) {
-	sealed, err := p.box.Seal(body, []byte("topic|"+p.topic))
+	sealed, err := p.box.Seal(body, p.aad)
 	if err != nil {
 		return 0, err
 	}
@@ -257,11 +336,35 @@ func (p *Publisher) Publish(body []byte) (uint64, error) {
 	return p.bus.publish(p.topic, sealed)
 }
 
+// PublishBatch seals a batch of bodies and enqueues them onto all
+// subscriber queues under one bus lock acquisition — each message is
+// sealed exactly once however many subscribers fan out, and the mutex is
+// not re-acquired per message. All-or-nothing under back-pressure. Returns
+// the assigned sequence numbers.
+func (p *Publisher) PublishBatch(bodies [][]byte) ([]uint64, error) {
+	if len(bodies) == 0 {
+		return nil, nil
+	}
+	sealed := make([][]byte, len(bodies))
+	total := 0
+	for i, body := range bodies {
+		s, err := p.box.Seal(body, p.aad)
+		if err != nil {
+			return nil, err
+		}
+		sealed[i] = s
+		total += len(s)
+	}
+	p.stage.chargeCopy(total, true)
+	return p.bus.publishBatch(p.topic, sealed)
+}
+
 // Subscriber receives and opens messages from one topic.
 type Subscriber struct {
 	bus     *Bus
 	topic   string
 	box     *cryptbox.Box
+	aad     []byte // "topic|<topic>", precomputed once
 	handle  int
 	lastSeq uint64
 	stage   *acctStage
@@ -275,6 +378,7 @@ func NewSubscriber(bus *Bus, topic string, key cryptbox.Key) (*Subscriber, error
 // NewSubscriberAccounted registers a subscription whose inbound copies are
 // charged to the given simulated memory view. The whole drained batch is
 // charged as bulk accesses through one staging window, not per message.
+// The AEAD context is per-endpoint, as in NewPublisherAccounted.
 func NewSubscriberAccounted(bus *Bus, topic string, key cryptbox.Key, acct Accounting) (*Subscriber, error) {
 	box, err := cryptbox.NewBox(key)
 	if err != nil {
@@ -284,7 +388,19 @@ func NewSubscriberAccounted(bus *Bus, topic string, key cryptbox.Key, acct Accou
 	if err != nil {
 		return nil, err
 	}
-	return &Subscriber{bus: bus, topic: topic, box: box, handle: h, stage: newAcctStage(acct)}, nil
+	return &Subscriber{
+		bus: bus, topic: topic, box: box,
+		aad:    []byte("topic|" + topic),
+		handle: h, stage: newAcctStage(acct),
+	}, nil
+}
+
+// Close unregisters the subscription, releasing its queue and any lease
+// bookkeeping on the bus. When the topic's last subscriber closes, the
+// topic's queue and lease maps are pruned entirely — previously they
+// accumulated forever under subscriber churn. Safe to call more than once.
+func (s *Subscriber) Close() {
+	s.bus.unsubscribe(s.topic, s.handle)
 }
 
 // Receive drains, authenticates and decrypts pending messages. It fails on
@@ -304,7 +420,39 @@ func (s *Subscriber) Receive() ([][]byte, error) {
 		if m.Seq <= s.lastSeq {
 			return nil, fmt.Errorf("%w: sequence %d replayed", ErrBadSeal, m.Seq)
 		}
-		body, err := s.box.Open(m.Sealed, []byte("topic|"+m.Topic))
+		body, err := s.box.Open(m.Sealed, s.aad)
+		if err != nil {
+			return nil, fmt.Errorf("%w: topic %s seq %d", ErrBadSeal, m.Topic, m.Seq)
+		}
+		s.lastSeq = m.Seq
+		out = append(out, body)
+	}
+	return out, nil
+}
+
+// PollBatch is Receive bounded to max messages (0 = all): it consumes up
+// to max queued messages under a single bus lock acquisition — the shape a
+// micro-service's poll loop wants when it processes fixed-size batches
+// without holding everything the bus buffered in memory at once. As with
+// Receive, an authentication or replay failure is fatal for the stream:
+// the remaining drained messages are discarded, because a bus caught
+// tampering or reordering cannot be trusted to deliver the rest. Consumers
+// that must survive poison messages use Lease/Ack instead.
+func (s *Subscriber) PollBatch(max int) ([][]byte, error) {
+	msgs := s.bus.drainN(s.topic, s.handle, max)
+	if s.stage != nil {
+		total := 0
+		for _, m := range msgs {
+			total += len(m.Sealed)
+		}
+		s.stage.chargeCopy(total, false)
+	}
+	out := make([][]byte, 0, len(msgs))
+	for _, m := range msgs {
+		if m.Seq <= s.lastSeq {
+			return nil, fmt.Errorf("%w: sequence %d replayed", ErrBadSeal, m.Seq)
+		}
+		body, err := s.box.Open(m.Sealed, s.aad)
 		if err != nil {
 			return nil, fmt.Errorf("%w: topic %s seq %d", ErrBadSeal, m.Topic, m.Seq)
 		}
@@ -335,7 +483,7 @@ func (s *Subscriber) Lease(max int) ([]Pending, error) {
 	}
 	out := make([]Pending, 0, len(msgs))
 	for _, m := range msgs {
-		body, err := s.box.Open(m.Sealed, []byte("topic|"+m.Topic))
+		body, err := s.box.Open(m.Sealed, s.aad)
 		if err != nil {
 			return nil, fmt.Errorf("%w: topic %s seq %d", ErrBadSeal, m.Topic, m.Seq)
 		}

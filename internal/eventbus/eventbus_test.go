@@ -351,3 +351,165 @@ func TestConcurrentPublishers(t *testing.T) {
 		t.Fatalf("received %d of 400", len(got))
 	}
 }
+
+func TestPublishBatchFanOut(t *testing.T) {
+	bus := New()
+	key, _ := TopicKey(appRoot(), "batch")
+	pub, err := NewPublisher(bus, "batch", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subs []*Subscriber
+	for i := 0; i < 3; i++ {
+		s, err := NewSubscriber(bus, "batch", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, s)
+	}
+	bodies := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}
+	seqs, err := pub.PublishBatch(bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 4 || seqs[0] != 1 || seqs[3] != 4 {
+		t.Fatalf("seqs = %v", seqs)
+	}
+	for _, s := range subs {
+		got, err := s.Receive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 4 || string(got[0]) != "a" || string(got[3]) != "d" {
+			t.Fatalf("received %q", got)
+		}
+	}
+	if _, err := pub.PublishBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestPublishBatchBackPressureAllOrNothing(t *testing.T) {
+	bus := New()
+	key, _ := TopicKey(appRoot(), "bp")
+	pub, _ := NewPublisher(bus, "bp", key)
+	sub, _ := NewSubscriber(bus, "bp", key)
+	for i := 0; i < QueueLimit-1; i++ {
+		if _, err := pub.Publish([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pub.PublishBatch([][]byte{[]byte("y"), []byte("z")}); !errors.Is(err, ErrBackPres) {
+		t.Fatalf("err = %v, want ErrBackPres", err)
+	}
+	// Nothing from the rejected batch leaked into the queue.
+	got, err := sub.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != QueueLimit-1 {
+		t.Fatalf("queued %d, want %d", len(got), QueueLimit-1)
+	}
+}
+
+func TestPollBatchBounded(t *testing.T) {
+	bus := New()
+	key, _ := TopicKey(appRoot(), "poll")
+	pub, _ := NewPublisher(bus, "poll", key)
+	sub, _ := NewSubscriber(bus, "poll", key)
+	for i := 0; i < 10; i++ {
+		if _, err := pub.Publish([]byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := sub.PollBatch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 3 || string(first[0]) != "0" || string(first[2]) != "2" {
+		t.Fatalf("first poll = %q", first)
+	}
+	rest, err := sub.PollBatch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 7 || string(rest[0]) != "3" {
+		t.Fatalf("second poll = %q", rest)
+	}
+	// Replay protection still active across polls.
+	if more, err := sub.PollBatch(5); err != nil || len(more) != 0 {
+		t.Fatalf("drained topic returned %q, %v", more, err)
+	}
+}
+
+// TestUnsubscribePrunesLeases pins the churn leak fix: when a topic's last
+// subscriber closes, its queue and lease maps disappear from the bus.
+func TestUnsubscribePrunesLeases(t *testing.T) {
+	bus := New()
+	key, _ := TopicKey(appRoot(), "churn")
+	pub, _ := NewPublisher(bus, "churn", key)
+	for round := 0; round < 50; round++ {
+		sub, err := NewSubscriber(bus, "churn", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pub.Publish([]byte("m")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sub.Lease(1); err != nil { // creates lease bookkeeping
+			t.Fatal(err)
+		}
+		sub.Close()
+		sub.Close() // idempotent
+	}
+	bus.mu.Lock()
+	nq, nl := len(bus.queues), len(bus.leased)
+	bus.mu.Unlock()
+	if nq != 0 || nl != 0 {
+		t.Fatalf("after churn: %d queue topics, %d lease topics retained, want 0/0", nq, nl)
+	}
+	if bus.Depth("churn") != 0 {
+		t.Fatalf("depth = %d after last unsubscribe", bus.Depth("churn"))
+	}
+	// Sequence numbers survive churn: a fresh subscriber still sees
+	// monotonically increasing sequences.
+	sub, _ := NewSubscriber(bus, "churn", key)
+	seq, err := pub.Publish([]byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 51 {
+		t.Fatalf("seq = %d, want 51 (continuity across churn)", seq)
+	}
+	if got, err := sub.Receive(); err != nil || len(got) != 1 {
+		t.Fatalf("fresh subscriber: %q %v", got, err)
+	}
+}
+
+// TestAckPrunesEmptyLeaseMaps: fully acknowledging a lease leaves no
+// residual per-subscriber lease maps behind.
+func TestAckPrunesEmptyLeaseMaps(t *testing.T) {
+	bus := New()
+	key, _ := TopicKey(appRoot(), "ack")
+	pub, _ := NewPublisher(bus, "ack", key)
+	sub, _ := NewSubscriber(bus, "ack", key)
+	if _, err := pub.Publish([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	pend, err := sub.Lease(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pend) != 1 {
+		t.Fatalf("leased %d", len(pend))
+	}
+	if !sub.Ack(pend[0].Seq) {
+		t.Fatal("ack failed")
+	}
+	bus.mu.Lock()
+	nl := len(bus.leased)
+	bus.mu.Unlock()
+	if nl != 0 {
+		t.Fatalf("lease maps retained after full ack: %d topics", nl)
+	}
+}

@@ -1,9 +1,12 @@
 package scbr
 
 import (
+	"sync/atomic"
 	"testing"
 
+	"securecloud/internal/attest"
 	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
 )
 
 func BenchmarkInsertUnaccounted(b *testing.B) {
@@ -38,6 +41,161 @@ func BenchmarkCovers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s1.Covers(s2)
 	}
+}
+
+// BenchmarkBrokerPublishParallel is the multi-publisher throughput
+// benchmark of the sharded broker: pre-sealed publications from several
+// publishers drive the full publish→match→deliver pipeline concurrently
+// (run with -cpu 1,4 to see core scaling).
+//
+// The simulated metrics are measured in a deterministic sequential pass
+// before the timed loop: with the subscription store frozen, every match
+// runs against a read-only snapshot, so per-op sim-cycles and faults are a
+// pure function of the workload — bit-identical at every -cpu setting.
+// sim-speedup is the simulator's own scaling statement: the ratio of
+// summed per-shard match cycles (serial execution) to the per-publish
+// critical path (slowest shard), i.e. the speedup an ideal shard-per-core
+// machine realises. Wall-clock ns/op additionally shows host scaling when
+// real cores exist.
+//
+// The shard count is pinned (topology parameter) so figures are comparable
+// across -cpu runs; only MatchWorkers follows GOMAXPROCS.
+func BenchmarkBrokerPublishParallel(b *testing.B) {
+	const (
+		shards       = 4
+		nSubs        = 20000
+		nSubscribers = 8
+		nPublishers  = 4
+		nEvents      = 64
+	)
+	// Shrunken platform (4 MiB EPC per shard) so the store is swap-bound —
+	// the regime where parallel matching matters most.
+	platform := enclave.Config{
+		EPCBytes:         4 << 20,
+		EPCReservedBytes: 1 << 20,
+		LLCBytes:         256 << 10,
+		LLCWays:          8,
+		LineSize:         64,
+		PageSize:         4096,
+	}
+	p := enclave.NewPlatform(platform)
+	var signer cryptbox.Digest
+	enc, err := p.ECreate(2<<20, signer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := enc.EAdd([]byte("scbr-bench")); err != nil {
+		b.Fatal(err)
+	}
+	if err := enc.EInit(); err != nil {
+		b.Fatal(err)
+	}
+	bk, err := NewBroker(enc, BrokerConfig{
+		PayloadBytes: 600,
+		CheckCost:    450,
+		Shards:       shards,
+		ShardBytes:   24 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	subscribers := make([]*Client, nSubscribers)
+	for i := range subscribers {
+		c, err := Connect(bk, "sub-"+itoa(i), nil, nil, attest.Policy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		subscribers[i] = c
+	}
+	w := NewWorkload(DefaultWorkload(42))
+	for i := 0; i < nSubs; i++ {
+		if _, err := subscribers[i%nSubscribers].Subscribe(bk, w.NextSubscription()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	publishers := make([]*Client, nPublishers)
+	for i := range publishers {
+		c, err := Connect(bk, "pub-"+itoa(i), nil, nil, attest.Policy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		publishers[i] = c
+	}
+	events := make([]Event, nEvents)
+	for i := range events {
+		events[i] = w.NextEvent()
+	}
+	// Pre-seal the envelopes so the timed loop measures the broker
+	// pipeline, not client-side encoding.
+	envs := make([][]Envelope, nPublishers)
+	for pi, c := range publishers {
+		envs[pi] = make([]Envelope, nEvents)
+		for i, e := range events {
+			raw, err := appendEventBinary(nil, e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			env, err := sealWith(c.box, c.ID, KindPublication, raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			envs[pi][i] = env
+		}
+	}
+
+	// Deterministic accounting pass (see doc comment).
+	six := bk.Index()
+	six.ResetAccounting()
+	var serial, critical uint64
+	for i := 0; i < nEvents; i++ {
+		before := six.ShardCycles()
+		if _, err := bk.Publish(envs[0][i]); err != nil {
+			b.Fatal(err)
+		}
+		after := six.ShardCycles()
+		var sum, max uint64
+		for s := range after {
+			d := uint64(after[s] - before[s])
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		serial += sum
+		critical += max
+	}
+	faults := six.Faults()
+	for _, c := range subscribers {
+		bk.Drain(c.ID)
+	}
+
+	b.ResetTimer()
+	var pubIdx atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		pi := int(pubIdx.Add(1)-1) % nPublishers
+		i := 0
+		for pb.Next() {
+			if _, err := bk.Publish(envs[pi][i%nEvents]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+			// Keep queues bounded without a drain per publish.
+			if i%64 == 0 {
+				bk.Drain(subscribers[(i/64)%nSubscribers].ID)
+			}
+		}
+	})
+	b.StopTimer()
+	for _, c := range subscribers {
+		bk.Drain(c.ID)
+	}
+	// Reported after the timed loop: ResetTimer discards earlier metrics.
+	b.ReportMetric(float64(serial)/nEvents, "sim-cycles/match")
+	b.ReportMetric(float64(critical)/nEvents, "sim-critical-cycles/match")
+	b.ReportMetric(float64(serial)/float64(critical), "sim-speedup")
+	b.ReportMetric(float64(faults)/nEvents, "faults/match")
 }
 
 func BenchmarkSealPublication(b *testing.B) {

@@ -3,7 +3,6 @@ package scbr
 import (
 	"crypto/ecdh"
 	"crypto/rand"
-	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -14,20 +13,39 @@ import (
 )
 
 // Broker is the SCBR routing engine. Its matching state (the containment
-// index) lives inside an enclave; clients talk to it in encrypted
-// envelopes over per-client session keys established with an attested
-// Diffie-Hellman exchange. The untrusted host routing the envelopes learns
-// neither filters nor publication content — the privacy property that
-// motivates SCBR (§V-B).
+// index) lives inside enclaves; clients talk to it in encrypted envelopes
+// over per-client session keys established with an attested Diffie-Hellman
+// exchange. The untrusted host routing the envelopes learns neither filters
+// nor publication content — the privacy property that motivates SCBR
+// (§V-B).
+//
+// Concurrency model (shard-per-core): the subscription store is a
+// ShardedIndex — one containment forest per shard, each on its own
+// simulated platform — so Publish matches all shards in parallel through
+// read-only snapshot spans while Subscribe/Unsubscribe lock only the home
+// shard of the affected ID. Broker-level control state (sessions, ownership)
+// sits behind a reader/writer lock that Publish only ever read-locks, and
+// delivery queues behind their own mutex, appended once per publish after
+// all per-subscriber sealing has happened outside any lock.
 type Broker struct {
 	enc *enclave.Enclave
-	ix  *Index
+	six *ShardedIndex
 
-	mu       sync.Mutex
-	sessions map[string]cryptbox.Key // clientID -> session key
-	owners   map[uint64]string       // subscription ID -> clientID
-	queues   map[string][]Delivery
+	mu       sync.RWMutex // sessions, owners, nextSub
+	sessions map[string]*session
+	owners   map[uint64]string
 	nextSub  uint64
+
+	qmu    sync.Mutex
+	queues map[string][]Delivery
+}
+
+// session is one client's established state: its AEAD context and the
+// precomputed delivery AAD.
+type session struct {
+	id  string
+	box *cryptbox.Box
+	aad []byte // "delivery|<clientID>"
 }
 
 // BrokerConfig sizes the broker.
@@ -36,6 +54,15 @@ type BrokerConfig struct {
 	PayloadBytes int
 	// CheckCost is the CPU cost per filter comparison.
 	CheckCost sim.Cycles
+	// Shards is the number of index shards (0 = GOMAXPROCS). A topology
+	// parameter: it determines subscription placement and therefore the
+	// simulated figures — pin it when comparing runs.
+	Shards int
+	// MatchWorkers bounds the per-publish match fan-out (0 = GOMAXPROCS).
+	// Execution-only: simulated totals are identical for any value.
+	MatchWorkers int
+	// ShardBytes sizes each shard enclave (0 = the broker enclave's size).
+	ShardBytes uint64
 }
 
 // DefaultBrokerConfig mirrors the SCBR prototype's footprint.
@@ -43,31 +70,39 @@ func DefaultBrokerConfig() BrokerConfig {
 	return BrokerConfig{PayloadBytes: 2048, CheckCost: 450}
 }
 
-// NewBroker builds a broker whose index lives on the enclave heap.
+// NewBroker builds a broker whose matching state lives on shard enclaves
+// configured like enc's platform (enc itself remains the attested front
+// door charged for enclave transitions).
 func NewBroker(enc *enclave.Enclave, cfg BrokerConfig) (*Broker, error) {
-	arena, err := enc.HeapArena()
+	shardBytes := cfg.ShardBytes
+	if shardBytes == 0 {
+		shardBytes = enc.Size()
+	}
+	six, err := NewShardedIndex(ShardedIndexConfig{
+		Shards:       cfg.Shards,
+		Workers:      cfg.MatchWorkers,
+		PayloadBytes: cfg.PayloadBytes,
+		CheckCost:    cfg.CheckCost,
+		Accounted:    true,
+		Platform:     enc.Platform().Config(),
+		ShardBytes:   shardBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
-	ix := NewIndex(IndexConfig{
-		Mem:          enc.Memory(),
-		Arena:        arena,
-		PayloadBytes: cfg.PayloadBytes,
-		CheckCost:    cfg.CheckCost,
-	})
 	return &Broker{
 		enc:      enc,
-		ix:       ix,
-		sessions: make(map[string]cryptbox.Key),
+		six:      six,
+		sessions: make(map[string]*session),
 		owners:   make(map[uint64]string),
 		queues:   make(map[string][]Delivery),
 	}, nil
 }
 
-// Index exposes the underlying index (diagnostics, benchmarks).
-func (b *Broker) Index() *Index { return b.ix }
+// Index exposes the underlying sharded index (diagnostics, benchmarks).
+func (b *Broker) Index() *ShardedIndex { return b.six }
 
-// Enclave returns the broker's enclave.
+// Enclave returns the broker's front enclave.
 func (b *Broker) Enclave() *enclave.Enclave { return b.enc }
 
 // Handshake is the broker half of the session establishment: it receives
@@ -90,8 +125,15 @@ func (b *Broker) Handshake(clientID string, clientPub []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Session keys are ephemeral (fresh X25519 exchange per handshake), so
+	// the AEAD context lives in the session record — not in the process-
+	// wide CachedBox intern table, which never evicts — and dies with it.
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
 	b.mu.Lock()
-	b.sessions[clientID] = key
+	b.sessions[clientID] = &session{id: clientID, box: box, aad: []byte("delivery|" + clientID)}
 	b.mu.Unlock()
 	return priv.PublicKey().Bytes(), nil
 }
@@ -104,21 +146,22 @@ func sessionKeyFrom(shared []byte, clientID string) (cryptbox.Key, error) {
 	return cryptbox.KeyFromBytes(raw)
 }
 
-func (b *Broker) session(clientID string) (cryptbox.Key, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	k, ok := b.sessions[clientID]
+func (b *Broker) session(clientID string) (*session, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	s, ok := b.sessions[clientID]
 	if !ok {
-		return cryptbox.Key{}, fmt.Errorf("%w: %s", ErrUnknownClient, clientID)
+		return nil, fmt.Errorf("%w: %s", ErrUnknownClient, clientID)
 	}
-	return k, nil
+	return s, nil
 }
 
 // Subscribe registers an encrypted subscription and returns its broker-
 // assigned ID. The matching step — decrypt, containment search, insert —
-// runs inside the enclave (one entry per request).
+// runs inside the enclave (one entry per request). Only the home shard of
+// the new ID is write-locked.
 func (b *Broker) Subscribe(env Envelope) (uint64, error) {
-	key, err := b.session(env.ClientID)
+	sess, err := b.session(env.ClientID)
 	if err != nil {
 		return 0, err
 	}
@@ -127,13 +170,13 @@ func (b *Broker) Subscribe(env Envelope) (uint64, error) {
 	}
 	defer func() { _ = b.enc.EExit() }()
 
-	raw, err := openEnvelope(key, env)
+	raw, err := openEnvelopeWith(sess.box, env)
 	if err != nil {
 		return 0, err
 	}
-	var s Subscription
-	if err := json.Unmarshal(raw, &s); err != nil {
-		return 0, fmt.Errorf("scbr: decoding subscription: %w", err)
+	s, err := decodeSubscription(raw)
+	if err != nil {
+		return 0, err
 	}
 	b.mu.Lock()
 	b.nextSub++
@@ -141,7 +184,7 @@ func (b *Broker) Subscribe(env Envelope) (uint64, error) {
 	b.owners[s.ID] = env.ClientID
 	b.mu.Unlock()
 	s.Normalize()
-	b.ix.Insert(s)
+	b.six.Insert(s)
 	return s.ID, nil
 }
 
@@ -151,9 +194,9 @@ func (b *Broker) Unsubscribe(clientID string, subID uint64) error {
 	if _, err := b.session(clientID); err != nil {
 		return err
 	}
-	b.mu.Lock()
+	b.mu.RLock()
 	owner, ok := b.owners[subID]
-	b.mu.Unlock()
+	b.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("scbr: unknown subscription %d", subID)
 	}
@@ -164,18 +207,22 @@ func (b *Broker) Unsubscribe(clientID string, subID uint64) error {
 		return err
 	}
 	defer func() { _ = b.enc.EExit() }()
-	b.ix.Remove(subID)
-	b.mu.Lock()
-	delete(b.owners, subID)
-	b.mu.Unlock()
+	if b.six.Remove(subID) {
+		b.mu.Lock()
+		delete(b.owners, subID)
+		b.mu.Unlock()
+	}
 	return nil
 }
 
 // Publish routes an encrypted publication: decrypt inside the enclave,
-// match against the containment index, and enqueue one re-encrypted
+// match against all index shards in parallel, and enqueue one re-encrypted
 // delivery per matching subscriber under that subscriber's session key.
+// The decrypted plaintext is reused verbatim as the delivery payload (no
+// re-encode), per-subscriber sealing runs outside every broker lock with
+// the session's interned AEAD, and the queues lock is taken once.
 func (b *Broker) Publish(env Envelope) (delivered int, err error) {
-	key, err := b.session(env.ClientID)
+	sess, err := b.session(env.ClientID)
 	if err != nil {
 		return 0, err
 	}
@@ -184,51 +231,63 @@ func (b *Broker) Publish(env Envelope) (delivered int, err error) {
 	}
 	defer func() { _ = b.enc.EExit() }()
 
-	raw, err := openEnvelope(key, env)
+	raw, err := openEnvelopeWith(sess.box, env)
 	if err != nil {
 		return 0, err
 	}
-	var e Event
-	if err := json.Unmarshal(raw, &e); err != nil {
-		return 0, fmt.Errorf("scbr: decoding publication: %w", err)
+	e, err := decodeEvent(raw)
+	if err != nil {
+		return 0, err
 	}
-	matched := b.ix.Match(e)
+	matched := b.six.Match(e)
+	if len(matched) == 0 {
+		return 0, nil
+	}
 
-	payload, err := json.Marshal(e)
-	if err != nil {
-		return 0, err
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	// Resolve matched IDs to unique subscriber sessions under the read
+	// lock. matched is in ascending ID order, so the recipient list — and
+	// with it delivery order — is deterministic.
+	b.mu.RLock()
 	seen := make(map[string]bool, len(matched))
+	recipients := make([]*session, 0, len(matched))
 	for _, subID := range matched {
 		client := b.owners[subID]
 		if client == "" || seen[client] {
 			continue
 		}
 		seen[client] = true
-		ck := b.sessions[client]
-		box, err := cryptbox.NewBox(ck)
-		if err != nil {
-			return delivered, err
+		if cs := b.sessions[client]; cs != nil {
+			recipients = append(recipients, cs)
 		}
-		sealed, err := box.Seal(payload, []byte("delivery|"+client))
-		if err != nil {
-			return delivered, err
-		}
-		b.queues[client] = append(b.queues[client], Delivery{SubscriberID: client, Sealed: sealed})
-		delivered++
 	}
-	return delivered, nil
+	b.mu.RUnlock()
+
+	// Seal outside any lock; the AEAD context and AAD are per-session
+	// precomputed, the payload is the already-decrypted raw plaintext.
+	dels := make([]Delivery, len(recipients))
+	for i, cs := range recipients {
+		sealed, err := cs.box.Seal(raw, cs.aad)
+		if err != nil {
+			return 0, err
+		}
+		dels[i] = Delivery{SubscriberID: cs.id, Sealed: sealed}
+	}
+
+	b.qmu.Lock()
+	for i := range dels {
+		b.queues[dels[i].SubscriberID] = append(b.queues[dels[i].SubscriberID], dels[i])
+	}
+	b.qmu.Unlock()
+	return len(dels), nil
 }
 
 // Drain returns and clears a client's pending deliveries (what the
 // untrusted transport would push to the subscriber).
 func (b *Broker) Drain(clientID string) []Delivery {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
 	out := b.queues[clientID]
-	b.queues[clientID] = nil
+	delete(b.queues, clientID)
 	return out
 }
 
@@ -236,6 +295,7 @@ func (b *Broker) Drain(clientID string) []Delivery {
 type Client struct {
 	ID  string
 	key cryptbox.Key
+	box *cryptbox.Box
 }
 
 // Connect establishes a session with the broker. When svc and quoter are
@@ -267,32 +327,55 @@ func Connect(b *Broker, clientID string, svc *attest.Service, quoter *attest.Quo
 	if err != nil {
 		return nil, err
 	}
-	return &Client{ID: clientID, key: key}, nil
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{ID: clientID, key: key, box: box}, nil
 }
 
-// Subscribe seals and registers a subscription.
+// Subscribe seals and registers a subscription using the compact binary
+// wire form (the JSON SealSubscription path remains for external callers).
 func (c *Client) Subscribe(b *Broker, s Subscription) (uint64, error) {
-	env, err := SealSubscription(c.key, c.ID, s)
+	buf := cryptbox.GetScratch()
+	defer func() { cryptbox.PutScratch(buf) }() // closure: buf may be regrown below
+	buf, err := appendSubscriptionBinary(buf, s)
+	if err != nil {
+		return 0, err
+	}
+	env, err := sealWith(c.box, c.ID, KindSubscription, buf)
 	if err != nil {
 		return 0, err
 	}
 	return b.Subscribe(env)
 }
 
-// Publish seals and routes an event.
+// Publish seals and routes an event in the compact binary wire form.
 func (c *Client) Publish(b *Broker, e Event) (int, error) {
-	env, err := SealPublication(c.key, c.ID, e)
+	buf := cryptbox.GetScratch()
+	defer func() { cryptbox.PutScratch(buf) }() // closure: buf may be regrown below
+	buf, err := appendEventBinary(buf, e)
+	if err != nil {
+		return 0, err
+	}
+	env, err := sealWith(c.box, c.ID, KindPublication, buf)
 	if err != nil {
 		return 0, err
 	}
 	return b.Publish(env)
 }
 
-// Receive drains and decrypts pending deliveries.
+// Receive drains and decrypts pending deliveries with the client's held
+// AEAD context.
 func (c *Client) Receive(b *Broker) ([]Event, error) {
 	var out []Event
+	aad := []byte("delivery|" + c.ID)
 	for _, d := range b.Drain(c.ID) {
-		e, err := OpenDelivery(c.key, d)
+		raw, err := c.box.Open(d.Sealed, aad)
+		if err != nil {
+			return nil, ErrBadEnvelope
+		}
+		e, err := decodeEvent(raw)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,163 @@
+package scbr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"securecloud/internal/attest"
+)
+
+// TestBrokerConcurrentStress drives Publish, Subscribe, Unsubscribe and
+// Drain from many goroutines at once. Run under -race it checks the whole
+// locking architecture: the control-state RWMutex, the per-shard
+// reader/writer locks, lock-free snapshot probes, and the queues mutex.
+func TestBrokerConcurrentStress(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	bk, err := NewBroker(enc, BrokerConfig{
+		PayloadBytes: 256,
+		CheckCost:    100,
+		Shards:       3,
+		MatchWorkers: 4,
+		ShardBytes:   16 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nClients = 6
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		c, err := Connect(bk, "client-"+itoa(i), nil, nil, attest.Policy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	// A base population so publishes always have something to match.
+	for i, c := range clients {
+		s, _ := NewSubscription(0, map[string]Interval{"a": iv(0, float64(50+i))})
+		if _, err := c.Subscribe(bk, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		wg        sync.WaitGroup
+		delivered atomic.Uint64
+		failures  atomic.Uint64
+	)
+	fail := func(err error) {
+		if err != nil {
+			failures.Add(1)
+			t.Error(err)
+		}
+	}
+
+	// Publishers.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := NewWorkload(DefaultWorkload(int64(g)))
+			c := clients[g]
+			for i := 0; i < 150; i++ {
+				e := Event{Attrs: map[string]float64{"a": float64(i % 60)}, Payload: []byte("p")}
+				if i%3 == 0 {
+					e = w.NextEvent()
+				}
+				n, err := c.Publish(bk, e)
+				fail(err)
+				delivered.Add(uint64(n))
+			}
+		}(g)
+	}
+	// Subscriber churn: register and remove filters concurrently.
+	for g := 3; g < 5; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := clients[g]
+			var mine []uint64
+			for i := 0; i < 100; i++ {
+				s, _ := NewSubscription(0, map[string]Interval{"a": iv(float64(i%20), float64(40+i%20))})
+				id, err := c.Subscribe(bk, s)
+				fail(err)
+				mine = append(mine, id)
+				if len(mine) > 10 {
+					fail(bk.Unsubscribe(c.ID, mine[0]))
+					mine = mine[1:]
+				}
+			}
+		}(g)
+	}
+	// Drainer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			bk.Drain(clients[i%nClients].ID)
+		}
+	}()
+	wg.Wait()
+
+	if failures.Load() > 0 {
+		t.Fatalf("%d operations failed under concurrency", failures.Load())
+	}
+	if delivered.Load() == 0 {
+		t.Fatal("no deliveries under stress; matching broke")
+	}
+	// The store must still be coherent: every remaining filter matchable.
+	e := Event{Attrs: map[string]float64{"a": 10}}
+	if got, want := bk.Index().Match(e), bk.Index().MatchNaive(e); !idsEqual(got, want) {
+		t.Fatalf("post-stress matcher disagreement:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestBrokerBinaryAndJSONClientsInterop pins the dual wire form: a legacy
+// JSON envelope and a binary Client envelope land on one broker, and each
+// subscriber reads deliveries originating from either.
+func TestBrokerBinaryAndJSONClientsInterop(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	bk, err := NewBroker(enc, DefaultBrokerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Connect(bk, "sub", nil, nil, attest.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubBin, _ := Connect(bk, "pub-bin", nil, nil, attest.Policy{})
+	pubJSON, _ := Connect(bk, "pub-json", nil, nil, attest.Policy{})
+
+	// JSON subscription via the legacy path.
+	s, _ := NewSubscription(0, map[string]Interval{"v": iv(0, 10)})
+	env, err := SealSubscription(sub.key, sub.ID, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bk.Subscribe(env); err != nil {
+		t.Fatal(err)
+	}
+
+	// Binary publish.
+	if n, err := pubBin.Publish(bk, Event{Attrs: map[string]float64{"v": 5}, Payload: []byte("bin")}); err != nil || n != 1 {
+		t.Fatalf("binary publish: n=%d err=%v", n, err)
+	}
+	// JSON publish via the legacy sealer.
+	jenv, err := SealPublication(pubJSON.key, pubJSON.ID, Event{Attrs: map[string]float64{"v": 6}, Payload: []byte("json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := bk.Publish(jenv); err != nil || n != 1 {
+		t.Fatalf("json publish: n=%d err=%v", n, err)
+	}
+
+	events, err := sub.Receive(bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || string(events[0].Payload) != "bin" || string(events[1].Payload) != "json" {
+		t.Fatalf("received %+v", events)
+	}
+}

@@ -3,6 +3,7 @@ package scbr
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"securecloud/internal/cryptbox"
 	"securecloud/internal/enclave"
@@ -48,6 +49,11 @@ type Figure3Config struct {
 	// Platform overrides the platform configuration (zero = SGX v1
 	// defaults).
 	Platform enclave.Config
+	// Parallel runs up to this many occupancy points concurrently
+	// (<=1 = sequential). Every point builds its own pair of platforms and
+	// its own workload from Seed, so the sweep is embarrassingly parallel:
+	// results are bit-identical to the sequential sweep at any setting.
+	Parallel int
 }
 
 // DefaultFigure3Config reproduces the paper's sweep.
@@ -88,67 +94,95 @@ func runRegistration(mem *enclave.Memory, arena *enclave.Arena, cfg Figure3Confi
 	return float64(cycles) / float64(cfg.MeasureOps), mem.Faults()
 }
 
+// runFigure3Point measures one occupancy point on a fresh pair of twin
+// platforms. Points share no state, which is what makes the parallel sweep
+// deterministic.
+func runFigure3Point(cfg Figure3Config, mb float64) (Figure3Point, error) {
+	target := int64(mb * float64(1<<20))
+	// Headroom for the measured registrations on top of the build.
+	arenaSize := uint64(target) + uint64(cfg.MeasureOps*(cfg.PayloadBytes+512)) + (8 << 20)
+
+	// Inside: enclave sized to hold the database.
+	pIn := enclave.NewPlatform(cfg.Platform)
+	var signer cryptbox.Digest
+	enc, err := pIn.ECreate(arenaSize+(1<<20), signer)
+	if err != nil {
+		return Figure3Point{}, err
+	}
+	if _, err := enc.EAdd([]byte("scbr-broker")); err != nil {
+		return Figure3Point{}, err
+	}
+	if err := enc.EInit(); err != nil {
+		return Figure3Point{}, err
+	}
+	arenaIn, err := enc.HeapArena()
+	if err != nil {
+		return Figure3Point{}, err
+	}
+	inCycles, inFaults := runRegistration(enc.Memory(), arenaIn, cfg, target)
+
+	// Outside: same workload on a twin platform's untrusted memory.
+	// The arena is pre-touched once, mirroring the enclave side where
+	// EADD pre-loaded every page at build time — so the measured
+	// fault counts compare steady states, not allocator warm-up.
+	pOut := enclave.NewPlatform(cfg.Platform)
+	memOut := pOut.UntrustedMemory()
+	base := pOut.AllocUntrusted(arenaSize)
+	pageSize := pOut.Config().PageSize
+	nPages := int((arenaSize + pageSize - 1) / pageSize)
+	memOut.AccessStride(base, pageSize, nPages, 1, true)
+	arenaOut := enclave.NewArena(memOut, base, arenaSize)
+	outCycles, outFaults := runRegistration(memOut, arenaOut, cfg, target)
+
+	pt := Figure3Point{
+		OccupancyMB:        mb,
+		InsideCyclesPerOp:  inCycles,
+		OutsideCyclesPerOp: outCycles,
+		InsideFaults:       inFaults,
+		OutsideFaults:      outFaults,
+	}
+	if outCycles > 0 {
+		pt.TimeRatio = inCycles / outCycles
+	}
+	den := float64(outFaults)
+	if den < 1 {
+		den = 1
+	}
+	pt.FaultRatio = float64(inFaults) / den
+	return pt, nil
+}
+
 // RunFigure3 executes the sweep and returns one point per occupancy. Each
 // point runs the identical workload (same seed) twice: once against an
 // enclave memory view, once against an untrusted view on a twin platform.
+// With cfg.Parallel > 1 the independent points run across that many
+// goroutines; the values are bit-identical to the sequential sweep, only
+// the wall clock shrinks.
 func RunFigure3(cfg Figure3Config) ([]Figure3Point, error) {
 	if len(cfg.OccupanciesMB) == 0 {
+		par := cfg.Parallel
 		cfg = DefaultFigure3Config()
+		cfg.Parallel = par
 	}
-	var out []Figure3Point
-	for _, mb := range cfg.OccupanciesMB {
-		target := int64(mb * float64(1<<20))
-		// Headroom for the measured registrations on top of the build.
-		arenaSize := uint64(target) + uint64(cfg.MeasureOps*(cfg.PayloadBytes+512)) + (8 << 20)
-
-		// Inside: enclave sized to hold the database.
-		pIn := enclave.NewPlatform(cfg.Platform)
-		var signer cryptbox.Digest
-		enc, err := pIn.ECreate(arenaSize+(1<<20), signer)
+	out := make([]Figure3Point, len(cfg.OccupanciesMB))
+	var (
+		mu   sync.Mutex
+		errs error
+	)
+	parallelFor(len(cfg.OccupanciesMB), cfg.Parallel, func(i int) {
+		pt, err := runFigure3Point(cfg, cfg.OccupanciesMB[i])
 		if err != nil {
-			return nil, err
+			mu.Lock()
+			if errs == nil {
+				errs = err
+			}
+			mu.Unlock()
+			return
 		}
-		if _, err := enc.EAdd([]byte("scbr-broker")); err != nil {
-			return nil, err
-		}
-		if err := enc.EInit(); err != nil {
-			return nil, err
-		}
-		arenaIn, err := enc.HeapArena()
-		if err != nil {
-			return nil, err
-		}
-		inCycles, inFaults := runRegistration(enc.Memory(), arenaIn, cfg, target)
-
-		// Outside: same workload on a twin platform's untrusted memory.
-		// The arena is pre-touched once, mirroring the enclave side where
-		// EADD pre-loaded every page at build time — so the measured
-		// fault counts compare steady states, not allocator warm-up.
-		pOut := enclave.NewPlatform(cfg.Platform)
-		memOut := pOut.UntrustedMemory()
-		base := pOut.AllocUntrusted(arenaSize)
-		pageSize := pOut.Config().PageSize
-		nPages := int((arenaSize + pageSize - 1) / pageSize)
-		memOut.AccessStride(base, pageSize, nPages, 1, true)
-		arenaOut := enclave.NewArena(memOut, base, arenaSize)
-		outCycles, outFaults := runRegistration(memOut, arenaOut, cfg, target)
-
-		pt := Figure3Point{
-			OccupancyMB:        mb,
-			InsideCyclesPerOp:  inCycles,
-			OutsideCyclesPerOp: outCycles,
-			InsideFaults:       inFaults,
-			OutsideFaults:      outFaults,
-		}
-		if outCycles > 0 {
-			pt.TimeRatio = inCycles / outCycles
-		}
-		den := float64(outFaults)
-		if den < 1 {
-			den = 1
-		}
-		pt.FaultRatio = float64(inFaults) / den
-		out = append(out, pt)
+		out[i] = pt
+	})
+	if errs != nil {
+		return nil, errs
 	}
 	return out, nil
 }

@@ -220,6 +220,50 @@ func (ix *Index) addDup(n *node, s Subscription) {
 	ix.bytes += int64(size)
 }
 
+// MatchSnapshot is the concurrent read path of Match: it matches e against
+// the index, charging the traversal to a read-only snapshot accounting span
+// that probes — but never mutates — the memory model's cache and residency
+// state. It touches no Index fields other than the (frozen) forest, so any
+// number of MatchSnapshot calls may run concurrently as long as mutators
+// (Insert/Remove/Match) are excluded, e.g. by the read side of an RWMutex.
+// Because nothing mutates, every interleaving charges identical totals —
+// the determinism guarantee the sharded broker builds on.
+//
+// It returns the matched IDs (pre-order, as Match) and the number of
+// cover/match comparisons performed, which the caller accumulates (the
+// shared checks counter cannot be written lock-free).
+func (ix *Index) MatchSnapshot(e Event) (ids []uint64, checks uint64) {
+	var sp *enclave.Span
+	if ix.cfg.Mem != nil {
+		sp = ix.cfg.Mem.BeginSnapshotSpan()
+		defer sp.End()
+	}
+	out := make([]uint64, 0, 16)
+	ev := viewOf(e)
+	var walk func(cur *node)
+	walk = func(cur *node) {
+		for _, ch := range cur.children {
+			checks++
+			if sp != nil {
+				sp.AccessCPU(ch.addr, ch.hdrBytes, false, ix.cfg.CheckCost)
+			}
+			if !ch.sub.matchesView(ev) {
+				continue
+			}
+			out = append(out, ch.sub.ID)
+			for _, d := range ch.bucket {
+				if sp != nil {
+					sp.Access(d.addr, 16, false)
+				}
+				out = append(out, d.id)
+			}
+			walk(ch)
+		}
+	}
+	walk(&ix.root)
+	return out, checks
+}
+
 // MatchNaive checks every stored subscription without pruning — the
 // reference matcher used by tests and the comparison baseline for the
 // containment ablation.

@@ -224,11 +224,19 @@ func SealPublication(key cryptbox.Key, clientID string, e Event) (Envelope, erro
 	return seal(key, clientID, KindPublication, raw)
 }
 
+// seal builds a one-shot AEAD context for the bare-key legacy API. Session
+// keys are ephemeral, so they must not be interned process-wide
+// (cryptbox.CachedBox never evicts); hot paths hold a per-session Box.
 func seal(key cryptbox.Key, clientID, kind string, raw []byte) (Envelope, error) {
 	box, err := cryptbox.NewBox(key)
 	if err != nil {
 		return Envelope{}, err
 	}
+	return sealWith(box, clientID, kind, raw)
+}
+
+// sealWith is the hot-path seal using an already-interned AEAD context.
+func sealWith(box *cryptbox.Box, clientID, kind string, raw []byte) (Envelope, error) {
 	sealed, err := box.Seal(raw, []byte(kind+"|"+clientID))
 	if err != nil {
 		return Envelope{}, err
@@ -237,12 +245,17 @@ func seal(key cryptbox.Key, clientID, kind string, raw []byte) (Envelope, error)
 }
 
 // openEnvelope authenticates and decrypts an envelope with the client's
-// session key.
+// session key (one-shot context; see seal).
 func openEnvelope(key cryptbox.Key, env Envelope) ([]byte, error) {
 	box, err := cryptbox.NewBox(key)
 	if err != nil {
 		return nil, err
 	}
+	return openEnvelopeWith(box, env)
+}
+
+// openEnvelopeWith is openEnvelope with an already-interned AEAD context.
+func openEnvelopeWith(box *cryptbox.Box, env Envelope) ([]byte, error) {
 	raw, err := box.Open(env.Sealed, []byte(env.Kind+"|"+env.ClientID))
 	if err != nil {
 		return nil, ErrBadEnvelope
@@ -256,7 +269,9 @@ type Delivery struct {
 	Sealed       []byte `json:"sealed"`
 }
 
-// OpenDelivery decrypts a delivery at the subscriber.
+// OpenDelivery decrypts a delivery at the subscriber. The payload is
+// whichever wire form the publisher used (binary or JSON) — the broker
+// forwards the decrypted publication bytes verbatim.
 func OpenDelivery(key cryptbox.Key, d Delivery) (Event, error) {
 	box, err := cryptbox.NewBox(key)
 	if err != nil {
@@ -266,9 +281,5 @@ func OpenDelivery(key cryptbox.Key, d Delivery) (Event, error) {
 	if err != nil {
 		return Event{}, ErrBadEnvelope
 	}
-	var e Event
-	if err := json.Unmarshal(raw, &e); err != nil {
-		return Event{}, err
-	}
-	return e, nil
+	return decodeEvent(raw)
 }

@@ -21,9 +21,43 @@ echo "bench-smoke: reduced Figure 3 sweep (60,120,200 MB @ 200 ops)" >&2
 go run ./cmd/scbr-bench -ops 200 -points 60,120,200 -payload 1200 -json \
     >"$TMP/sweep.json"
 
+# The same sweep with points fanned across goroutines: values must be
+# bit-identical (independent twin platforms per point); only wall clock
+# may differ — on multicore hosts it shrinks toward 1/3.
+echo "bench-smoke: parallel Figure 3 sweep (-parallel 3)" >&2
+go run ./cmd/scbr-bench -ops 200 -points 60,120,200 -payload 1200 -json \
+    -parallel 3 >"$TMP/sweep_par.json"
+
 echo "bench-smoke: go test -bench=CacheMissVsSwap -benchtime=1x" >&2
 go test -run '^$' -bench 'CacheMissVsSwap' -benchtime=1x . >"$TMP/bench.txt" 2>&1 \
     || { cat "$TMP/bench.txt" >&2; exit 1; }
+
+# Parallel broker throughput at GOMAXPROCS 1 and 4. The simulated metrics
+# (sim-cycles/match, faults/match, sim-speedup) are deterministic and must
+# be identical across -cpu settings; wall-clock ns/op additionally shows
+# host scaling when the machine has real cores to offer.
+echo "bench-smoke: go test -bench=BrokerPublishParallel -cpu 1,4" >&2
+go test -run '^$' -bench 'BrokerPublishParallel' -benchtime 2000x -cpu 1,4 \
+    ./internal/scbr >"$TMP/par.txt" 2>&1 \
+    || { cat "$TMP/par.txt" >&2; exit 1; }
+
+awk '
+/^BenchmarkBrokerPublishParallel/ {
+    cpus=1
+    if (match($1, /-[0-9]+$/)) cpus = substr($1, RSTART+1)
+    ns=""; faults=""; cycles=""; crit=""; speedup=""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "faults/match") faults = $i
+        if ($(i+1) == "sim-cycles/match") cycles = $i
+        if ($(i+1) == "sim-critical-cycles/match") crit = $i
+        if ($(i+1) == "sim-speedup") speedup = $i
+    }
+    printf "%s{\"gomaxprocs\":%s,\"wall_ns_per_publish\":%s,\"faults_per_match\":%s,\"sim_cycles_per_match\":%s,\"sim_critical_cycles_per_match\":%s,\"sim_speedup\":%s}", sep, cpus, ns, faults, cycles, crit, speedup
+    sep=","
+}
+BEGIN { printf "[" } END { printf "]" }
+' "$TMP/par.txt" >"$TMP/par.json"
 
 # Fold `store=NMB  iters  X ns/op  F faults/match  C sim-cycles/match` lines
 # into JSON objects.
@@ -53,8 +87,11 @@ SEED_BASELINE="scripts/seed_baseline.json"
     if [ -f "$SEED_BASELINE" ]; then
         echo "  \"seed_baseline\": $(cat "$SEED_BASELINE"),"
     fi
+    echo "  \"host_cpus\": $(nproc),"
     echo "  \"cache_miss_vs_swap\": $(cat "$TMP/cachemiss.json"),"
-    echo "  \"figure3_reduced_sweep\": $(cat "$TMP/sweep.json")"
+    echo "  \"broker_publish_parallel\": $(cat "$TMP/par.json"),"
+    echo "  \"figure3_reduced_sweep\": $(cat "$TMP/sweep.json"),"
+    echo "  \"figure3_reduced_sweep_parallel\": $(cat "$TMP/sweep_par.json")"
     echo "}"
 } >"$OUT"
 

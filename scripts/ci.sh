@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# ci.sh — the per-PR verification gate, runnable locally or in CI:
+#
+#   scripts/ci.sh
+#
+# 1. go build ./...            (everything compiles, including examples)
+# 2. go vet ./...              (static checks)
+# 3. go test ./...             (tier-1: full test suite, goldens included)
+# 4. go test -race <concurrent packages>
+#                              (the packages with lock-free fast paths and
+#                               the sharded broker's concurrent pipeline)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "ci: go build ./..." >&2
+go build ./...
+
+echo "ci: go vet ./..." >&2
+go vet ./...
+
+echo "ci: go test ./..." >&2
+go test ./...
+
+RACE_PKGS=(
+    ./internal/sim
+    ./internal/enclave
+    ./internal/scbr
+    ./internal/eventbus
+    ./internal/cryptbox
+)
+echo "ci: go test -race ${RACE_PKGS[*]}" >&2
+go test -race "${RACE_PKGS[@]}"
+
+echo "ci: OK" >&2

@@ -1,0 +1,282 @@
+// Command bench-check is the bench-regression gate: it extracts every
+// deterministic simulated metric from the newest committed BENCH_N.json
+// and fails when any value drifts from the committed baseline
+// (scripts/bench_baseline.json).
+//
+// Deterministic metrics — sim-cycles, fault counts, figure values — are
+// pure functions of the workload and the cost model, so any drift is a
+// semantic change to the simulator or its data structures, never noise.
+// Wall-clock fields are ignored: they measure the host. The check also
+// verifies internal consistency inside the bench file itself (parallel
+// sweeps bit-identical to sequential ones, per-cpu broker runs agreeing),
+// which catches nondeterminism even before a baseline exists.
+//
+// Usage:
+//
+//	bench-check [-bench BENCH_N.json] [-baseline scripts/bench_baseline.json] [-update]
+//
+// -update rewrites the baseline from the bench file; do this deliberately
+// in the PR that intentionally changes the cost model or workload, the
+// same discipline as GOLDEN_UPDATE=1 for the golden tests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// tolerance absorbs JSON float round-tripping, nothing more: deterministic
+// metrics must match to better than one part per billion.
+const tolerance = 1e-9
+
+type baseline struct {
+	Source  string             `json:"source"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench-check: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// latestBench returns the BENCH_N.json with the highest N in dir.
+func latestBench(dir string) (string, error) {
+	entries, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	re := regexp.MustCompile(`BENCH_(\d+)\.json$`)
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := re.FindStringSubmatch(e)
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > bestN {
+			best, bestN = e, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_N.json found in %s", dir)
+	}
+	return best, nil
+}
+
+func num(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}
+
+// extract pulls every deterministic metric out of one bench file into a
+// flat name → value map, and runs the file's internal consistency checks.
+func extract(doc map[string]any) (map[string]float64, []string) {
+	metrics := make(map[string]float64)
+	var problems []string
+
+	// Broker throughput: the simulated metrics must agree across every
+	// -cpu entry (that is the determinism statement), then gate once.
+	if arr, ok := doc["broker_publish_parallel"].([]any); ok && len(arr) > 0 {
+		fields := []string{"sim_cycles_per_match", "sim_critical_cycles_per_match", "faults_per_match", "sim_speedup"}
+		for _, f := range fields {
+			var first float64
+			for i, e := range arr {
+				obj, ok := e.(map[string]any)
+				if !ok {
+					continue
+				}
+				v, ok := num(obj[f])
+				if !ok {
+					problems = append(problems, fmt.Sprintf("broker entry %d missing %s", i, f))
+					continue
+				}
+				if i == 0 {
+					first = v
+					metrics["broker."+f] = v
+				} else if v != first {
+					problems = append(problems, fmt.Sprintf(
+						"broker %s differs across -cpu entries: %v vs %v (nondeterministic)", f, first, v))
+				}
+			}
+		}
+	}
+
+	if arr, ok := doc["cache_miss_vs_swap"].([]any); ok {
+		for _, e := range arr {
+			obj, ok := e.(map[string]any)
+			if !ok {
+				continue
+			}
+			name, _ := obj["case"].(string)
+			for _, f := range []string{"sim_cycles_per_match", "faults_per_match"} {
+				if v, ok := num(obj[f]); ok {
+					metrics["cachemiss."+name+"."+f] = v
+				}
+			}
+		}
+	}
+
+	figPoints := func(key string) map[float64]map[string]float64 {
+		out := make(map[float64]map[string]float64)
+		sweep, ok := doc[key].(map[string]any)
+		if !ok {
+			return nil
+		}
+		points, ok := sweep["points"].([]any)
+		if !ok {
+			return nil
+		}
+		for _, p := range points {
+			obj, ok := p.(map[string]any)
+			if !ok {
+				continue
+			}
+			mb, ok := num(obj["OccupancyMB"])
+			if !ok {
+				continue
+			}
+			vals := make(map[string]float64)
+			for _, f := range []string{"TimeRatio", "FaultRatio", "InsideCyclesPerOp", "OutsideCyclesPerOp", "InsideFaults", "OutsideFaults"} {
+				if v, ok := num(obj[f]); ok {
+					vals[f] = v
+				}
+			}
+			out[mb] = vals
+		}
+		return out
+	}
+	seq := figPoints("figure3_reduced_sweep")
+	for mb, vals := range seq {
+		for f, v := range vals {
+			metrics[fmt.Sprintf("figure3.%gmb.%s", mb, f)] = v
+		}
+	}
+	if par := figPoints("figure3_reduced_sweep_parallel"); par != nil && seq != nil {
+		for mb, vals := range seq {
+			for f, v := range vals {
+				pv, ok := par[mb][f]
+				if !ok {
+					problems = append(problems, fmt.Sprintf("parallel sweep missing %gMB %s", mb, f))
+					continue
+				}
+				if pv != v {
+					problems = append(problems, fmt.Sprintf(
+						"figure3 %gMB %s: parallel %v != sequential %v (nondeterministic)", mb, f, pv, v))
+				}
+			}
+		}
+	}
+
+	if kv, ok := doc["kv_bench"].(map[string]any); ok {
+		if det, ok := kv["deterministic"].(map[string]any); ok {
+			for name, v := range det {
+				if f, ok := num(v); ok {
+					metrics["kv."+name] = f
+				}
+			}
+		}
+		// The driver's own cross-check against the sequential store.
+		if kvSec, ok := kv["kv"].(map[string]any); ok {
+			if match, ok := kvSec["results_match_plain"].(bool); ok && !match {
+				problems = append(problems, "kv_bench: sharded store results diverged from sequential store")
+			}
+		}
+	}
+
+	return metrics, problems
+}
+
+func main() {
+	benchPath := flag.String("bench", "", "bench file to check (default: highest BENCH_N.json in the repo root)")
+	basePath := flag.String("baseline", "scripts/bench_baseline.json", "committed baseline")
+	update := flag.Bool("update", false, "rewrite the baseline from the bench file instead of checking")
+	flag.Parse()
+
+	if *benchPath == "" {
+		p, err := latestBench(".")
+		if err != nil {
+			fail("%v", err)
+		}
+		*benchPath = p
+	}
+	raw, err := os.ReadFile(*benchPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fail("parsing %s: %v", *benchPath, err)
+	}
+	metrics, problems := extract(doc)
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "bench-check: %s: %s\n", *benchPath, p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	if len(metrics) == 0 {
+		fail("%s contained no deterministic metrics", *benchPath)
+	}
+
+	if *update {
+		out, err := json.MarshalIndent(baseline{Source: filepath.Base(*benchPath), Metrics: metrics}, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*basePath, append(out, '\n'), 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("bench-check: recorded %d metrics from %s into %s\n", len(metrics), *benchPath, *basePath)
+		return
+	}
+
+	baseRaw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fail("baseline missing (record with -update): %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(baseRaw, &base); err != nil {
+		fail("parsing %s: %v", *basePath, err)
+	}
+
+	names := make(map[string]struct{}, len(metrics)+len(base.Metrics))
+	for n := range metrics {
+		names[n] = struct{}{}
+	}
+	for n := range base.Metrics {
+		names[n] = struct{}{}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	drifted := 0
+	for _, n := range sorted {
+		got, haveGot := metrics[n]
+		want, haveWant := base.Metrics[n]
+		switch {
+		case !haveWant:
+			fmt.Fprintf(os.Stderr, "bench-check: new metric %s = %v not in baseline (refresh with -update)\n", n, got)
+			drifted++
+		case !haveGot:
+			fmt.Fprintf(os.Stderr, "bench-check: baseline metric %s missing from %s (benchmark dropped?)\n", n, *benchPath)
+			drifted++
+		case math.Abs(got-want) > tolerance*math.Max(1, math.Abs(want)):
+			fmt.Fprintf(os.Stderr, "bench-check: DRIFT %s: %v, baseline %v\n", n, got, want)
+			drifted++
+		}
+	}
+	if drifted > 0 {
+		fail("%d deterministic metric(s) drifted vs %s — a semantic simulator change; update the baseline only if intended", drifted, *basePath)
+	}
+	fmt.Printf("bench-check: %s: %d deterministic metrics match %s\n", *benchPath, len(metrics), *basePath)
+}

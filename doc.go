@@ -67,21 +67,44 @@
 // sim-cycle metrics). scripts/bench_smoke.sh records both in BENCH_*.json
 // to track the simulator-performance trajectory across PRs.
 //
-// # Concurrency model
+// # Concurrency & CI gates
 //
-// The SCBR routing layer runs shard-per-core while keeping every simulated
-// figure deterministic:
+// The routing, storage and compute layers all run shard-per-core while
+// keeping every simulated figure deterministic. The pattern is the same in
+// each layer: partition the data structure, give every partition its own
+// simulated platform + enclave (enclave.NewWorker), write-lock only the
+// home partition, and fan reads/batches out through a bounded worker set
+// (sim.ParallelFor) with read-only snapshot accounting:
 //
-//   - What is sharded. The broker's subscription store is a
-//     scbr.ShardedIndex: P containment forests keyed by subscription ID
-//     (ID mod P), each on its own simulated platform + enclave — the
-//     partitioned-broker deployment where every core owns a slice of the
-//     filter set. Insert/Unsubscribe write-lock only the home shard;
-//     Publish matches all shards through a bounded worker fan-out and
-//     merges results into ascending-ID order. The shard count is a
-//     topology parameter (it changes placement and therefore the figures);
-//     the worker count is execution-only (totals are identical for any
-//     value).
+//   - Routing: the broker's subscription store is a scbr.ShardedIndex —
+//     P containment forests keyed by subscription ID (ID mod P), each on
+//     its own simulated platform + enclave, the partitioned-broker
+//     deployment where every core owns a slice of the filter set.
+//     Insert/Unsubscribe write-lock only the home shard; Publish matches
+//     all shards through a bounded worker fan-out and merges results into
+//     ascending-ID order.
+//
+//   - Storage: kvstore.ShardedStore partitions the secure structured data
+//     store by key hash (FNV mod P). Point reads (Get/GetBatch) charge
+//     read-only snapshot spans under the shard's read lock; PutBatch and
+//     GetBatch fan out across shards while applying each shard's sub-batch
+//     in slice order, so batch results and per-shard costs are independent
+//     of the worker count. Property tests pin ShardedStore ≡ Store
+//     results and bit-identical per-shard cycles across worker counts for
+//     every shard count in {1,2,4,8}.
+//
+//   - Compute: mapreduce.ParallelSecureEngine runs the secure map/reduce
+//     engine enclave-per-worker. The input splits across worker enclaves;
+//     every intermediate record is sealed before leaving its enclave;
+//     shuffle partitions hash to workers (partition mod Workers) for the
+//     reduce phase. Per-phase stats report the summed-worker vs
+//     critical-path cycle decomposition — the same scaling statement the
+//     sharded broker makes.
+//
+// In every layer the shard/worker-enclave count is a *topology* parameter
+// (it changes placement and therefore the figures) while execution
+// parallelism (Workers/MaxParallel) never changes totals — pin the former
+// when comparing runs, vary the latter freely.
 //
 //   - Snapshot match reads. Concurrent matches charge their traversals
 //     through enclave.Memory.BeginSnapshotSpan: probes consult — but never
@@ -117,4 +140,28 @@
 // The event bus gained PublishBatch/PollBatch (one mutex acquisition per
 // batch, one seal per message however many subscribers fan out) and prunes
 // per-subscriber lease state on Subscriber.Close.
+//
+// Because the simulated metrics are deterministic, they are CI-gated.
+// scripts/ci.sh — run locally or by .github/workflows/ci.yml — enforces,
+// beyond fmt/build/vet/test and -race on the concurrent packages
+// (sim, enclave, scbr, eventbus, cryptbox, kvstore, mapreduce):
+//
+//   - The bench-regression gate (scripts/bench_check.sh): every
+//     deterministic metric in the newest BENCH_N.json — sim-cycles/match,
+//     faults/match, Figure 3 point values, kv-bench and map/reduce cycle
+//     totals — must match scripts/bench_baseline.json exactly. Wall-clock
+//     fields are never gated (they measure the host). Deterministic means
+//     deterministic: a drift is a semantic change to the simulator or its
+//     data structures, so the gate fails the build rather than averaging.
+//
+//   - The golden-drift gate: the golden recorders rerun with
+//     GOLDEN_UPDATE=1 in a scratch copy of the tree, and git diff must
+//     stay silent on testdata — the committed goldens are exactly what the
+//     current code regenerates.
+//
+// To change modeled costs deliberately: regenerate goldens with
+// GOLDEN_UPDATE=1 go test ./..., regenerate BENCH_N.json with
+// scripts/bench_smoke.sh N, refresh the metric baseline with
+// scripts/bench_check.sh -update, and commit all three together so the PR
+// diff shows the intended figure changes.
 package securecloud

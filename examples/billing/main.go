@@ -1,9 +1,10 @@
-// Billing demo: the big-data path of §III-B(3) end to end. A day of
-// sub-minute meter readings is aggregated with the secure map/reduce
-// engine (enclave workers, sealed shuffle), the per-meter totals land in
-// the secure structured data store (encrypted rows, feeder-indexed), and
-// a day-ahead load forecast is fitted for capacity planning — none of it
-// visible to the cloud in plaintext.
+// Billing demo: the big-data path of §III-B(3) end to end, on the
+// concurrent stack. A day of sub-minute meter readings is aggregated with
+// the parallel secure map/reduce engine (enclave-per-worker, sealed
+// shuffle), the per-meter totals land in the sharded secure structured
+// data store (shard-per-core, batched ingest), and a day-ahead load
+// forecast is fitted for capacity planning — none of it visible to the
+// cloud in plaintext, and every simulated figure deterministic.
 package main
 
 import (
@@ -14,7 +15,6 @@ import (
 	"strconv"
 
 	"securecloud/internal/cryptbox"
-	"securecloud/internal/enclave"
 	"securecloud/internal/kvstore"
 	"securecloud/internal/mapreduce"
 	"securecloud/internal/smartgrid"
@@ -40,21 +40,20 @@ func main() {
 			var v [8]byte
 			binary.LittleEndian.PutUint64(v[:], math.Float64bits(r.PowerKW))
 			input = append(input, mapreduce.KV{
-				Key:   r.MeterID + "|" + r.Feeder,
+				Key:   r.Feeder + "|" + r.MeterID,
 				Value: v[:],
 			})
 		}
 	}
 	fmt.Printf("collected %d readings from %d meters\n", len(input), fleet.Config().Meters)
 
-	// Secure map/reduce: per-meter kWh totals, computed by enclave
-	// workers over a sealed shuffle.
-	platform := enclave.NewPlatform(enclave.Config{})
+	// Parallel secure map/reduce: per-meter kWh totals, computed by worker
+	// enclaves (one simulated platform each) over a sealed shuffle.
 	rootKey, err := cryptbox.NewRandomKey()
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, err := mapreduce.NewSecureEngine(platform, 4, rootKey)
+	engine, err := mapreduce.NewParallelSecureEngine(rootKey, mapreduce.ParallelConfig{Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +64,7 @@ func main() {
 		Name:  "daily-billing",
 		Input: input,
 		Map: func(key string, value []byte, emit func(string, []byte)) {
-			emit(key, value) // key already meter|feeder
+			emit(key, value) // key already feeder|meter
 		},
 		Reduce: func(key string, values [][]byte) ([]byte, error) {
 			var kwh float64
@@ -81,59 +80,45 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := engine.Stats()
 	fmt.Printf("map/reduce produced %d per-meter daily totals (sealed shuffle)\n", len(totals))
+	fmt.Printf("  map %.2fx, reduce %.2fx enclave-per-worker sim-speedup\n",
+		st.MapSpeedup(), st.ReduceSpeedup())
 
-	// Store the totals in the secure structured data store.
+	// Store the totals in the sharded secure structured data store with
+	// one batched write. Keys are feeder|meter, so a feeder's bill is one
+	// ordered range scan.
 	storeKey, err := cryptbox.NewRandomKey()
 	if err != nil {
 		log.Fatal(err)
 	}
-	store, err := kvstore.New(storeKey, 1)
+	store, err := kvstore.NewShardedStore(storeKey, kvstore.ShardedStoreConfig{Shards: 4, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	table, err := kvstore.NewTable(store, "billing", kvstore.Schema{
-		Columns: []string{"meter_id", "feeder", "kwh"},
-	}, "feeder")
-	if err != nil {
-		log.Fatal(err)
-	}
+	batch := make([]kvstore.Pair, 0, len(totals))
 	for key, kwh := range totals {
-		var meter, feeder string
-		for i := range key {
-			if key[i] == '|' {
-				meter, feeder = key[:i], key[i+1:]
-				break
-			}
-		}
-		if err := table.Insert(kvstore.Row{"meter_id": meter, "feeder": feeder, "kwh": string(kwh)}); err != nil {
-			log.Fatal(err)
-		}
+		batch = append(batch, kvstore.Pair{Key: key, Value: kwh})
 	}
-	n, _ := table.Count()
-	fmt.Printf("billing table: %d encrypted rows\n", n)
+	if err := store.PutBatch(batch); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("billing store: %d encrypted rows across %d shards\n", store.Len(), store.Shards())
 
-	// Feeder-level bill via the secondary index.
-	rows, err := table.Lookup("feeder", "feeder-002")
+	// Feeder-level bill via an ordered prefix scan.
+	rows, err := store.Range("feeder-002|", "feeder-002|~")
 	if err != nil {
 		log.Fatal(err)
 	}
 	var feederKWh float64
 	for _, r := range rows {
-		v, err := strconv.ParseFloat(r["kwh"], 64)
+		v, err := strconv.ParseFloat(string(r.Value), 64)
 		if err != nil {
 			log.Fatal(err)
 		}
 		feederKWh += v
 	}
 	fmt.Printf("feeder-002: %d meters, %.1f kWh billed\n", len(rows), feederKWh)
-
-	// Persist a sealed snapshot (what goes to untrusted disk).
-	snap, err := store.Snapshot()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("sealed snapshot: %d bytes at store version %d\n", len(snap), store.Version())
 
 	// Day-ahead forecast for tomorrow evening's peak window.
 	if fc.Ready() {

@@ -1,0 +1,31 @@
+package enclave
+
+import "securecloud/internal/cryptbox"
+
+// NewWorker builds the shard-per-core deployment unit the concurrent
+// layers (scbr.ShardedIndex, kvstore.ShardedStore, the parallel map/reduce
+// engine) are assembled from: a fresh simulated platform from cfg hosting
+// one initialized enclave of the given size, measured over name, with its
+// heap arena ready for allocation. Because every worker owns a whole
+// platform, workers share no simulated state — LLC, EPC and clock are
+// private — so parallel execution across workers charges exactly the same
+// totals as sequential execution, which is what keeps the sharded layers'
+// figures deterministic.
+func NewWorker(cfg Config, size uint64, name string) (*Enclave, *Arena, error) {
+	p := NewPlatform(cfg)
+	enc, err := p.ECreate(size, cryptbox.Sum([]byte(name)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := enc.EAdd([]byte(name)); err != nil {
+		return nil, nil, err
+	}
+	if err := enc.EInit(); err != nil {
+		return nil, nil, err
+	}
+	arena, err := enc.HeapArena()
+	if err != nil {
+		return nil, nil, err
+	}
+	return enc, arena, nil
+}

@@ -226,6 +226,86 @@ func (s *Store) chargeLinkWrites(preds []*node) {
 	s.probe = s.probe[:0]
 }
 
+// descendSnapshot walks to key without touching any store state, collecting
+// the simulated addresses a descent would probe into buf (the same node
+// sequence findPredecessors notes). It is the read path safe for concurrent
+// callers: no scratch slice, no accounting mutation.
+func (s *Store) descendSnapshot(key string, buf []uint64) (*node, []uint64) {
+	acct := s.accounted()
+	cur := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for cur.next[i] != nil && cur.next[i].key < key {
+			if acct {
+				buf = append(buf, cur.next[i].addr)
+			}
+			cur = cur.next[i]
+		}
+		if cur.next[i] != nil && acct {
+			buf = append(buf, cur.next[i].addr) // the comparison that stopped the level
+		}
+	}
+	return cur.next[0], buf
+}
+
+// GetSnapshot is Get charged through a read-only snapshot accounting span:
+// the descent's probes consult — but never mutate — the platform's cache
+// and residency state, so concurrent GetSnapshot calls on one store charge
+// the same totals under any interleaving. Callers must guarantee no
+// mutating operation (Put, Delete, Range, plain Get) runs concurrently,
+// e.g. by holding the read side of a lock whose write side covers all
+// mutators — exactly what ShardedStore does per shard.
+func (s *Store) GetSnapshot(key string) ([]byte, error) {
+	var probeBuf [2 * maxLevel]uint64
+	cand, probes := s.descendSnapshot(key, probeBuf[:0])
+	if s.accounted() {
+		sp := s.acct.Mem.BeginSnapshotSpan()
+		for _, a := range probes {
+			sp.Access(a, nodeProbeBytes, false)
+		}
+		if cand != nil && cand.key == key {
+			sp.Access(cand.addr, cand.bytes, false)
+		}
+		sp.End()
+	}
+	if cand == nil || cand.key != key {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	plain, err := s.box.Open(cand.value, valueAAD(key))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", ErrTampered)
+	}
+	return plain, nil
+}
+
+// PutBatch stores every pair in slice order (later duplicates win), the
+// sequential reference for ShardedStore.PutBatch.
+func (s *Store) PutBatch(pairs []Pair) error {
+	for _, p := range pairs {
+		if err := s.Put(p.Key, p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetBatch returns the values of keys, aligned by index. Missing keys
+// yield nil entries rather than an error, so a batch over a partially
+// populated key set is a total function; tampered records still fail.
+func (s *Store) GetBatch(keys []string) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		v, err := s.Get(k)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 // Get returns the value stored under key.
 func (s *Store) Get(key string) ([]byte, error) {
 	update := make([]*node, maxLevel)

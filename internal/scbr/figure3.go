@@ -169,7 +169,7 @@ func RunFigure3(cfg Figure3Config) ([]Figure3Point, error) {
 		mu   sync.Mutex
 		errs error
 	)
-	parallelFor(len(cfg.OccupanciesMB), cfg.Parallel, func(i int) {
+	sim.ParallelFor(len(cfg.OccupanciesMB), cfg.Parallel, func(i int) {
 		pt, err := runFigure3Point(cfg, cfg.OccupanciesMB[i])
 		if err != nil {
 			mu.Lock()

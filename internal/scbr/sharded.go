@@ -7,49 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"securecloud/internal/cryptbox"
 	"securecloud/internal/enclave"
 	"securecloud/internal/sim"
 )
-
-// parallelFor runs fn(0..n-1) across at most workers goroutines pulling
-// indices from a shared counter — the bounded fan-out used by the sharded
-// matcher and the Figure 3 sweep. The calling goroutine is one of the
-// workers (only workers-1 are spawned), so a publish with 4 match workers
-// costs 3 goroutine spawns and the publisher's core is never idle. With
-// workers <= 1 it degenerates to a plain loop; no goroutines outlive the
-// call.
-func parallelFor(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	work := func() {
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= n {
-				return
-			}
-			fn(i)
-		}
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers - 1)
-	for k := 0; k < workers-1; k++ {
-		go func() {
-			defer wg.Done()
-			work()
-		}()
-	}
-	work()
-	wg.Wait()
-}
 
 // ShardedIndexConfig sizes a sharded containment index.
 type ShardedIndexConfig struct {
@@ -121,18 +81,7 @@ func NewShardedIndex(cfg ShardedIndexConfig) (*ShardedIndex, error) {
 			if cfg.ShardBytes == 0 {
 				return nil, fmt.Errorf("scbr: accounted sharded index needs ShardBytes")
 			}
-			p := enclave.NewPlatform(cfg.Platform)
-			enc, err := p.ECreate(cfg.ShardBytes, cryptbox.Sum([]byte("scbr-shard")))
-			if err != nil {
-				return nil, err
-			}
-			if _, err := enc.EAdd([]byte(fmt.Sprintf("scbr-shard-%d", i))); err != nil {
-				return nil, err
-			}
-			if err := enc.EInit(); err != nil {
-				return nil, err
-			}
-			arena, err := enc.HeapArena()
+			enc, arena, err := enclave.NewWorker(cfg.Platform, cfg.ShardBytes, fmt.Sprintf("scbr-shard-%d", i))
 			if err != nil {
 				return nil, err
 			}
@@ -175,7 +124,7 @@ func (sx *ShardedIndex) Remove(id uint64) bool {
 // forEachShard runs fn(i) for every shard index across at most sx.workers
 // concurrent workers.
 func (sx *ShardedIndex) forEachShard(fn func(int)) {
-	parallelFor(len(sx.shards), sx.workers, fn)
+	sim.ParallelFor(len(sx.shards), sx.workers, fn)
 }
 
 // Match returns the IDs of all subscriptions matching e, in ascending ID

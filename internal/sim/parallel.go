@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(0..n-1) across at most workers goroutines pulling
+// indices from a shared counter — the bounded fan-out used by the sharded
+// SCBR matcher, the sharded key/value store, the parallel map/reduce
+// engine and the Figure 3 sweep. The calling goroutine is one of the
+// workers (only workers-1 are spawned), so a caller with 4 workers costs
+// 3 goroutine spawns and the caller's core is never idle. With
+// workers <= 1 it degenerates to a plain loop; no goroutines outlive the
+// call.
+//
+// ParallelFor is an execution knob only: callers that need deterministic
+// simulated figures must make fn(i) touch disjoint simulated state (e.g.
+// one platform per index) or charge through read-only snapshot spans, so
+// any interleaving produces the same totals.
+func ParallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for k := 0; k < workers-1; k++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# bench_check.sh — the bench-regression gate, wired into scripts/ci.sh.
+#
+# Parses the newest committed BENCH_N.json and fails if any deterministic
+# sim-metric (sim-cycles/match, faults/match, figure values, kv-bench and
+# map/reduce cycle totals) drifts from scripts/bench_baseline.json. The
+# deterministic metrics are pure functions of workload + cost model, so a
+# drift is a semantic simulator change, never measurement noise.
+#
+#   scripts/bench_check.sh            # gate (CI mode)
+#   scripts/bench_check.sh -update    # deliberately refresh the baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! ls BENCH_*.json >/dev/null 2>&1; then
+    echo "bench-check: no BENCH_N.json committed yet; nothing to gate" >&2
+    exit 0
+fi
+go run ./cmd/bench-check "$@"

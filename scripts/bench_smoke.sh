@@ -28,6 +28,12 @@ echo "bench-smoke: parallel Figure 3 sweep (-parallel 3)" >&2
 go run ./cmd/scbr-bench -ops 200 -points 60,120,200 -payload 1200 -json \
     -parallel 3 >"$TMP/sweep_par.json"
 
+# Sharded KV store + parallel secure map/reduce, including the smartgrid
+# billing end-to-end pipeline. All sim metrics in its "deterministic"
+# object are gated by scripts/bench_check.sh.
+echo "bench-smoke: kv-bench (sharded store + parallel map/reduce + smartgrid billing)" >&2
+go run ./cmd/kv-bench -json >"$TMP/kv.json"
+
 echo "bench-smoke: go test -bench=CacheMissVsSwap -benchtime=1x" >&2
 go test -run '^$' -bench 'CacheMissVsSwap' -benchtime=1x . >"$TMP/bench.txt" 2>&1 \
     || { cat "$TMP/bench.txt" >&2; exit 1; }
@@ -88,6 +94,7 @@ SEED_BASELINE="scripts/seed_baseline.json"
         echo "  \"seed_baseline\": $(cat "$SEED_BASELINE"),"
     fi
     echo "  \"host_cpus\": $(nproc),"
+    echo "  \"kv_bench\": $(cat "$TMP/kv.json"),"
     echo "  \"cache_miss_vs_swap\": $(cat "$TMP/cachemiss.json"),"
     echo "  \"broker_publish_parallel\": $(cat "$TMP/par.json"),"
     echo "  \"figure3_reduced_sweep\": $(cat "$TMP/sweep.json"),"

@@ -1,16 +1,33 @@
 #!/usr/bin/env bash
-# ci.sh — the per-PR verification gate, runnable locally or in CI:
+# ci.sh — the per-PR verification gate, runnable locally or in CI (the
+# .github/workflows/ci.yml workflow invokes exactly this script):
 #
 #   scripts/ci.sh
 #
-# 1. go build ./...            (everything compiles, including examples)
-# 2. go vet ./...              (static checks)
-# 3. go test ./...             (tier-1: full test suite, goldens included)
-# 4. go test -race <concurrent packages>
-#                              (the packages with lock-free fast paths and
-#                               the sharded broker's concurrent pipeline)
+# 1. gofmt -l                   (formatting)
+# 2. go build ./...             (everything compiles, including examples)
+# 3. go vet ./...               (static checks)
+# 4. go test ./...              (tier-1: full test suite, goldens included)
+# 5. go test -race <concurrent packages>
+#                               (the packages with lock-free fast paths,
+#                                the sharded broker, the sharded store and
+#                                the parallel map/reduce engine)
+# 6. bench-regression gate      (deterministic sim-metrics in the newest
+#                                BENCH_N.json must match the committed
+#                                baseline — see scripts/bench_check.sh)
+# 7. golden-drift gate          (regenerating every golden in a scratch
+#                                copy must reproduce the committed files —
+#                                catches stale goldens)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "ci: gofmt -l" >&2
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "ci: gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 
 echo "ci: go build ./..." >&2
 go build ./...
@@ -27,8 +44,34 @@ RACE_PKGS=(
     ./internal/scbr
     ./internal/eventbus
     ./internal/cryptbox
+    ./internal/kvstore
+    ./internal/mapreduce
 )
 echo "ci: go test -race ${RACE_PKGS[*]}" >&2
 go test -race "${RACE_PKGS[@]}"
+
+echo "ci: bench-regression gate" >&2
+scripts/bench_check.sh
+
+# Golden-drift gate: rerun every golden recorder with GOLDEN_UPDATE=1 in a
+# scratch copy of the tree and require `git diff --exit-code` to stay
+# silent on testdata — i.e. the committed goldens are exactly what the
+# current code regenerates. The scratch copy commits the working tree
+# first so the diff isolates what GOLDEN_UPDATE changed, not what the
+# developer was editing.
+echo "ci: golden-drift gate (GOLDEN_UPDATE=1 in scratch copy)" >&2
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+cp -a "$PWD" "$SCRATCH/repo"
+(
+    cd "$SCRATCH/repo"
+    git add -A >/dev/null 2>&1
+    git -c user.email=ci@local -c user.name=ci commit -qm golden-gate-baseline --allow-empty --no-verify
+    GOLDEN_UPDATE=1 go test -run 'Golden' ./internal/enclave ./internal/scbr >/dev/null
+    if ! git diff --exit-code -- '*testdata*'; then
+        echo "ci: goldens are stale — regenerate with GOLDEN_UPDATE=1 and commit" >&2
+        exit 1
+    fi
+)
 
 echo "ci: OK" >&2

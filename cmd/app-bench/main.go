@@ -1,0 +1,186 @@
+// Command app-bench drives the application plane's closed-loop
+// fault-injection scenarios (replica crash, load spike, hot-key skew,
+// slow replica) end to end: a deterministic load schedule flows through an
+// attested ReplicaSet while the orchestrator samples queue depths and
+// service cycles each simulated millisecond and adapts.
+//
+// Each scenario runs once per worker count (default 1,2,4,8). Worker count
+// is execution-only, so the adaptation trace, the per-replica cycle totals
+// and the fault counts must be bit-identical across the sweep — the
+// command verifies this itself and reports trace_equal_across_workers;
+// scripts/bench_check.sh fails CI if it is false or if any deterministic
+// metric drifts from the committed baseline.
+//
+// Reported per scenario: requests per replica ever launched, the summed
+// vs critical-path cycle decomposition across replica enclaves (the
+// shard-per-core scaling statement), and the adaptation latency in
+// simulated milliseconds from fault injection to the orchestrator's first
+// reaction.
+//
+// Usage:
+//
+//	app-bench [-workers 1,2,4,8] [-ticks N] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"securecloud/internal/microsvc"
+)
+
+type scenarioOut struct {
+	Name                    string   `json:"name"`
+	Ticks                   int      `json:"ticks"`
+	WorkerCounts            []int    `json:"worker_counts"`
+	TraceEqualAcrossWorkers bool     `json:"trace_equal_across_workers"`
+	TraceHash               string   `json:"trace_hash"`
+	Trace                   []string `json:"trace"`
+
+	Sent               int     `json:"sent"`
+	Served             uint64  `json:"served"`
+	Failed             uint64  `json:"failed"`
+	Backlog            int     `json:"backlog"`
+	Launched           int     `json:"replicas_launched"`
+	FinalReplicas      int     `json:"final_replicas"`
+	RequestsPerReplica float64 `json:"requests_per_replica"`
+
+	SerialCycles   uint64  `json:"sim_cycles_serial"`
+	CriticalCycles uint64  `json:"sim_cycles_critical"`
+	SimSpeedup     float64 `json:"sim_speedup"`
+	Faults         uint64  `json:"faults"`
+	FrontCycles    uint64  `json:"sim_cycles_front"`
+
+	InjectTick        int     `json:"inject_tick"`
+	FirstReactionTick int     `json:"first_reaction_tick"`
+	AdaptLatencySimMS float64 `json:"adapt_latency_sim_ms"`
+	WallNS            int64   `json:"wall_ns"`
+}
+
+func main() {
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (execution-only)")
+	ticks := flag.Int("ticks", 0, "override scenario tick count (0 = scenario default)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "app-bench: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	var workerCounts []int
+	for _, f := range strings.Split(*workersFlag, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w <= 0 {
+			fail("bad -workers value %q", f)
+		}
+		workerCounts = append(workerCounts, w)
+	}
+	if len(workerCounts) == 0 {
+		fail("empty -workers sweep")
+	}
+
+	out := struct {
+		Scenarios     []scenarioOut      `json:"scenarios"`
+		Deterministic map[string]float64 `json:"deterministic"`
+	}{Deterministic: make(map[string]float64)}
+
+	allEqual := true
+	for _, sc := range microsvc.DefaultScenarios() {
+		if *ticks > 0 {
+			sc.Ticks = *ticks
+		}
+		var so scenarioOut
+		var ref microsvc.ScenarioResult
+		equal := true
+		start := time.Now()
+		for i, w := range workerCounts {
+			sc.Workers = w
+			res, err := microsvc.RunScenario(sc)
+			if err != nil {
+				fail("scenario %s workers=%d: %v", sc.Name, w, err)
+			}
+			if i == 0 {
+				ref = res
+				continue
+			}
+			if res.TraceHash != ref.TraceHash ||
+				res.SerialCycles != ref.SerialCycles ||
+				res.CriticalCycles != ref.CriticalCycles ||
+				res.Faults != ref.Faults ||
+				res.Served != ref.Served ||
+				res.FrontCycles != ref.FrontCycles {
+				equal = false
+				fmt.Fprintf(os.Stderr,
+					"app-bench: scenario %s NONDETERMINISTIC at workers=%d (trace %s vs %s, cycles %d vs %d)\n",
+					sc.Name, w, res.TraceHash, ref.TraceHash, res.SerialCycles, ref.SerialCycles)
+			}
+		}
+		so = scenarioOut{
+			Name:                    ref.Name,
+			Ticks:                   ref.Ticks,
+			WorkerCounts:            workerCounts,
+			TraceEqualAcrossWorkers: equal,
+			TraceHash:               ref.TraceHash,
+			Trace:                   ref.Trace,
+			Sent:                    ref.Sent,
+			Served:                  ref.Served,
+			Failed:                  ref.Failed,
+			Backlog:                 ref.Backlog,
+			Launched:                ref.Launched,
+			FinalReplicas:           ref.FinalReplicas,
+			RequestsPerReplica:      ref.RequestsPerReplica,
+			SerialCycles:            uint64(ref.SerialCycles),
+			CriticalCycles:          uint64(ref.CriticalCycles),
+			SimSpeedup:              ref.SimSpeedup,
+			Faults:                  ref.Faults,
+			FrontCycles:             uint64(ref.FrontCycles),
+			InjectTick:              ref.InjectTick,
+			FirstReactionTick:       ref.FirstReactionTick,
+			AdaptLatencySimMS:       ref.AdaptLatencySimMS,
+			WallNS:                  time.Since(start).Nanoseconds() / int64(len(workerCounts)),
+		}
+		out.Scenarios = append(out.Scenarios, so)
+		allEqual = allEqual && equal
+
+		p := func(metric string, v float64) {
+			out.Deterministic[ref.Name+"_"+metric] = v
+		}
+		p("served", float64(ref.Served))
+		p("failed", float64(ref.Failed))
+		p("backlog", float64(ref.Backlog))
+		p("replicas_launched", float64(ref.Launched))
+		p("final_replicas", float64(ref.FinalReplicas))
+		p("requests_per_replica", ref.RequestsPerReplica)
+		p("sim_cycles_serial", float64(ref.SerialCycles))
+		p("sim_cycles_critical", float64(ref.CriticalCycles))
+		p("sim_cycles_front", float64(ref.FrontCycles))
+		p("faults", float64(ref.Faults))
+		p("trace_len", float64(len(ref.Trace)))
+		p("first_reaction_tick", float64(ref.FirstReactionTick))
+		p("adapt_latency_sim_ms", ref.AdaptLatencySimMS)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail("%v", err)
+		}
+	} else {
+		for _, so := range out.Scenarios {
+			fmt.Printf("%-14s served=%-5d launched=%d final=%d req/replica=%.1f latency=%.1f sim-ms speedup=%.2fx det=%v\n",
+				so.Name, so.Served, so.Launched, so.FinalReplicas,
+				so.RequestsPerReplica, so.AdaptLatencySimMS, so.SimSpeedup,
+				so.TraceEqualAcrossWorkers)
+		}
+	}
+	if !allEqual {
+		fail("adaptation traces differ across worker counts")
+	}
+}

@@ -174,6 +174,32 @@ func extract(doc map[string]any) (map[string]float64, []string) {
 		}
 	}
 
+	if app, ok := doc["app_bench"].(map[string]any); ok {
+		if det, ok := app["deterministic"].(map[string]any); ok {
+			for name, v := range det {
+				if f, ok := num(v); ok {
+					metrics["app."+name] = f
+				}
+			}
+		}
+		// The driver's own cross-worker-count determinism verdict: every
+		// scenario's adaptation trace and cycle totals must have been
+		// bit-identical across the worker sweep.
+		if scenarios, ok := app["scenarios"].([]any); ok {
+			for _, s := range scenarios {
+				obj, ok := s.(map[string]any)
+				if !ok {
+					continue
+				}
+				name, _ := obj["name"].(string)
+				if eq, ok := obj["trace_equal_across_workers"].(bool); ok && !eq {
+					problems = append(problems, fmt.Sprintf(
+						"app_bench: scenario %s adaptation trace differed across worker counts (nondeterministic)", name))
+				}
+			}
+		}
+	}
+
 	if kv, ok := doc["kv_bench"].(map[string]any); ok {
 		if det, ok := kv["deterministic"].(map[string]any); ok {
 			for name, v := range det {

@@ -141,10 +141,63 @@
 // batch, one seal per message however many subscribers fan out) and prunes
 // per-subscriber lease state on Subscriber.Close.
 //
+// # Application plane
+//
+// The attest, microsvc, orchestrator and container layers compose into one
+// integrated plane that runs replicated micro-services the way the paper
+// describes (§III-B(2), §V-A, §VI). The flow is:
+//
+//   - Key release (attest.KeyBroker). The owner registers each service's
+//     request key and topic stream keys under an attestation policy.
+//     Release happens only against a verified quote, over the attested
+//     X25519 sealed channel shared with the CAS (attest.SealToVerdict /
+//     OpenSealed); there is no unsealed release path, and the ReplicaSet
+//     constructors accept a KeyBroker, never raw keys. Verified quotes are
+//     cached by (platform, measurement) plus the hash of the exact signed
+//     body — a forged quote can never ride a cached verdict — and both
+//     service revocation (KeyBroker.Revoke) and platform revocation
+//     (Service.Revoke) take effect immediately, cache or no cache.
+//
+//   - Serve (microsvc.ReplicaSet). A service runs as N enclave-per-replica
+//     workers behind an attested front-end dispatcher. Every component
+//     boots the paper's sequence — attest, fetch keys, subscribe — either
+//     directly (enclave.NewSignedWorker on a fresh platform) or through
+//     the full container path (container.LaunchNode + Engine.Run: image
+//     pull, enclave build, SCONE boot with SCF release, then service-key
+//     release). Requests travel as frames: a cleartext routing key plus
+//     the body sealed under the request key; the front-end routes by key
+//     hash over the replica order (key affinity), and bodies are opened
+//     only inside the owning replica's enclave under accounting spans.
+//
+//   - Orchestrate (orchestrator + ReplicaSet as Launcher). Each Step is
+//     one monitoring tick of a closed simulated-time loop: replicas serve
+//     within a cycle budget (sim.MillisToCycles per tick), then Observe
+//     samples queue depths (atomic counters plus eventbus
+//     Subscriber.Depth — sampling never blocks serving) and service
+//     cycles, and reacts the same tick: scale-out past MaxQueueDepth,
+//     scale-in when idle, restart on crash and on the straggler rule
+//     (Target.MaxServiceCycles). Retired replicas requeue their pending
+//     work, so adaptation never loses requests.
+//
+// Which figures are what: replica count, platform config and routing are
+// topology — they change placement and therefore per-replica cycle
+// totals. Execution parallelism (ReplicaSetConfig.Workers) is execution —
+// each replica owns a whole simulated platform, routing is a pure
+// function of key and replica order, and replies flush in replica order,
+// so traces and totals are bit-identical at any worker count. The four
+// fault-injection scenarios (replica crash, load spike, hot-key skew,
+// slow replica; microsvc.DefaultScenarios) pin everything that shapes
+// them — seed, load schedule, injections, budgets — so their adaptation
+// traces are deterministic artifacts: cmd/app-bench re-runs each scenario
+// at worker counts 1,2,4,8, asserts bit-identical traces and totals, and
+// BENCH_N.json gates the per-scenario cycle totals, adaptation latencies
+// (in sim-ms) and trace lengths against scripts/bench_baseline.json.
+//
 // Because the simulated metrics are deterministic, they are CI-gated.
 // scripts/ci.sh — run locally or by .github/workflows/ci.yml — enforces,
 // beyond fmt/build/vet/test and -race on the concurrent packages
-// (sim, enclave, scbr, eventbus, cryptbox, kvstore, mapreduce):
+// (sim, enclave, scbr, eventbus, cryptbox, kvstore, mapreduce, and the
+// application plane: attest, microsvc, orchestrator):
 //
 //   - The bench-regression gate (scripts/bench_check.sh): every
 //     deterministic metric in the newest BENCH_N.json — sim-cycles/match,

@@ -1,25 +1,40 @@
-// Secure content-based routing demo (paper §V-B): an SCBR broker runs its
-// matching engine inside an enclave; publishers and subscribers attest the
-// broker, establish session keys, and exchange encrypted publications and
-// subscriptions. The demo routes smart-grid events by content (feeder
-// scope and measurement ranges) and prints the containment index's
-// statistics — including how many comparisons the covering relations
-// saved versus a naive matcher.
+// Secure content-based routing demo (paper §V-B) on the application
+// plane: smart-meter gateways publish encrypted readings onto the event
+// bus, an *attested* gateway micro-service — a ReplicaSet whose replicas
+// obtained their keys from the KeyBroker against verified quotes — opens
+// them inside its enclaves and feeds them into the SCBR broker, which
+// routes by content (feeder scope and measurement ranges) to subscribers
+// that attested the broker before trusting it with their filters. No
+// component of the pipeline bypasses attestation, and the cloud only ever
+// sees ciphertext.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 
 	"securecloud/internal/attest"
 	"securecloud/internal/cryptbox"
 	"securecloud/internal/enclave"
+	"securecloud/internal/eventbus"
+	"securecloud/internal/microsvc"
 	"securecloud/internal/scbr"
 )
 
+// rawReading is one meter sample as the gateway receives it off the bus.
+type rawReading struct {
+	Feeder  float64 `json:"feeder"`
+	Voltage float64 `json:"voltage"`
+	Note    string  `json:"note"`
+}
+
 func main() {
-	// Broker platform + attestation.
+	// One attestation service anchors everything: the broker node, the
+	// gateway replicas, and the key broker all verify against it.
 	svc := attest.NewService()
+
+	// Broker platform + attestation.
 	p := enclave.NewPlatform(enclave.Config{})
 	quoter, err := svc.Provision(p, "broker-node")
 	if err != nil {
@@ -58,7 +73,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	meters, err := scbr.Connect(broker, "meter-gateway", svc, quoter, policy)
+	gatewaySession, err := scbr.Connect(broker, "meter-gateway", svc, quoter, policy)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,19 +95,66 @@ func main() {
 	}
 	fmt.Println("index depth:", broker.Index().Depth(), "(feeder-7 filter nests under the general one)")
 
-	// Publications: a sag on feeder 7 and a normal reading on feeder 3.
-	events := []scbr.Event{
-		{Attrs: map[string]float64{"voltage": 195, "feeder": 7}, Payload: []byte("sag on feeder 7")},
-		{Attrs: map[string]float64{"voltage": 231, "feeder": 3}, Payload: []byte("nominal feeder 3")},
-		{Attrs: map[string]float64{"voltage": 188, "feeder": 3}, Payload: []byte("sag on feeder 3")},
+	// The attested gateway: meters publish sealed readings onto the bus;
+	// the gateway's replicas open them inside their enclaves and publish
+	// SCBR events. Its keys exist nowhere but the owner and the verified
+	// replica enclaves. Workers=1 keeps the shared broker session
+	// serialized; the replicas still each run on their own platform.
+	bus := eventbus.New()
+	kb := attest.NewKeyBroker(svc)
+	var appRoot cryptbox.Key
+	appRoot[0] = 0x9A
+	keys, err := microsvc.NewServiceKeys(appRoot, "grid/gateway", "grid/raw", "grid/acks")
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb.Register("grid/gateway",
+		attest.Policy{AllowedMRSigner: []cryptbox.Digest{microsvc.ReplicaSigner("grid/gateway")}}, keys)
+
+	routed := 0
+	gateway, err := microsvc.NewReplicaSet(bus, svc, kb, "grid/gateway",
+		func(req []byte) ([]byte, error) {
+			var r rawReading
+			if err := json.Unmarshal(req, &r); err != nil {
+				return nil, err
+			}
+			n, err := gatewaySession.Publish(broker, scbr.Event{
+				Attrs:   map[string]float64{"voltage": r.Voltage, "feeder": r.Feeder},
+				Payload: []byte(r.Note),
+			})
+			if err != nil {
+				return nil, err
+			}
+			routed += n
+			return nil, nil
+		},
+		microsvc.ReplicaSetConfig{Replicas: 2, Workers: 1, InTopic: "grid/raw", OutTopic: "grid/acks"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gateway.Stop()
+
+	// Meters: publications arrive as sealed bus frames keyed by feeder.
+	meters, err := microsvc.NewPlaneClient(bus, "grid/gateway", keys, "grid/raw", "grid/acks")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer meters.Close()
+	events := []rawReading{
+		{Voltage: 195, Feeder: 7, Note: "sag on feeder 7"},
+		{Voltage: 231, Feeder: 3, Note: "nominal feeder 3"},
+		{Voltage: 188, Feeder: 3, Note: "sag on feeder 3"},
 	}
 	for _, e := range events {
-		n, err := meters.Publish(broker, e)
-		if err != nil {
+		body, _ := json.Marshal(e)
+		if err := meters.Send(fmt.Sprintf("feeder-%02.0f", e.Feeder), body); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("published %q -> %d subscriber(s)\n", e.Payload, n)
 	}
+	if _, err := gateway.Step(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway routed %d sealed readings into %d content deliveries\n", len(events), routed)
 
 	opEvents, _ := operator.Receive(broker)
 	mtEvents, _ := maintenance.Receive(broker)
@@ -104,7 +166,7 @@ func main() {
 	w := scbr.NewWorkload(scbr.DefaultWorkload(7))
 	for i := 0; i < 20000; i++ {
 		s := w.NextSubscription()
-		if _, err := meters.Subscribe(broker, s); err != nil {
+		if _, err := gatewaySession.Subscribe(broker, s); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -117,6 +179,7 @@ func main() {
 	naive := broker.Index().Checks() - before
 	fmt.Printf("matching over %d filters: containment forest %d comparisons vs naive %d (%.1fx fewer)\n",
 		broker.Index().Count(), pruned, naive, float64(naive)/float64(pruned))
-	fmt.Printf("broker enclave: %v, %d EPC faults\n",
-		enc.Memory().Cycles(), enc.Memory().Faults())
+	gwTotals := gateway.Totals()
+	fmt.Printf("broker enclave: %v, %d EPC faults; gateway replicas: %d cycles across %d enclaves\n",
+		enc.Memory().Cycles(), enc.Memory().Faults(), gwTotals.SerialCycles, gwTotals.Live)
 }

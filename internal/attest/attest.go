@@ -112,6 +112,16 @@ func (s *Service) Revoke(platformID string) {
 	s.revoked[platformID] = true
 }
 
+// IsRevoked reports whether a platform's attestation key has been revoked.
+// Relying parties that cache verification results must re-check this on
+// every release decision: revocation must take effect immediately, not at
+// the next cache miss.
+func (s *Service) IsRevoked(platformID string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.revoked[platformID]
+}
+
 // Verdict is the outcome of quote verification.
 type Verdict struct {
 	PlatformID string

@@ -1,0 +1,246 @@
+package attest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+)
+
+// KeyBroker errors.
+var (
+	ErrUnknownService = errors.New("attest: no keys registered for service")
+	ErrServiceRevoked = errors.New("attest: service key release revoked")
+)
+
+// ServiceKeys is everything one micro-service needs to join the
+// application plane: the request key its clients seal requests under, and
+// the stream keys of the bus topics it consumes and produces. In the paper
+// these travel inside the SCF; here they are the KeyBroker's release
+// payload, delivered over the attested sealed channel.
+type ServiceKeys struct {
+	Request cryptbox.Key            `json:"request"`
+	Topics  map[string]cryptbox.Key `json:"topics"`
+}
+
+// Topic returns the stream key of one topic and whether it was released.
+func (k ServiceKeys) Topic(name string) (cryptbox.Key, bool) {
+	key, ok := k.Topics[name]
+	return key, ok
+}
+
+// keyEntry is one registered service: its release policy, its keys, and
+// its revocation state.
+type keyEntry struct {
+	policy   Policy
+	keys     ServiceKeys
+	revoked  bool
+	released uint64
+}
+
+// cacheKey identifies one verified quote. The cache is organised by
+// (platform, measurement) — the identity pair replicas of one service on
+// one node share — but additionally pins the hash of the exact signed body
+// and signature: a cache hit must never release keys to a quote whose
+// report data (the channel key share!) was not itself signature-verified,
+// otherwise a forger could ride a cached verdict with their own channel
+// key. The hash makes cache poisoning structurally impossible while still
+// skipping the Ed25519 verification for genuinely repeated quotes.
+type cacheKey struct {
+	platform    string
+	measurement cryptbox.Digest
+	body        cryptbox.Digest
+}
+
+// KeyBroker is the paper's CAS/SCF release path specialised for service
+// keys (§V-A): it holds each micro-service's request and stream keys and
+// releases them only to an enclave whose quote verifies against the
+// attestation service and whose identity satisfies the service's policy.
+// Replicas of the application plane have no other way to obtain keys — the
+// ReplicaSet constructors take a KeyBroker, never raw keys.
+type KeyBroker struct {
+	svc *Service
+
+	mu      sync.Mutex
+	entries map[string]*keyEntry
+	cache   map[cacheKey]Verdict
+	hits    uint64
+	misses  uint64
+}
+
+// NewKeyBroker builds a key broker trusting the given attestation service.
+func NewKeyBroker(svc *Service) *KeyBroker {
+	return &KeyBroker{
+		svc:     svc,
+		entries: make(map[string]*keyEntry),
+		cache:   make(map[cacheKey]Verdict),
+	}
+}
+
+// Register stores keys to be released for service to enclaves matching
+// policy. Re-registering replaces the entry (and clears a revocation) —
+// the owner rotating keys or updating the policy for a new build.
+func (kb *KeyBroker) Register(service string, policy Policy, keys ServiceKeys) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	kb.entries[service] = &keyEntry{policy: policy, keys: keys}
+}
+
+// Revoke stops all further releases for service. Already-released keys
+// cannot be clawed back (the paper's trust model accepts this); what
+// revocation guarantees is that no new replica — including one presenting
+// a previously verified, cached quote — receives keys afterwards.
+func (kb *KeyBroker) Revoke(service string) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if e, ok := kb.entries[service]; ok {
+		e.revoked = true
+	}
+}
+
+// CacheStats returns (hits, misses) of the quote-verification cache.
+func (kb *KeyBroker) CacheStats() (hits, misses uint64) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	return kb.hits, kb.misses
+}
+
+// Released returns how many times service's keys have been released.
+func (kb *KeyBroker) Released(service string) uint64 {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if e, ok := kb.entries[service]; ok {
+		return e.released
+	}
+	return 0
+}
+
+// maxQuoteCache bounds the verification cache. Fresh boots carry fresh
+// channel keys in their report data, so their cache entries never hit
+// again; when the cache fills it is reset wholesale — an epoch flush, the
+// simplest policy that keeps the broker's footprint bounded while still
+// serving the genuinely-repeated-quote case between flushes.
+const maxQuoteCache = 1024
+
+// verify validates a quote, consulting the verification cache. Platform
+// revocation is re-checked on every call even on a cache hit — a cached
+// verdict must never outlive the platform's standing.
+func (kb *KeyBroker) verify(q Quote) (Verdict, error) {
+	if kb.svc.IsRevoked(q.PlatformID) {
+		return Verdict{}, fmt.Errorf("%w: platform %q revoked", ErrBadSignature, q.PlatformID)
+	}
+	ck := cacheKey{
+		platform:    q.PlatformID,
+		measurement: q.Report.MREnclave,
+		body:        cryptbox.Sum(append(q.signedBody(), q.Signature...)),
+	}
+	kb.mu.Lock()
+	v, ok := kb.cache[ck]
+	if ok {
+		kb.hits++
+	} else {
+		kb.misses++
+	}
+	kb.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	v, err := kb.svc.Verify(q)
+	if err != nil {
+		return Verdict{}, err
+	}
+	kb.mu.Lock()
+	if len(kb.cache) >= maxQuoteCache {
+		kb.cache = make(map[cacheKey]Verdict)
+	}
+	kb.cache[ck] = v
+	kb.mu.Unlock()
+	return v, nil
+}
+
+// Release verifies a quote, checks the service's policy and revocation
+// state, and returns the service keys sealed to the channel key share in
+// the quote's report data, alongside the broker's ephemeral public key.
+// There is no unsealed variant: keys leave the broker encrypted to an
+// attested enclave or not at all.
+func (kb *KeyBroker) Release(service string, q Quote) (pub, sealed []byte, err error) {
+	// Registration and revocation are map lookups — settle them before
+	// paying for (and caching) a signature verification.
+	kb.mu.Lock()
+	e, ok := kb.entries[service]
+	revoked := ok && e.revoked
+	kb.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownService, service)
+	}
+	if revoked {
+		return nil, nil, fmt.Errorf("%w: %s", ErrServiceRevoked, service)
+	}
+	v, err := kb.verify(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := e.policy.Check(v); err != nil {
+		return nil, nil, err
+	}
+	payload, err := json.Marshal(e.keys)
+	if err != nil {
+		return nil, nil, err
+	}
+	pub, sealed, err = SealToVerdict(v, releaseLabel(service), payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Re-check standing at the last moment: a Revoke that completed while
+	// this release was in flight must win, or its "no further releases"
+	// guarantee would have a window.
+	kb.mu.Lock()
+	cur, ok := kb.entries[service]
+	if !ok || cur.revoked {
+		kb.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %s", ErrServiceRevoked, service)
+	}
+	cur.released++
+	kb.mu.Unlock()
+	return pub, sealed, nil
+}
+
+// releaseLabel binds a release channel to the service it releases for, so
+// a response for one service cannot be fed to a replica of another.
+func releaseLabel(service string) string { return "svc-keys|" + service }
+
+// FetchServiceKeys runs the replica-side startup protocol: generate an
+// ephemeral channel key inside the enclave, bind its public half into an
+// attestation report, quote it, present the quote to the key broker, and
+// open the sealed response. This is the only path by which application-
+// plane services obtain their keys.
+func FetchServiceKeys(enc *enclave.Enclave, quoter *Quoter, kb *KeyBroker, service string) (ServiceKeys, error) {
+	priv, err := NewChannelKey()
+	if err != nil {
+		return ServiceKeys{}, err
+	}
+	report, err := enc.CreateReport(priv.PublicKey().Bytes())
+	if err != nil {
+		return ServiceKeys{}, err
+	}
+	quote, err := quoter.Quote(report)
+	if err != nil {
+		return ServiceKeys{}, err
+	}
+	pub, sealed, err := kb.Release(service, quote)
+	if err != nil {
+		return ServiceKeys{}, err
+	}
+	raw, err := OpenSealed(priv, pub, sealed, releaseLabel(service))
+	if err != nil {
+		return ServiceKeys{}, err
+	}
+	var keys ServiceKeys
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		return ServiceKeys{}, fmt.Errorf("attest: decoding service keys: %w", err)
+	}
+	return keys, nil
+}

@@ -1,0 +1,247 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+)
+
+func testKeys(t *testing.T) ServiceKeys {
+	t.Helper()
+	var root cryptbox.Key
+	root[0] = 0x4B
+	req, err := cryptbox.DeriveKey(root, "req")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := cryptbox.DeriveKey(root, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ServiceKeys{Request: req, Topics: map[string]cryptbox.Key{"svc/in": in}}
+}
+
+// brokerFixture provisions one platform, builds one enclave on it, and
+// registers keys for "svc" released to that enclave's measurement.
+func brokerFixture(t *testing.T) (*Service, *KeyBroker, *Quoter, *enclave.Enclave, ServiceKeys) {
+	t.Helper()
+	svc := NewService()
+	kb := NewKeyBroker(svc)
+	p := enclave.NewPlatform(enclave.Config{})
+	q, err := svc.Provision(p, "node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := buildEnclave(t, p, []byte("svc-code"), signer(3))
+	m, err := e.Measurement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(t)
+	kb.Register("svc", Policy{AllowedMREnclave: []cryptbox.Digest{m}}, keys)
+	return svc, kb, q, e, keys
+}
+
+func TestFetchServiceKeysHappyPath(t *testing.T) {
+	_, kb, q, e, want := brokerFixture(t)
+	got, err := FetchServiceKeys(e, q, kb, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Request != want.Request {
+		t.Fatal("request key mismatch")
+	}
+	k, ok := got.Topic("svc/in")
+	if !ok || k != want.Topics["svc/in"] {
+		t.Fatal("topic key mismatch")
+	}
+	if kb.Released("svc") != 1 {
+		t.Fatalf("Released = %d", kb.Released("svc"))
+	}
+}
+
+func TestReleaseDeniedByPolicy(t *testing.T) {
+	svc, kb, q, _, _ := brokerFixture(t)
+	impostor := buildEnclave(t, enclavePlatform(q), []byte("impostor-code"), signer(3))
+	if _, err := FetchServiceKeys(impostor, q, kb, "svc"); !errors.Is(err, ErrPolicy) {
+		t.Fatalf("impostor got keys: err = %v, want ErrPolicy", err)
+	}
+	_ = svc
+}
+
+func enclavePlatform(q *Quoter) *enclave.Platform { return q.platform }
+
+func TestReleaseUnknownService(t *testing.T) {
+	_, kb, q, e, _ := brokerFixture(t)
+	if _, err := FetchServiceKeys(e, q, kb, "other"); !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("err = %v, want ErrUnknownService", err)
+	}
+}
+
+func TestReleaseRejectsForgedQuote(t *testing.T) {
+	_, kb, _, e, _ := brokerFixture(t)
+	r, err := e.CreateReport(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := Quote{PlatformID: "node-a", Report: r, Signature: make([]byte, 64)}
+	if _, _, err := kb.Release("svc", forged); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("forged quote released keys: err = %v, want ErrBadSignature", err)
+	}
+}
+
+// TestQuoteReplayAcrossPlatforms: a genuine quote from platform A,
+// re-presented under platform B's identity, must fail — before and after
+// the broker's cache has been warmed for platform A. The signed body binds
+// the platform ID, and the cache key includes the platform, so the replay
+// neither verifies nor rides A's cached verdict.
+func TestQuoteReplayAcrossPlatforms(t *testing.T) {
+	svc := NewService()
+	kb := NewKeyBroker(svc)
+	pa := enclave.NewPlatform(enclave.Config{})
+	qa, err := svc.Provision(pa, "node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := enclave.NewPlatform(enclave.Config{})
+	if _, err := svc.Provision(pb, "node-b"); err != nil {
+		t.Fatal(err)
+	}
+	e := buildEnclave(t, pa, []byte("svc-code"), signer(3))
+	m, _ := e.Measurement()
+	kb.Register("svc", Policy{AllowedMREnclave: []cryptbox.Digest{m}}, testKeys(t))
+
+	priv, err := NewChannelKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.CreateReport(priv.PublicKey().Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quote, err := qa.Quote(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold cache: the cross-platform replay fails signature verification.
+	replay := quote
+	replay.PlatformID = "node-b"
+	if _, _, err := kb.Release("svc", replay); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("cold replay: err = %v, want ErrBadSignature", err)
+	}
+
+	// Warm the cache with the genuine quote, then replay again: the cached
+	// verdict for (node-a, m) must not leak to a node-b presentation.
+	if _, _, err := kb.Release("svc", quote); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := kb.Release("svc", replay); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("warm replay: err = %v, want ErrBadSignature", err)
+	}
+}
+
+// TestRevocationAfterRelease: once the owner revokes a service, subsequent
+// releases fail even for a quote whose verification is already cached —
+// the exact scenario a revocation system must not lose to its cache.
+func TestRevocationAfterRelease(t *testing.T) {
+	_, kb, q, e, _ := brokerFixture(t)
+	if _, err := FetchServiceKeys(e, q, kb, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	kb.Revoke("svc")
+	if _, err := FetchServiceKeys(e, q, kb, "svc"); !errors.Is(err, ErrServiceRevoked) {
+		t.Fatalf("release after revocation: err = %v, want ErrServiceRevoked", err)
+	}
+	// Re-registering (a new build / rotated keys) clears the revocation.
+	m, _ := e.Measurement()
+	kb.Register("svc", Policy{AllowedMREnclave: []cryptbox.Digest{m}}, testKeys(t))
+	if _, err := FetchServiceKeys(e, q, kb, "svc"); err != nil {
+		t.Fatalf("release after re-registration: %v", err)
+	}
+}
+
+// TestPlatformRevocationBeatsCache: revoking the platform at the
+// attestation service stops releases immediately, even though the broker
+// has a cached verdict for the exact quote being re-presented.
+func TestPlatformRevocationBeatsCache(t *testing.T) {
+	svc, kb, q, e, _ := brokerFixture(t)
+	priv, err := NewChannelKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.CreateReport(priv.PublicKey().Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quote, err := q.Quote(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := kb.Release("svc", quote); err != nil {
+		t.Fatal(err)
+	}
+	svc.Revoke("node-a")
+	if _, _, err := kb.Release("svc", quote); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("cached quote released after platform revocation: err = %v", err)
+	}
+}
+
+// TestQuoteCacheHits: re-presenting the same quote skips the Ed25519
+// verification; a different quote (fresh report data) misses.
+func TestQuoteCacheHits(t *testing.T) {
+	_, kb, q, e, _ := brokerFixture(t)
+	priv, _ := NewChannelKey()
+	r, err := e.CreateReport(priv.PublicKey().Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quote, err := q.Quote(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := kb.Release("svc", quote); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := kb.CacheStats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+	// A fresh attestation run (new channel key, new report data) is a new
+	// quote and must be re-verified.
+	if _, err := FetchServiceKeys(e, q, kb, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	_, misses = kb.CacheStats()
+	if misses != 2 {
+		t.Fatalf("fresh quote did not miss: misses = %d", misses)
+	}
+}
+
+// TestSealedReleaseConfidential: the release payload on the wire opens
+// only with the channel private key — a host relaying the exchange, or a
+// party guessing the wrong label, learns nothing.
+func TestSealedReleaseConfidential(t *testing.T) {
+	_, kb, q, e, _ := brokerFixture(t)
+	priv, _ := NewChannelKey()
+	r, _ := e.CreateReport(priv.PublicKey().Bytes())
+	quote, _ := q.Quote(r)
+	pub, sealed, err := kb.Release("svc", quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSealed(priv, pub, sealed, "svc-keys|other"); err == nil {
+		t.Fatal("sealed keys opened under the wrong protocol label")
+	}
+	wrong, _ := NewChannelKey()
+	if _, err := OpenSealed(wrong, pub, sealed, "svc-keys|svc"); err == nil {
+		t.Fatal("sealed keys opened with the wrong channel key")
+	}
+	if _, err := OpenSealed(priv, pub, sealed, "svc-keys|svc"); err != nil {
+		t.Fatalf("legitimate open failed: %v", err)
+	}
+}

@@ -128,6 +128,24 @@ func NewEngine(p *enclave.Platform, host *shield.Host, reg *registry.Registry, q
 	}
 }
 
+// LaunchNode provisions a fresh SGX node for the application plane: a
+// simulated platform built from cfg (zero Config = platform defaults),
+// its quoting enclave registered with svc under platformID, a shielded
+// host, and a container engine pulling from reg. It is the node-allocation
+// step of the paper's replica boot sequence; Engine.Run then performs
+// pull → verify → build enclave → attest → SCF release. Giving every
+// replica its own node keeps the simulated platforms disjoint, which is
+// what makes per-replica cycle totals independent of how replicas are
+// interleaved at execution time.
+func LaunchNode(svc *attest.Service, platformID string, reg *registry.Registry, cfg enclave.Config) (*Engine, error) {
+	p := enclave.NewPlatform(cfg)
+	q, err := svc.Provision(p, platformID)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(p, shield.NewHost(), reg, q), nil
+}
+
 // Run pulls name:tag, verifies it, loads its entrypoint into a fresh
 // enclave, boots the SCONE runtime against cas and returns the running
 // container. The signer digest for MRSIGNER is derived from the manifest's

@@ -332,3 +332,44 @@ func TestEngineListsContainers(t *testing.T) {
 		t.Fatalf("Containers() = %d, want 3", got)
 	}
 }
+
+// TestLaunchNodeBootsReplica: the application plane's node-allocation
+// helper yields an engine that runs the full secure boot sequence, and
+// each launched node is its own simulated platform.
+func TestLaunchNodeBootsReplica(t *testing.T) {
+	_, trusted, reg := setup(t)
+	plain := buildPlainImage(t, trusted.priv)
+	secured, secrets, err := trusted.client.BuildSecure(plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trusted.client.Deploy(secured, secrets, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Push(secured); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := LaunchNode(trusted.svc, "plane/r0001", reg, enclave.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LaunchNode(trusted.svc, "plane/r0002", reg, enclave.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Platform == b.Platform {
+		t.Fatal("launched nodes share a platform")
+	}
+	if _, err := LaunchNode(trusted.svc, "plane/r0001", reg, enclave.Config{}); err == nil {
+		t.Fatal("duplicate platform ID accepted")
+	}
+	c, err := a.Run(secured.Manifest.Name, secured.Manifest.Tag, trusted.cas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateRunning {
+		t.Fatalf("state = %v", c.State())
+	}
+	c.Stop()
+}

@@ -12,8 +12,17 @@ import "securecloud/internal/cryptbox"
 // totals as sequential execution, which is what keeps the sharded layers'
 // figures deterministic.
 func NewWorker(cfg Config, size uint64, name string) (*Enclave, *Arena, error) {
+	return NewSignedWorker(cfg, size, name, cryptbox.Sum([]byte(name)))
+}
+
+// NewSignedWorker is NewWorker with a caller-chosen MRSIGNER. Layers whose
+// key-release policies select on the signer identity use it so every
+// worker of one logical service shares a signer — the application plane's
+// replica fleets attest this way: one MRSIGNER per service, however many
+// replicas are launched or restarted over the service's lifetime.
+func NewSignedWorker(cfg Config, size uint64, name string, signer cryptbox.Digest) (*Enclave, *Arena, error) {
 	p := NewPlatform(cfg)
-	enc, err := p.ECreate(size, cryptbox.Sum([]byte(name)))
+	enc, err := p.ECreate(size, signer)
 	if err != nil {
 		return nil, nil, err
 	}

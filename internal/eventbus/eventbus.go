@@ -235,6 +235,13 @@ func (b *Bus) nack(topic string, id int, seq uint64) bool {
 	return true
 }
 
+// depth returns the queued message count of one subscription handle.
+func (b *Bus) depth(topic string, id int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queues[topic][id])
+}
+
 // Depth returns the queued message count of a topic across subscribers
 // (monitoring hook for the orchestration layer).
 func (b *Bus) Depth(topic string) int {
@@ -393,6 +400,14 @@ func NewSubscriberAccounted(bus *Bus, topic string, key cryptbox.Key, acct Accou
 		aad:    []byte("topic|" + topic),
 		handle: h, stage: newAcctStage(acct),
 	}, nil
+}
+
+// Depth reports this subscriber's pending-queue length in one bus-lock
+// acquisition, without draining, peeking or leasing anything — the
+// monitoring hook the orchestrator samples between serve batches. Leased
+// messages still count: they remain queued until acked.
+func (s *Subscriber) Depth() int {
+	return s.bus.depth(s.topic, s.handle)
 }
 
 // Close unregisters the subscription, releasing its queue and any lease

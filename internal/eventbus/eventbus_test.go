@@ -513,3 +513,77 @@ func TestAckPrunesEmptyLeaseMaps(t *testing.T) {
 		t.Fatalf("lease maps retained after full ack: %d topics", nl)
 	}
 }
+
+// TestSubscriberDepth: the per-subscriber monitoring hook reports the
+// pending-queue length without consuming or leasing anything, tracks
+// partial drains, leaves leased-but-unacked messages counted, and goes to
+// zero when the subscriber closes.
+func TestSubscriberDepth(t *testing.T) {
+	bus := New()
+	p, s := topicPair(t, bus, "t")
+	if got := s.Depth(); got != 0 {
+		t.Fatalf("fresh Depth = %d", got)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := p.Publish([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Depth(); got != 7 {
+		t.Fatalf("Depth = %d, want 7", got)
+	}
+	// Depth is pure observation: asking twice changes nothing.
+	if got := s.Depth(); got != 7 {
+		t.Fatalf("second Depth = %d, want 7", got)
+	}
+	if _, err := s.PollBatch(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Depth(); got != 4 {
+		t.Fatalf("Depth after PollBatch(3) = %d, want 4", got)
+	}
+	// Leased messages remain queued (and counted) until acked.
+	pend, err := s.Lease(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Depth(); got != 4 {
+		t.Fatalf("Depth after Lease = %d, want 4", got)
+	}
+	if !s.Ack(pend[0].Seq) {
+		t.Fatal("ack failed")
+	}
+	if got := s.Depth(); got != 3 {
+		t.Fatalf("Depth after Ack = %d, want 3", got)
+	}
+	s.Close()
+	if got := s.Depth(); got != 0 {
+		t.Fatalf("Depth after Close = %d, want 0", got)
+	}
+}
+
+// TestSubscriberDepthIndependentPerSubscriber: each subscriber's depth is
+// its own backlog, not the topic aggregate.
+func TestSubscriberDepthIndependentPerSubscriber(t *testing.T) {
+	bus := New()
+	p, fast := topicPair(t, bus, "t")
+	key, _ := TopicKey(appRoot(), "t")
+	slow, err := NewSubscriber(bus, "t", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := p.Publish([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fast.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	if f, sl := fast.Depth(), slow.Depth(); f != 0 || sl != 4 {
+		t.Fatalf("fast/slow Depth = %d/%d, want 0/4", f, sl)
+	}
+	if got := bus.Depth("t"); got != 4 {
+		t.Fatalf("topic Depth = %d, want 4", got)
+	}
+}

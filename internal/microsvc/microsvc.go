@@ -14,7 +14,7 @@ package microsvc
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"securecloud/internal/cryptbox"
 	"securecloud/internal/enclave"
@@ -32,7 +32,8 @@ var (
 )
 
 // Service is one running micro-service: an enclave, its request key, and
-// the handler inside.
+// the handler inside. Request counters are atomics so monitoring reads
+// (Served, Stats) never contend with the serve path.
 type Service struct {
 	name    string
 	enc     *enclave.Enclave
@@ -40,9 +41,9 @@ type Service struct {
 	box     *cryptbox.Box
 	handler Handler
 
-	mu      sync.Mutex
-	stopped bool
-	served  uint64
+	stopped atomic.Bool
+	served  atomic.Uint64
+	failed  atomic.Uint64
 }
 
 // New wraps handler into a micro-service bound to enc. The request key is
@@ -65,34 +66,40 @@ func (s *Service) Name() string { return s.name }
 func (s *Service) Enclave() *enclave.Enclave { return s.enc }
 
 // Served returns the number of successfully handled requests.
-func (s *Service) Served() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.served
+func (s *Service) Served() uint64 { return s.served.Load() }
+
+// Stats is a monitoring snapshot of one service or replica. All fields
+// are read from atomics: sampling never blocks the serve path.
+type Stats struct {
+	// Served counts successfully handled requests; Failed counts requests
+	// that failed authentication, whose handler returned an error, or
+	// whose response could not be sealed.
+	Served uint64
+	Failed uint64
+}
+
+// Stats returns the service's counters without taking any lock.
+func (s *Service) Stats() Stats {
+	return Stats{Served: s.served.Load(), Failed: s.failed.Load()}
 }
 
 // Stop marks the service stopped; subsequent invocations fail.
-func (s *Service) Stop() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stopped = true
-}
+func (s *Service) Stop() { s.stopped.Store(true) }
 
 // reqAAD/respAAD bind blobs to the service and direction, so a response
-// cannot be replayed as a request or routed to another service.
-func (s *Service) reqAAD() []byte  { return []byte("req|" + s.name) }
-func (s *Service) respAAD() []byte { return []byte("resp|" + s.name) }
+// cannot be replayed as a request or routed to another service. They are
+// the same AADs the ReplicaSet frames use (reqAADFor/respAADFor), so a
+// single Service and a replica fleet of the same name interoperate.
+func (s *Service) reqAAD() []byte  { return reqAADFor(s.name) }
+func (s *Service) respAAD() []byte { return respAADFor(s.name) }
 
 // Invoke processes one sealed request and returns the sealed response.
 // The runtime outside the enclave calls this with ciphertext; decryption,
 // handling and re-encryption all happen past the EENTER.
 func (s *Service) Invoke(sealedReq []byte) ([]byte, error) {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
+	if s.stopped.Load() {
 		return nil, ErrStopped
 	}
-	s.mu.Unlock()
 
 	if err := s.enc.EEnter(); err != nil {
 		return nil, err
@@ -101,19 +108,20 @@ func (s *Service) Invoke(sealedReq []byte) ([]byte, error) {
 
 	req, err := s.box.Open(sealedReq, s.reqAAD())
 	if err != nil {
+		s.failed.Add(1)
 		return nil, ErrSealedRequest
 	}
 	resp, err := s.handler(req)
 	if err != nil {
+		s.failed.Add(1)
 		return nil, fmt.Errorf("microsvc %s: %w", s.name, err)
 	}
 	sealedResp, err := s.box.Seal(resp, s.respAAD())
 	if err != nil {
+		s.failed.Add(1)
 		return nil, err
 	}
-	s.mu.Lock()
-	s.served++
-	s.mu.Unlock()
+	s.served.Add(1)
 	return sealedResp, nil
 }
 

@@ -1,0 +1,290 @@
+package microsvc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/eventbus"
+	"securecloud/internal/orchestrator"
+	"securecloud/internal/sim"
+)
+
+// A Scenario is one closed-loop fault-injection experiment on the
+// application plane: a deterministic load schedule driven through an
+// attested ReplicaSet while an orchestrator samples queue depths and
+// service cycles each tick and adapts. Everything that shapes the
+// simulated figures — the load, the routing, the injections, the tick
+// budget — is a pure function of this struct, so two runs of the same
+// Scenario (at any Workers setting) produce bit-identical adaptation
+// traces and cycle totals. Injection ticks use 0 = disabled; scenarios
+// inject at positive ticks.
+type Scenario struct {
+	Name string
+	Seed int64
+	// Ticks is the monitoring-loop length; each tick grants every replica
+	// TickMillis sim-ms of service and ends with one orchestrator Observe.
+	Ticks      int
+	Replicas   int
+	Workers    int // execution-only; never changes figures
+	BaseLoad   int // requests per tick
+	Keys       int // routing-key space ("k-000" .. "k-<Keys-1>")
+	BodyBytes  int // request body size (plus a small deterministic jitter)
+	TickMillis float64
+	// RequestCycles is the modeled application compute per request.
+	RequestCycles sim.Cycles
+	Target        orchestrator.Target
+
+	// Load spike: BaseLoad × SpikeFactor during [SpikeAt, SpikeAt+SpikeTicks).
+	SpikeAt     int
+	SpikeTicks  int
+	SpikeFactor int
+	// Replica crash: replica CrashReplica (routing order) dies at CrashAt.
+	CrashAt      int
+	CrashReplica int
+	// Hot-key skew: from SkewAt on, SkewPercent% of requests route to SkewKey.
+	SkewAt      int
+	SkewPercent int
+	SkewKey     string
+	// Slow replica: replica SlowReplica is charged SlowExtra extra cycles
+	// per request from SlowAt on.
+	SlowAt      int
+	SlowReplica int
+	SlowExtra   sim.Cycles
+}
+
+// InjectTick returns the scenario's first fault-injection tick, or -1 for
+// a fault-free run. Adaptation latency is measured from it.
+func (sc Scenario) InjectTick() int {
+	first := -1
+	for _, at := range []int{sc.SpikeAt, sc.CrashAt, sc.SkewAt, sc.SlowAt} {
+		if at > 0 && (first < 0 || at < first) {
+			first = at
+		}
+	}
+	return first
+}
+
+// ScenarioResult is the deterministic outcome of one scenario run. Every
+// field except Workers is invariant to the Workers setting; the benchmark
+// harness asserts exactly that before gating the values.
+type ScenarioResult struct {
+	Name    string
+	Workers int
+	Ticks   int
+	// Trace is the per-tick adaptation record: replica count, backlog and
+	// orchestrator actions, plus injection markers. TraceHash is the
+	// SHA-256 of the joined trace — the single value CI gates.
+	Trace     []string
+	TraceHash string
+
+	Sent    int
+	Served  uint64
+	Failed  uint64
+	Replies int
+	Backlog int
+
+	Launched           int
+	FinalReplicas      int
+	RequestsPerReplica float64
+
+	SerialCycles   sim.Cycles
+	CriticalCycles sim.Cycles
+	SimSpeedup     float64
+	Faults         uint64
+	FrontCycles    sim.Cycles
+
+	InjectTick        int
+	FirstReactionTick int
+	// AdaptLatencySimMS is the simulated time from the injection tick to
+	// the end of the tick whose Observe reacted: one tick of latency means
+	// the same monitoring period that saw the fault also repaired it.
+	AdaptLatencySimMS float64
+}
+
+// scenarioService is the service name scenarios run under.
+const scenarioService = "plane/scenario"
+
+// RunScenario executes one scenario and returns its deterministic result.
+func RunScenario(sc Scenario) (ScenarioResult, error) {
+	if sc.Ticks <= 0 || sc.Replicas <= 0 || sc.BaseLoad <= 0 || sc.Keys <= 0 {
+		return ScenarioResult{}, fmt.Errorf("microsvc: scenario %q underspecified", sc.Name)
+	}
+	bus := eventbus.New()
+	svc := attest.NewService()
+	kb := attest.NewKeyBroker(svc)
+
+	var appRoot cryptbox.Key
+	appRoot[0] = 0xA7
+	appRoot[1] = byte(sc.Seed)
+	inTopic, outTopic := "plane/req", "plane/resp"
+	keys, err := NewServiceKeys(appRoot, scenarioService, inTopic, outTopic)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	kb.Register(scenarioService,
+		attest.Policy{AllowedMRSigner: []cryptbox.Digest{ReplicaSigner(scenarioService)}}, keys)
+
+	// The handler echoes a fixed-size ack; the modeled per-request compute
+	// comes from RequestCycles, charged inside the replica's span.
+	handler := func(req []byte) ([]byte, error) { return []byte{byte(len(req))}, nil }
+
+	rs, err := NewReplicaSet(bus, svc, kb, scenarioService, handler, ReplicaSetConfig{
+		Replicas:      sc.Replicas,
+		Workers:       sc.Workers,
+		InTopic:       inTopic,
+		OutTopic:      outTopic,
+		TickBudget:    sim.MillisToCycles(sc.TickMillis),
+		RequestCycles: sc.RequestCycles,
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	defer rs.Stop()
+	o, err := orchestrator.New(sc.Target, rs, rs.ReplicaHandles()...)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	client, err := NewPlaneClient(bus, scenarioService, keys, inTopic, outTopic)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	defer client.Close()
+
+	res := ScenarioResult{
+		Name: sc.Name, Workers: sc.Workers, Ticks: sc.Ticks,
+		InjectTick: sc.InjectTick(), FirstReactionTick: -1,
+	}
+	rng := sim.NewRand(sc.Seed)
+	for t := 1; t <= sc.Ticks; t++ {
+		// Fault injection.
+		if sc.CrashAt > 0 && t == sc.CrashAt {
+			if id := rs.InjectCrash(sc.CrashReplica); id != "" {
+				res.Trace = append(res.Trace, fmt.Sprintf("t%04d inject crash %s", t, id))
+			}
+		}
+		if sc.SlowAt > 0 && t == sc.SlowAt {
+			if id := rs.InjectSlow(sc.SlowReplica, sc.SlowExtra); id != "" {
+				res.Trace = append(res.Trace, fmt.Sprintf("t%04d inject slow %s +%d", t, id, sc.SlowExtra))
+			}
+		}
+
+		// Deterministic load schedule.
+		n := sc.BaseLoad
+		if sc.SpikeAt > 0 && t >= sc.SpikeAt && t < sc.SpikeAt+sc.SpikeTicks {
+			n *= sc.SpikeFactor
+		}
+		reqs := make([]PlaneRequest, n)
+		for i := range reqs {
+			key := fmt.Sprintf("k-%03d", rng.Intn(sc.Keys))
+			if sc.SkewAt > 0 && t >= sc.SkewAt && rng.Intn(100) < sc.SkewPercent {
+				key = sc.SkewKey
+			}
+			body := make([]byte, sc.BodyBytes+i%33)
+			rng.Read(body)
+			reqs[i] = PlaneRequest{Key: key, Body: body}
+		}
+		if err := client.SendBatch(reqs); err != nil {
+			return res, err
+		}
+		res.Sent += n
+
+		// Serve + observe: the closed loop.
+		if _, err := rs.Step(); err != nil {
+			return res, err
+		}
+		actions, err := o.Observe()
+		if err != nil {
+			return res, err
+		}
+		if len(actions) > 0 && res.FirstReactionTick < 0 &&
+			(res.InjectTick < 0 || t >= res.InjectTick) {
+			res.FirstReactionTick = t
+		}
+		replies, err := client.Replies()
+		if err != nil {
+			return res, err
+		}
+		res.Replies += len(replies)
+
+		line := fmt.Sprintf("t%04d replicas=%d backlog=%d", t, o.Replicas(), rs.Backlog())
+		if len(actions) > 0 {
+			parts := make([]string, len(actions))
+			for i, a := range actions {
+				parts[i] = a.String()
+			}
+			line += " | " + strings.Join(parts, "; ")
+		}
+		res.Trace = append(res.Trace, line)
+	}
+
+	sum := sha256.Sum256([]byte(strings.Join(res.Trace, "\n")))
+	res.TraceHash = hex.EncodeToString(sum[:])
+	tot := rs.Totals()
+	res.Served = tot.Served
+	res.Failed = tot.Failed
+	res.Backlog = rs.Backlog()
+	res.Launched = tot.Launched
+	res.FinalReplicas = tot.Live
+	if tot.Launched > 0 {
+		res.RequestsPerReplica = float64(tot.Served) / float64(tot.Launched)
+	}
+	res.SerialCycles = tot.SerialCycles
+	res.CriticalCycles = tot.CriticalCycles
+	if tot.CriticalCycles > 0 {
+		res.SimSpeedup = float64(tot.SerialCycles) / float64(tot.CriticalCycles)
+	}
+	res.Faults = tot.Faults
+	res.FrontCycles = tot.FrontCycles
+	if res.InjectTick > 0 && res.FirstReactionTick > 0 {
+		res.AdaptLatencySimMS = float64(res.FirstReactionTick-res.InjectTick+1) * sc.TickMillis
+	}
+	return res, nil
+}
+
+// DefaultScenarios returns the four gated fault-injection scenarios:
+// replica crash, load spike, hot-key skew and slow replica. Their
+// adaptation traces and cycle totals are pinned in BENCH_4.json and
+// checked against the baseline in CI; change them only with the same
+// deliberation as a golden file.
+func DefaultScenarios() []Scenario {
+	target := orchestrator.Target{
+		MaxQueueDepth:    32,
+		MinReplicas:      1,
+		MaxReplicas:      8,
+		ScaleInBelow:     4,
+		MaxServiceCycles: 200_000,
+	}
+	base := Scenario{
+		Seed:          42,
+		Ticks:         48,
+		Replicas:      2,
+		BaseLoad:      48,
+		Keys:          64,
+		BodyBytes:     192,
+		TickMillis:    1,
+		RequestCycles: 60_000,
+		Target:        target,
+	}
+	crash := base
+	crash.Name = "crash"
+	crash.CrashAt, crash.CrashReplica = 12, 0
+
+	spike := base
+	spike.Name = "load-spike"
+	spike.SpikeAt, spike.SpikeTicks, spike.SpikeFactor = 16, 8, 6
+
+	skew := base
+	skew.Name = "hot-key-skew"
+	skew.BaseLoad = 96
+	skew.SkewAt, skew.SkewPercent, skew.SkewKey = 10, 85, "hot"
+
+	slow := base
+	slow.Name = "slow-replica"
+	slow.SlowAt, slow.SlowReplica, slow.SlowExtra = 12, 0, 400_000
+
+	return []Scenario{crash, spike, skew, slow}
+}

@@ -47,6 +47,11 @@ type Target struct {
 	// ScaleInBelow is the per-replica queue depth under which the
 	// orchestrator retires replicas.
 	ScaleInBelow int
+	// MaxServiceCycles restarts a replica whose per-request service cost
+	// exceeds it — the straggler rule: a replica that turned slow (degraded
+	// node, interference) is replaced with a fresh one rather than left to
+	// drag the service's tail latency. Zero disables the rule.
+	MaxServiceCycles sim.Cycles
 }
 
 // DefaultTarget returns a conservative QoS target.
@@ -130,10 +135,18 @@ func (o *Orchestrator) Observe() ([]Action, error) {
 	o.tick++
 	var actions []Action
 
-	// 1. Health: restart dead replicas.
+	// 1. Health: restart dead and straggling replicas. A replica whose
+	// per-request service cost exceeds the target's MaxServiceCycles is
+	// treated like a failure — replaced the same tick it is detected.
 	for i, r := range o.replicas {
 		m := r.Sample()
-		if m.Healthy {
+		reason := ""
+		switch {
+		case !m.Healthy:
+			reason = "replica unhealthy"
+		case o.target.MaxServiceCycles > 0 && m.ServiceCycles > o.target.MaxServiceCycles:
+			reason = fmt.Sprintf("service cycles %d > %d", m.ServiceCycles, o.target.MaxServiceCycles)
+		default:
 			continue
 		}
 		if o.launcher == nil {
@@ -147,7 +160,7 @@ func (o *Orchestrator) Observe() ([]Action, error) {
 		o.replicas[i] = fresh
 		actions = append(actions, o.record(Action{
 			Kind: "restart", ReplicaID: r.ID(), Tick: o.tick,
-			Reason: "replica unhealthy",
+			Reason: reason,
 		}))
 	}
 
@@ -195,6 +208,30 @@ func (o *Orchestrator) record(a Action) Action {
 	o.log = append(o.log, a)
 	o.reactions++
 	return a
+}
+
+// String renders one action deterministically: every field it prints is a
+// pure function of the monitoring inputs, so adaptation traces built from
+// it are comparable bit-for-bit across runs and worker counts.
+func (a Action) String() string {
+	if a.ReplicaID == "" {
+		return fmt.Sprintf("t%04d %s (%s)", a.Tick, a.Kind, a.Reason)
+	}
+	return fmt.Sprintf("t%04d %s %s (%s)", a.Tick, a.Kind, a.ReplicaID, a.Reason)
+}
+
+// Trace renders the adaptation log as deterministic strings — the
+// artifact the benchmark harness hashes and gates: two runs of the same
+// scenario must produce byte-identical traces regardless of execution
+// parallelism.
+func (o *Orchestrator) Trace() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, len(o.log))
+	for i, a := range o.log {
+		out[i] = a.String()
+	}
+	return out
 }
 
 // Dispatcher routes incoming work to the least-loaded replica — the

@@ -250,3 +250,69 @@ func TestClosedLoopConvergesUnderLoadSwing(t *testing.T) {
 		t.Fatal("burst never triggered scale-out")
 	}
 }
+
+func TestSlowReplicaRestarted(t *testing.T) {
+	l := &fakeLauncher{}
+	slow := healthy("r-slow", 5)
+	slow.set(Metrics{Healthy: true, QueueDepth: 5, ServiceCycles: 500_000})
+	target := DefaultTarget()
+	target.MaxServiceCycles = 200_000
+	o, err := New(target, l, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err := o.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || actions[0].Kind != "restart" || actions[0].ReplicaID != "r-slow" {
+		t.Fatalf("actions = %+v", actions)
+	}
+	if len(l.retired) != 1 || l.retired[0] != "r-slow" {
+		t.Fatalf("retired = %v", l.retired)
+	}
+}
+
+func TestSlowRuleDisabledByDefault(t *testing.T) {
+	l := &fakeLauncher{}
+	slow := healthy("r-slow", 5)
+	slow.set(Metrics{Healthy: true, QueueDepth: 5, ServiceCycles: 1 << 40})
+	o, err := New(DefaultTarget(), l, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err := o.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 0 {
+		t.Fatalf("zero MaxServiceCycles still restarted: %+v", actions)
+	}
+}
+
+func TestTraceDeterministicRendering(t *testing.T) {
+	l := &fakeLauncher{}
+	r := healthy("r00", 100)
+	o, _ := New(DefaultTarget(), l, r)
+	if _, err := o.Observe(); err != nil {
+		t.Fatal(err)
+	}
+	r.set(Metrics{Healthy: false})
+	if _, err := o.Observe(); err != nil {
+		t.Fatal(err)
+	}
+	trace := o.Trace()
+	want := []string{
+		"t0001 scale-out (queue depth 100 > 32)",
+		"t0002 restart r00 (replica unhealthy)",
+		"t0002 scale-in r01 (mean queue depth 0 < 4)",
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %q, want %q", i, trace[i], want[i])
+		}
+	}
+}

@@ -8,8 +8,6 @@
 package sconert
 
 import (
-	"crypto/ecdh"
-	"crypto/rand"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -139,52 +137,29 @@ func (c *CAS) RequestSCF(q attest.Quote) (SCFResponse, error) {
 		return SCFResponse{}, ErrNoSCF
 	}
 
-	clientPub, err := ecdh.X25519().NewPublicKey(verdict.Data[:32])
-	if err != nil {
-		return SCFResponse{}, fmt.Errorf("%w: %v", ErrBadKeyShare, err)
-	}
-	casPriv, err := ecdh.X25519().GenerateKey(rand.Reader)
-	if err != nil {
-		return SCFResponse{}, err
-	}
-	shared, err := casPriv.ECDH(clientPub)
-	if err != nil {
-		return SCFResponse{}, fmt.Errorf("%w: %v", ErrBadKeyShare, err)
-	}
-	key, err := sessionKey(shared)
-	if err != nil {
-		return SCFResponse{}, err
-	}
-	box, err := cryptbox.NewBox(key)
-	if err != nil {
-		return SCFResponse{}, err
-	}
 	raw, err := scf.Marshal()
 	if err != nil {
 		return SCFResponse{}, err
 	}
-	sealed, err := box.Seal(raw, []byte("scf"))
+	pub, sealed, err := attest.SealToVerdict(verdict, scfChannelLabel, raw)
 	if err != nil {
-		return SCFResponse{}, err
+		return SCFResponse{}, fmt.Errorf("%w: %v", ErrBadKeyShare, err)
 	}
-	return SCFResponse{CASPublicKey: casPriv.PublicKey().Bytes(), SealedSCF: sealed}, nil
+	return SCFResponse{CASPublicKey: pub, SealedSCF: sealed}, nil
 }
 
-// sessionKey derives the channel key from the raw ECDH shared secret.
-func sessionKey(shared []byte) (cryptbox.Key, error) {
-	raw, err := cryptbox.HKDF(shared, nil, []byte("scf-session"), cryptbox.KeySize)
-	if err != nil {
-		return cryptbox.Key{}, err
-	}
-	return cryptbox.KeyFromBytes(raw)
-}
+// scfChannelLabel names the SCF-release protocol on the shared attested
+// sealed channel (attest.SealToVerdict / attest.OpenSealed), keeping its
+// key derivation and AAD distinct from other release protocols such as the
+// KeyBroker's service-key channel.
+const scfChannelLabel = "scf"
 
 // FetchSCF runs the enclave-side startup protocol: generate an ephemeral
 // X25519 key inside the enclave, bind its public half into an attestation
 // report, quote it, present the quote to the CAS, and decrypt the response.
 // The untrusted host only ever relays ciphertext.
 func FetchSCF(enc *enclave.Enclave, quoter *attest.Quoter, cas *CAS) (SCF, error) {
-	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	priv, err := attest.NewChannelKey()
 	if err != nil {
 		return SCF{}, err
 	}
@@ -200,25 +175,9 @@ func FetchSCF(enc *enclave.Enclave, quoter *attest.Quoter, cas *CAS) (SCF, error
 	if err != nil {
 		return SCF{}, err
 	}
-	casPub, err := ecdh.X25519().NewPublicKey(resp.CASPublicKey)
+	raw, err := attest.OpenSealed(priv, resp.CASPublicKey, resp.SealedSCF, scfChannelLabel)
 	if err != nil {
 		return SCF{}, fmt.Errorf("%w: %v", ErrBadKeyShare, err)
-	}
-	shared, err := priv.ECDH(casPub)
-	if err != nil {
-		return SCF{}, fmt.Errorf("%w: %v", ErrBadKeyShare, err)
-	}
-	key, err := sessionKey(shared)
-	if err != nil {
-		return SCF{}, err
-	}
-	box, err := cryptbox.NewBox(key)
-	if err != nil {
-		return SCF{}, err
-	}
-	raw, err := box.Open(resp.SealedSCF, []byte("scf"))
-	if err != nil {
-		return SCF{}, fmt.Errorf("sconert: SCF channel: %w", err)
 	}
 	return UnmarshalSCF(raw)
 }

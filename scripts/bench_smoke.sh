@@ -34,6 +34,15 @@ go run ./cmd/scbr-bench -ops 200 -points 60,120,200 -payload 1200 -json \
 echo "bench-smoke: kv-bench (sharded store + parallel map/reduce + smartgrid billing)" >&2
 go run ./cmd/kv-bench -json >"$TMP/kv.json"
 
+# Application plane: the four closed-loop fault-injection scenarios
+# (crash, load spike, hot-key skew, slow replica), each swept across
+# worker counts 1,2,4,8. The driver itself asserts that adaptation traces
+# and cycle totals are bit-identical across the sweep; the deterministic
+# metrics (per-scenario cycle totals, adaptation latencies, trace lengths)
+# are gated by scripts/bench_check.sh.
+echo "bench-smoke: app-bench (orchestrated replica-set scenarios, workers 1,2,4,8)" >&2
+go run ./cmd/app-bench -json >"$TMP/app.json"
+
 echo "bench-smoke: go test -bench=CacheMissVsSwap -benchtime=1x" >&2
 go test -run '^$' -bench 'CacheMissVsSwap' -benchtime=1x . >"$TMP/bench.txt" 2>&1 \
     || { cat "$TMP/bench.txt" >&2; exit 1; }
@@ -95,6 +104,7 @@ SEED_BASELINE="scripts/seed_baseline.json"
     fi
     echo "  \"host_cpus\": $(nproc),"
     echo "  \"kv_bench\": $(cat "$TMP/kv.json"),"
+    echo "  \"app_bench\": $(cat "$TMP/app.json"),"
     echo "  \"cache_miss_vs_swap\": $(cat "$TMP/cachemiss.json"),"
     echo "  \"broker_publish_parallel\": $(cat "$TMP/par.json"),"
     echo "  \"figure3_reduced_sweep\": $(cat "$TMP/sweep.json"),"

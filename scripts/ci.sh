@@ -10,8 +10,10 @@
 # 4. go test ./...              (tier-1: full test suite, goldens included)
 # 5. go test -race <concurrent packages>
 #                               (the packages with lock-free fast paths,
-#                                the sharded broker, the sharded store and
-#                                the parallel map/reduce engine)
+#                                the sharded broker, the sharded store,
+#                                the parallel map/reduce engine, and the
+#                                application plane: attest/microsvc/
+#                                orchestrator)
 # 6. bench-regression gate      (deterministic sim-metrics in the newest
 #                                BENCH_N.json must match the committed
 #                                baseline — see scripts/bench_check.sh)
@@ -46,6 +48,9 @@ RACE_PKGS=(
     ./internal/cryptbox
     ./internal/kvstore
     ./internal/mapreduce
+    ./internal/attest
+    ./internal/microsvc
+    ./internal/orchestrator
 )
 echo "ci: go test -race ${RACE_PKGS[*]}" >&2
 go test -race "${RACE_PKGS[@]}"

@@ -200,6 +200,28 @@ func extract(doc map[string]any) (map[string]float64, []string) {
 		}
 	}
 
+	if pb, ok := doc["pull_bench"].(map[string]any); ok {
+		if det, ok := pb["deterministic"].(map[string]any); ok {
+			for name, v := range det {
+				if f, ok := num(v); ok {
+					metrics["pull."+name] = f
+				}
+			}
+		}
+		// The driver's own cross-worker-count determinism verdict, plus the
+		// node-cache statement: a warm second-replica pull fetches nothing.
+		if eq, ok := pb["workers_equal"].(bool); ok && !eq {
+			problems = append(problems,
+				"pull_bench: pull metrics differed across worker counts (nondeterministic)")
+		}
+		if det, ok := pb["deterministic"].(map[string]any); ok {
+			if warm, ok := num(det["warm_chunks_fetched"]); ok && warm != 0 {
+				problems = append(problems, fmt.Sprintf(
+					"pull_bench: warm pull fetched %v chunks, want 0 (blob cache broken)", warm))
+			}
+		}
+	}
+
 	if kv, ok := doc["kv_bench"].(map[string]any); ok {
 		if det, ok := kv["deterministic"].(map[string]any); ok {
 			for name, v := range det {

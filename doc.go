@@ -196,8 +196,9 @@
 // Because the simulated metrics are deterministic, they are CI-gated.
 // scripts/ci.sh — run locally or by .github/workflows/ci.yml — enforces,
 // beyond fmt/build/vet/test and -race on the concurrent packages
-// (sim, enclave, scbr, eventbus, cryptbox, kvstore, mapreduce, and the
-// application plane: attest, microsvc, orchestrator):
+// (sim, enclave, scbr, eventbus, cryptbox, kvstore, mapreduce, the
+// application plane: attest, microsvc, orchestrator, and the data plane:
+// transfer, registry, container):
 //
 //   - The bench-regression gate (scripts/bench_check.sh): every
 //     deterministic metric in the newest BENCH_N.json — sim-cycles/match,
@@ -217,4 +218,54 @@
 // scripts/bench_smoke.sh N, refresh the metric baseline with
 // scripts/bench_check.sh -update, and commit all three together so the PR
 // diff shows the intended figure changes.
+//
+// # Data plane
+//
+// Image distribution — the paper's secure Docker workflow (Figure 2)
+// carried by its "efficient transmission of large amounts of data"
+// component (§III-B(3)) — runs on one content-addressed sealed data plane
+// built from three layers:
+//
+//   - internal/transfer is the chunk substrate: payloads stream through
+//     Pack/Unpack (io.Reader/io.Writer, one chunk resident at a time),
+//     each chunk compressed with pooled flate state, sealed, and pinned
+//     under a Merkle root. Convergent mode (PackConvergent) seals every
+//     chunk under a key derived from its own content with a deterministic
+//     nonce, so identical content produces bit-identical sealed bytes;
+//     the per-chunk keys ride in the manifest, which is the trusted
+//     artifact anyway. Manifest validation pins the leaf count to the
+//     declared geometry (the forged-count guard, mirrored from the scbr
+//     codec), and a fuzz target covers manifest decoding.
+//
+//   - internal/registry stores layers chunk-granularly: every layer is
+//     encoded deterministically (image.Layer.Encode, length-prefixed and
+//     parseable, distinct from the digest-defining canonical form) and
+//     chunked convergently, and blobs are keyed by chunk content digest.
+//     Dedup keying is exactly that digest: a base layer shared by N
+//     images is stored once, and Registry.Stats counts the hits. The
+//     HTTP front end serves image manifests, layer chunk manifests and
+//     single blobs, with digest-conditional GET (ETag/If-None-Match) on
+//     the content-addressed endpoints.
+//
+//   - internal/container pulls: Engine.PullImage fetches the manifests,
+//     computes the unique chunk set, classifies it against the node-local
+//     BlobCache, fans the missing chunks out across workers
+//     (sim.ParallelFor), verifies each against its digest before it may
+//     enter the cache (a digest can never map to wrong bytes, so the
+//     cache is unpoisonable by construction), and reassembles each layer
+//     inside a per-layer verification enclave charged through the
+//     transfer receiver. Failed chunks fail alone; everything verified
+//     stays cached, so retrying a partial pull resumes instead of
+//     restarting. Engines sharing one BlobCache give the Nth replica on
+//     a node a zero-fetch boot — microsvc's container-mode ReplicaSet
+//     wires exactly that.
+//
+// Topology vs execution: the chunk set, the dedup and cache outcomes and
+// the per-layer enclaves are topology — pure functions of image bytes and
+// cache state. Pull worker count is execution only. Every PullStats field
+// (chunks fetched, dedup hits, serial vs critical-path cycles, faults) is
+// therefore bit-identical across worker counts; cmd/pull-bench sweeps
+// workers 1,2,4,8, asserts exactly that plus the zero-fetch warm boot,
+// and its deterministic metrics land in BENCH_N.json where
+// scripts/bench_check.sh gates them like every other simulated figure.
 package securecloud

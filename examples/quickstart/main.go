@@ -105,16 +105,22 @@ func main() {
 	}
 	kb.Register("demo/hello", attest.Policy{AllowedMREnclave: []cryptbox.Digest{m}}, keys)
 
+	// The replicas share one node-local blob cache: the first boot pulls
+	// the image's chunks from the registry, every later boot is warm.
+	cache := container.NewBlobCache()
 	rs, err := microsvc.NewContainerReplicaSet(cloud.Bus, svc, kb, "demo/hello",
 		func(req []byte) ([]byte, error) {
 			return []byte("HELLO, " + strings.ToUpper(string(req))), nil
 		},
 		microsvc.ReplicaSetConfig{Replicas: 2, InTopic: "hello/req", OutTopic: "hello/resp"},
-		microsvc.ContainerSpec{Registry: cloud.Registry, CAS: owner.CAS, Image: "demo/hello", Tag: "1.0"})
+		microsvc.ContainerSpec{Registry: cloud.Registry, CAS: owner.CAS, Image: "demo/hello", Tag: "1.0", Cache: cache})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rs.Stop()
+	cs := cache.Stats()
+	fmt.Printf("data plane: %d chunks (%d KiB) fetched once, %d warm-boot chunk hits across replicas\n",
+		cs.Stores, cs.Bytes>>10, cs.Hits)
 
 	client, err := microsvc.NewPlaneClient(cloud.Bus, "demo/hello", keys, "hello/req", "hello/resp")
 	if err != nil {

@@ -19,7 +19,6 @@ import (
 	"securecloud/internal/cryptbox"
 	"securecloud/internal/enclave"
 	"securecloud/internal/image"
-	"securecloud/internal/registry"
 	"securecloud/internal/sconert"
 	"securecloud/internal/shield"
 	"securecloud/internal/sim"
@@ -110,17 +109,28 @@ func (c *Container) Usage() Usage {
 type Engine struct {
 	Platform *enclave.Platform
 	Host     *shield.Host
-	Registry *registry.Registry
+	// Registry is the chunk-granular pull source: the in-process registry
+	// or its HTTP client.
+	Registry PullSource
 	Quoter   *attest.Quoter
 	Mode     shield.CallMode
+	// Cache is the node-local blob cache shared by the engines on one
+	// node; nil pulls through a pull-private cache.
+	Cache *BlobCache
+	// PullWorkers bounds the pull fan-out (execution only; 0 = GOMAXPROCS).
+	PullWorkers int
+	// PullPlatform configures the per-layer verification enclaves' platform
+	// (topology: pin when comparing pull cycle totals; zero = defaults).
+	PullPlatform enclave.Config
 
-	mu     sync.Mutex
-	nextID int
-	run    map[string]*Container
+	mu       sync.Mutex
+	nextID   int
+	run      map[string]*Container
+	lastPull PullStats
 }
 
 // NewEngine assembles an engine.
-func NewEngine(p *enclave.Platform, host *shield.Host, reg *registry.Registry, q *attest.Quoter) *Engine {
+func NewEngine(p *enclave.Platform, host *shield.Host, reg PullSource, q *attest.Quoter) *Engine {
 	return &Engine{
 		Platform: p, Host: host, Registry: reg, Quoter: q,
 		Mode: shield.ModeAsync,
@@ -137,7 +147,7 @@ func NewEngine(p *enclave.Platform, host *shield.Host, reg *registry.Registry, q
 // replica its own node keeps the simulated platforms disjoint, which is
 // what makes per-replica cycle totals independent of how replicas are
 // interleaved at execution time.
-func LaunchNode(svc *attest.Service, platformID string, reg *registry.Registry, cfg enclave.Config) (*Engine, error) {
+func LaunchNode(svc *attest.Service, platformID string, reg PullSource, cfg enclave.Config) (*Engine, error) {
 	p := enclave.NewPlatform(cfg)
 	q, err := svc.Provision(p, platformID)
 	if err != nil {
@@ -146,17 +156,15 @@ func LaunchNode(svc *attest.Service, platformID string, reg *registry.Registry, 
 	return NewEngine(p, shield.NewHost(), reg, q), nil
 }
 
-// Run pulls name:tag, verifies it, loads its entrypoint into a fresh
-// enclave, boots the SCONE runtime against cas and returns the running
-// container. The signer digest for MRSIGNER is derived from the manifest's
-// signing key.
+// Run pulls name:tag chunk-granularly through the node cache (PullImage:
+// parallel fetch, per-chunk verification, per-layer verification
+// enclaves), loads its entrypoint into a fresh enclave, boots the SCONE
+// runtime against cas and returns the running container. The signer digest
+// for MRSIGNER is derived from the manifest's signing key.
 func (e *Engine) Run(name, tag string, cas *sconert.CAS) (*Container, error) {
-	img, err := e.Registry.Pull(name, tag)
+	img, _, err := e.PullImage(name, tag)
 	if err != nil {
 		return nil, err
-	}
-	if err := img.Verify(); err != nil {
-		return nil, fmt.Errorf("container: pulled image failed verification: %w", err)
 	}
 	enc, err := BuildEnclave(e.Platform, img)
 	if err != nil {

@@ -1,0 +1,333 @@
+// The chunk-granular verified pull: the container engine's side of the
+// content-addressed sealed data plane. Where Registry.Pull reassembles a
+// whole image inside the registry process, PullImage drives the pull from
+// the node: it fetches the (untrusted) image and layer manifests, fans the
+// unique chunk set out across workers, verifies every chunk against its
+// content digest before it may enter the node-local BlobCache, and then
+// reconstructs each layer inside a per-layer verification enclave whose
+// simulated cycles are charged through the transfer receiver.
+//
+// Topology vs execution: the chunk set, dedup and cache classification,
+// and the per-layer enclaves are topology — pure functions of the image
+// and the cache state. The worker count is execution only: it decides
+// which goroutine fetches which chunk and assembles which layer, never
+// what is fetched or charged. All PullStats fields are therefore
+// bit-identical across worker counts.
+package container
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/image"
+	"securecloud/internal/sim"
+	"securecloud/internal/transfer"
+)
+
+// ErrChunkVerify marks a chunk whose bytes do not match their digest — a
+// tampering or corrupting source. The chunk is rejected before it can
+// reach the cache.
+var ErrChunkVerify = errors.New("container: chunk failed digest verification")
+
+// PullSource is the chunk-granular pull surface. Both the in-process
+// registry and its HTTP client implement it.
+type PullSource interface {
+	// Manifest returns an image manifest. The puller verifies its
+	// signature as part of image verification.
+	Manifest(name, tag string) (image.Manifest, error)
+	// LayerManifest returns the chunk manifest of one layer digest.
+	LayerManifest(d cryptbox.Digest) (*transfer.Manifest, error)
+	// Blob returns one sealed chunk by content digest.
+	Blob(d cryptbox.Digest) ([]byte, error)
+}
+
+// BlobCacheStats are the cache's lifetime counters.
+type BlobCacheStats struct {
+	Hits   uint64 // pull classifications served from cache
+	Misses uint64 // pull classifications that had to fetch
+	Stores uint64 // verified chunks inserted
+	Blobs  int
+	Bytes  int64
+}
+
+// BlobCache is a node-local content-addressed chunk cache shared by the
+// container engines on one node: the Nth replica of an image boots without
+// refetching a single chunk. Only digest-verified chunks enter it, so the
+// cache cannot be poisoned — a digest can never map to wrong bytes.
+type BlobCache struct {
+	mu     sync.RWMutex
+	blobs  map[cryptbox.Digest][]byte
+	bytes  int64
+	hits   uint64
+	misses uint64
+	stores uint64
+}
+
+// NewBlobCache returns an empty cache.
+func NewBlobCache() *BlobCache {
+	return &BlobCache{blobs: make(map[cryptbox.Digest][]byte)}
+}
+
+// Lookup reports whether the cache holds d, counting a hit or miss. It is
+// the classification step of a pull.
+func (c *BlobCache) Lookup(d cryptbox.Digest) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.blobs[d]; ok {
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Put inserts a chunk after verifying it against its digest. Returns false
+// (and stores nothing) when the bytes do not match — the poisoning guard.
+func (c *BlobCache) Put(d cryptbox.Digest, chunk []byte) bool {
+	if cryptbox.Sum(chunk) != d {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.blobs[d]; ok {
+		return true
+	}
+	c.blobs[d] = append([]byte(nil), chunk...)
+	c.bytes += int64(len(chunk))
+	c.stores++
+	return true
+}
+
+// peek returns a cached chunk without touching the hit/miss counters (the
+// assembly phase re-reads chunks the classification already accounted).
+func (c *BlobCache) peek(d cryptbox.Digest) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.blobs[d]
+	return b, ok
+}
+
+// Stats returns the cache counters.
+func (c *BlobCache) Stats() BlobCacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return BlobCacheStats{
+		Hits: c.hits, Misses: c.misses, Stores: c.stores,
+		Blobs: len(c.blobs), Bytes: c.bytes,
+	}
+}
+
+// PullStats records one pull. Every field is deterministic: independent of
+// worker count, chunk arrival order and host timing.
+type PullStats struct {
+	Layers       int
+	ChunksTotal  int // chunk references across all layers
+	UniqueChunks int // distinct content digests among them
+	DedupHits    int // references satisfied by another reference in this image
+	CacheHits    int // unique digests already in the node cache
+	ChunksFetch  int // unique digests fetched from the source
+	ChunksFailed int // fetched chunks rejected (verification or source error)
+	BytesFetched int64
+	// SerialCycles sums the per-layer verification enclaves' cycles; the
+	// critical path is the slowest layer — the shard-per-core decomposition
+	// the rest of the repo reports.
+	SerialCycles   sim.Cycles
+	CriticalCycles sim.Cycles
+	Faults         uint64
+}
+
+// pullWorkers resolves the engine's fan-out width (execution only).
+func (e *Engine) pullWorkers() int {
+	if e.PullWorkers > 0 {
+		return e.PullWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PullImage pulls name:tag chunk-granularly through the node cache,
+// verifies every chunk and the reassembled image, and returns both. On
+// chunk failures it returns an error after caching every chunk that did
+// verify, so a retry resumes the partial pull instead of starting over.
+func (e *Engine) PullImage(name, tag string) (*image.Image, PullStats, error) {
+	var ps PullStats
+	m, err := e.Registry.Manifest(name, tag)
+	if err != nil {
+		return nil, ps, err
+	}
+	lms := make([]*transfer.Manifest, len(m.LayerDigests))
+	for i, d := range m.LayerDigests {
+		lm, err := e.Registry.LayerManifest(d)
+		if err != nil {
+			return nil, ps, err
+		}
+		if err := lm.Validate(); err != nil {
+			return nil, ps, err
+		}
+		lms[i] = lm
+		ps.ChunksTotal += lm.Chunks()
+	}
+	ps.Layers = len(lms)
+
+	// The unique chunk set in first-occurrence order (deterministic).
+	seen := make(map[cryptbox.Digest]struct{}, ps.ChunksTotal)
+	unique := make([]cryptbox.Digest, 0, ps.ChunksTotal)
+	for _, lm := range lms {
+		for _, leaf := range lm.Leaves {
+			if _, dup := seen[leaf]; dup {
+				continue
+			}
+			seen[leaf] = struct{}{}
+			unique = append(unique, leaf)
+		}
+	}
+	ps.UniqueChunks = len(unique)
+	ps.DedupHits = ps.ChunksTotal - ps.UniqueChunks
+
+	cache := e.Cache
+	if cache == nil {
+		// No node cache configured: a pull-private one keeps the logic
+		// uniform (and still dedups within this pull).
+		cache = NewBlobCache()
+	}
+	missing := make([]cryptbox.Digest, 0, len(unique))
+	for _, d := range unique {
+		if cache.Lookup(d) {
+			ps.CacheHits++
+		} else {
+			missing = append(missing, d)
+		}
+	}
+
+	// Fetch fan-out: each missing digest exactly once, verified before it
+	// may enter the cache. Failures reject that chunk only.
+	fetchErrs := make([]error, len(missing))
+	fetched := make([]int64, len(missing))
+	sim.ParallelFor(len(missing), e.pullWorkers(), func(i int) {
+		d := missing[i]
+		b, err := e.Registry.Blob(d)
+		if err != nil {
+			fetchErrs[i] = err
+			return
+		}
+		if !cache.Put(d, b) {
+			fetchErrs[i] = fmt.Errorf("%w: %s", ErrChunkVerify, d)
+			return
+		}
+		fetched[i] = int64(len(b))
+	})
+	var firstErr error
+	for i, err := range fetchErrs {
+		if err != nil {
+			ps.ChunksFailed++
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ps.ChunksFetch++
+		ps.BytesFetched += fetched[i]
+	}
+	if ps.ChunksFailed > 0 {
+		e.recordPull(ps)
+		return nil, ps, fmt.Errorf("container: pull %s:%s: %d of %d chunks failed, %d verified and cached (resume by retrying): %w",
+			name, tag, ps.ChunksFailed, len(missing), ps.ChunksFetch, firstErr)
+	}
+
+	// Assembly fan-out: one verification enclave per layer (topology), so
+	// each layer's simulated cycle total is independent of which worker
+	// runs it and of the other layers.
+	layers := make([]image.Layer, len(lms))
+	layerCycles := make([]sim.Cycles, len(lms))
+	layerFaults := make([]uint64, len(lms))
+	asmErrs := make([]error, len(lms))
+	sim.ParallelFor(len(lms), e.pullWorkers(), func(i int) {
+		layers[i], layerCycles[i], layerFaults[i], asmErrs[i] =
+			e.assembleLayer(m.LayerDigests[i], lms[i], cache)
+	})
+	for i, err := range asmErrs {
+		ps.SerialCycles += layerCycles[i]
+		ps.Faults += layerFaults[i]
+		if layerCycles[i] > ps.CriticalCycles {
+			ps.CriticalCycles = layerCycles[i]
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("container: pull %s:%s layer %d: %w", name, tag, i, err)
+		}
+	}
+	if firstErr != nil {
+		e.recordPull(ps)
+		return nil, ps, firstErr
+	}
+
+	img := &image.Image{Manifest: m, Layers: layers}
+	if err := img.Verify(); err != nil {
+		e.recordPull(ps)
+		return nil, ps, fmt.Errorf("container: pulled image failed verification: %w", err)
+	}
+	e.recordPull(ps)
+	return img, ps, nil
+}
+
+// assembleLayer reconstructs one layer from cached chunks inside a fresh
+// verification enclave, charging the staging, verification and decode
+// costs to its simulated memory, and checks the decoded layer against the
+// trusted digest from the signed image manifest.
+func (e *Engine) assembleLayer(want cryptbox.Digest, lm *transfer.Manifest, cache *BlobCache) (image.Layer, sim.Cycles, uint64, error) {
+	var stored int64
+	for _, leaf := range lm.Leaves {
+		b, ok := cache.peek(leaf)
+		if !ok {
+			return image.Layer{}, 0, 0, fmt.Errorf("%w: chunk %s evicted mid-pull", ErrChunkVerify, leaf)
+		}
+		stored += int64(len(b))
+	}
+	size := uint64(stored) + uint64(lm.Size) + (1 << 20)
+	size = (size + 4095) &^ 4095
+	enc, arena, err := enclave.NewWorker(e.PullPlatform, size, "pull/"+want.String())
+	if err != nil {
+		return image.Layer{}, 0, 0, err
+	}
+	defer enc.Destroy()
+	recv, err := transfer.NewReceiver(lm, cryptbox.Key{})
+	if err != nil {
+		return image.Layer{}, 0, 0, err
+	}
+	recv.WithAccounting(transfer.Accounting{Mem: enc.Memory(), Arena: arena})
+	for j, leaf := range lm.Leaves {
+		b, _ := cache.peek(leaf)
+		if err := recv.Accept(j, b); err != nil {
+			return image.Layer{}, enc.Memory().Cycles(), enc.Memory().Faults(), err
+		}
+	}
+	raw, err := recv.Assemble()
+	if err != nil {
+		return image.Layer{}, enc.Memory().Cycles(), enc.Memory().Faults(), err
+	}
+	l, err := image.DecodeLayer(raw)
+	if err != nil {
+		return image.Layer{}, enc.Memory().Cycles(), enc.Memory().Faults(), err
+	}
+	if l.Digest() != want {
+		return image.Layer{}, enc.Memory().Cycles(), enc.Memory().Faults(),
+			fmt.Errorf("%w: layer digest mismatch", image.ErrDigestMismatch)
+	}
+	return l, enc.Memory().Cycles(), enc.Memory().Faults(), nil
+}
+
+// recordPull remembers the engine's most recent pull for inspection.
+func (e *Engine) recordPull(ps PullStats) {
+	e.mu.Lock()
+	e.lastPull = ps
+	e.mu.Unlock()
+}
+
+// LastPullStats returns the stats of the engine's most recent pull.
+func (e *Engine) LastPullStats() PullStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastPull
+}

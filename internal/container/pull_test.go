@@ -1,0 +1,253 @@
+package container
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"errors"
+	"testing"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/image"
+	"securecloud/internal/registry"
+	"securecloud/internal/shield"
+	"securecloud/internal/sim"
+)
+
+// pullFixture is a registry holding two images that share a multi-chunk
+// base layer, plus a builder for engines against it.
+type pullFixture struct {
+	reg  *registry.Registry
+	imgs []*image.Image
+}
+
+func newPullFixture(t *testing.T) *pullFixture {
+	t.Helper()
+	reg := registry.New()
+	base := make([]byte, 4*registry.LayerChunkSize)
+	sim.NewRand(11).Read(base)
+	var imgs []*image.Image
+	for i := 0; i < 2; i++ {
+		priv := ed25519.NewKeyFromSeed(bytes.Repeat([]byte{byte(i + 1)}, ed25519.SeedSize))
+		uniq := make([]byte, 3*registry.LayerChunkSize/2)
+		sim.NewRand(int64(100 + i)).Read(uniq)
+		img, err := image.NewBuilder("svc/pull", string(rune('a'+i))).
+			AddLayer(map[string][]byte{"/lib/base": base}).
+			AddLayer(map[string][]byte{EntrypointPath: uniq}).
+			SetEntrypoint(EntrypointPath).
+			SetEnclaveSize(1 << 20).
+			Build(priv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Push(img); err != nil {
+			t.Fatal(err)
+		}
+		imgs = append(imgs, img)
+	}
+	return &pullFixture{reg: reg, imgs: imgs}
+}
+
+func (f *pullFixture) engine(workers int, cache *BlobCache) *Engine {
+	e := NewEngine(enclave.NewPlatform(enclave.Config{}), shield.NewHost(), f.reg, nil)
+	e.PullWorkers = workers
+	e.Cache = cache
+	return e
+}
+
+// TestPullMatchesWholeLayerPath: the chunk-granular pull reconstructs the
+// image bit-identically to both the original and the registry's
+// whole-layer reassembly path.
+func TestPullMatchesWholeLayerPath(t *testing.T) {
+	f := newPullFixture(t)
+	e := f.engine(4, NewBlobCache())
+	for _, want := range f.imgs {
+		got, ps, err := e.PullImage(want.Manifest.Name, want.Manifest.Tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.ChunksTotal == 0 || ps.Layers != 2 {
+			t.Fatalf("stats = %+v", ps)
+		}
+		whole, err := f.reg.Pull(want.Manifest.Name, want.Manifest.Tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range []*image.Image{want, whole} {
+			if len(got.Layers) != len(ref.Layers) {
+				t.Fatalf("layer count %d != %d", len(got.Layers), len(ref.Layers))
+			}
+			for i := range got.Layers {
+				if !bytes.Equal(got.Layers[i].Encode(), ref.Layers[i].Encode()) {
+					t.Fatalf("layer %d not bit-identical", i)
+				}
+			}
+		}
+		if err := got.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPullStatsInvariantAcrossWorkers: every simulated pull metric is a
+// pure function of image and cache state — bit-identical across worker
+// counts 1, 2, 4, 8 for cold, shared-base and warm pulls.
+func TestPullStatsInvariantAcrossWorkers(t *testing.T) {
+	f := newPullFixture(t)
+	type run struct{ cold, shared, warm PullStats }
+	var first run
+	for wi, workers := range []int{1, 2, 4, 8} {
+		cache := NewBlobCache()
+		e := f.engine(workers, cache)
+		var r run
+		var err error
+		if _, r.cold, err = e.PullImage("svc/pull", "a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, r.shared, err = e.PullImage("svc/pull", "b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, r.warm, err = e.PullImage("svc/pull", "a"); err != nil {
+			t.Fatal(err)
+		}
+		if wi == 0 {
+			first = r
+			if r.cold.ChunksFetch != r.cold.UniqueChunks || r.cold.CacheHits != 0 {
+				t.Fatalf("cold pull: %+v", r.cold)
+			}
+			if r.shared.CacheHits == 0 || r.shared.ChunksFetch >= r.shared.UniqueChunks {
+				t.Fatalf("shared-base pull did not reuse the cache: %+v", r.shared)
+			}
+			if r.warm.ChunksFetch != 0 || r.warm.CacheHits != r.warm.UniqueChunks {
+				t.Fatalf("warm pull fetched chunks: %+v", r.warm)
+			}
+			if r.cold.SerialCycles == 0 || r.cold.CriticalCycles == 0 {
+				t.Fatalf("cold pull charged no cycles: %+v", r.cold)
+			}
+			continue
+		}
+		if r != first {
+			t.Fatalf("pull stats vary with worker count %d:\n  got  %+v\n  want %+v", workers, r, first)
+		}
+	}
+}
+
+// TestWarmCacheSecondReplicaZeroFetch: two engines sharing one node cache
+// — the second replica's boot pulls nothing over the network.
+func TestWarmCacheSecondReplicaZeroFetch(t *testing.T) {
+	f := newPullFixture(t)
+	cache := NewBlobCache()
+	e1 := f.engine(4, cache)
+	if _, ps, err := e1.PullImage("svc/pull", "a"); err != nil || ps.ChunksFetch == 0 {
+		t.Fatalf("first replica: %+v, %v", ps, err)
+	}
+	e2 := f.engine(4, cache)
+	img, ps, err := e2.PullImage("svc/pull", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.ChunksFetch != 0 || ps.BytesFetched != 0 {
+		t.Fatalf("second replica fetched: %+v", ps)
+	}
+	if err := img.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTamperedChunkRejectedWithoutPoisoningCache: a dishonest registry
+// flipping one chunk fails that chunk's pull; every other chunk is
+// verified and cached, and after the source heals, the retry resumes by
+// fetching exactly the one missing chunk.
+func TestTamperedChunkRejectedWithoutPoisoningCache(t *testing.T) {
+	f := newPullFixture(t)
+	lm, err := f.reg.LayerManifest(f.imgs[0].Manifest.LayerDigests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := lm.Leaves[2]
+	orig, err := f.reg.Blob(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.reg.TamperBlob(victim, func(b []byte) []byte { b[7] ^= 1; return b }) {
+		t.Fatal("tamper hook missed blob")
+	}
+
+	cache := NewBlobCache()
+	e := f.engine(4, cache)
+	_, ps, err := e.PullImage("svc/pull", "a")
+	if !errors.Is(err, ErrChunkVerify) {
+		t.Fatalf("err = %v, want ErrChunkVerify", err)
+	}
+	if ps.ChunksFailed != 1 {
+		t.Fatalf("failed = %d, want 1", ps.ChunksFailed)
+	}
+	if ps.ChunksFetch != ps.UniqueChunks-1 {
+		t.Fatalf("fetched %d of %d; honest chunks should cache", ps.ChunksFetch, ps.UniqueChunks)
+	}
+	st := cache.Stats()
+	if st.Stores != uint64(ps.UniqueChunks-1) {
+		t.Fatalf("cache stores = %d, want %d", st.Stores, ps.UniqueChunks-1)
+	}
+	// The tampered bytes never entered the cache under the victim digest.
+	if b, ok := cache.peek(victim); ok {
+		t.Fatalf("tampered chunk cached: %d bytes", len(b))
+	}
+
+	// Heal the registry; the retry resumes: exactly one chunk crosses.
+	if !f.reg.RestoreBlob(victim, orig) {
+		t.Fatal("restore failed")
+	}
+	img, ps2, err := e.PullImage("svc/pull", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps2.ChunksFetch != 1 || ps2.CacheHits != ps2.UniqueChunks-1 {
+		t.Fatalf("resume fetched %d (cache hits %d), want exactly 1", ps2.ChunksFetch, ps2.CacheHits)
+	}
+	if err := img.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachePutRejectsMismatchedBytes: the poisoning guard itself.
+func TestCachePutRejectsMismatchedBytes(t *testing.T) {
+	c := NewBlobCache()
+	good := []byte("chunk-bytes")
+	if !c.Put(cryptbox.Sum(good), good) {
+		t.Fatal("valid chunk rejected")
+	}
+	if c.Put(cryptbox.Sum(good), []byte("other-bytes")) {
+		t.Fatal("mismatched bytes accepted")
+	}
+	if st := c.Stats(); st.Stores != 1 || st.Blobs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPullConsistentLieDetectedAtLayer: a registry that rewrites a layer
+// self-consistently (chunks match a forged transfer manifest) passes chunk
+// verification but is caught by the layer digest from the signed image
+// manifest — and the forged chunks in the cache are harmless because they
+// are correctly addressed by their own content.
+func TestPullConsistentLieDetectedAtLayer(t *testing.T) {
+	f := newPullFixture(t)
+	if !f.reg.TamperLayer(f.imgs[0].Manifest.LayerDigests[1], func(l *image.Layer) {
+		l.Files[EntrypointPath] = []byte("BACKDOORED-BINARY")
+	}) {
+		t.Fatal("tamper hook missed layer")
+	}
+	e := f.engine(4, NewBlobCache())
+	_, _, err := e.PullImage("svc/pull", "a")
+	if !errors.Is(err, image.ErrDigestMismatch) {
+		t.Fatalf("err = %v, want ErrDigestMismatch", err)
+	}
+	// The untampered sibling image still pulls clean through the same cache.
+	img, _, err := e.PullImage("svc/pull", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -153,6 +153,26 @@ func chunkAAD(path string, version uint64, idx, total int) []byte {
 	return []byte(fmt.Sprintf("%s|v%d|%d/%d", path, version, idx, total))
 }
 
+// macChunk computes the chunk MAC over stored||aad in a pooled scratch
+// buffer — the per-chunk concatenation sits on the data plane's hot path
+// (every protected read of every container boot), so it must not allocate.
+func macChunk(key cryptbox.Key, stored, aad []byte) [cryptbox.MACSize]byte {
+	buf := cryptbox.GetScratch()
+	buf = append(append(buf, stored...), aad...)
+	tag := cryptbox.MAC(key, buf)
+	cryptbox.PutScratch(buf)
+	return tag
+}
+
+// verifyChunkMAC is the verifying counterpart of macChunk.
+func verifyChunkMAC(key cryptbox.Key, stored, aad []byte, tag [cryptbox.MACSize]byte) bool {
+	buf := cryptbox.GetScratch()
+	buf = append(append(buf, stored...), aad...)
+	ok := cryptbox.VerifyMAC(key, buf, tag)
+	cryptbox.PutScratch(buf)
+	return ok
+}
+
 // Accounting wires an FS to the simulated SGX memory hierarchy: the
 // enclave-side copy of every protected chunk (out on write, in on read) is
 // charged through the given Memory view. A zero Accounting leaves the FS
@@ -282,7 +302,7 @@ func (fs *FS) WriteFile(path string, data []byte, mode Mode, rootKey cryptbox.Ke
 		} else {
 			stored = append([]byte(nil), plain...)
 		}
-		entry.MACs = append(entry.MACs, cryptbox.MAC(key, append(stored, chunkAAD(path, version, i, total)...)))
+		entry.MACs = append(entry.MACs, macChunk(key, stored, chunkAAD(path, version, i, total)))
 		chunks = append(chunks, stored)
 	}
 	fs.pf.Files[path] = entry
@@ -312,7 +332,7 @@ func (fs *FS) ReadFile(path string) ([]byte, error) {
 	out := make([]byte, 0, entry.Size)
 	for i, stored := range chunks {
 		aad := chunkAAD(path, entry.Version, i, len(chunks))
-		if !cryptbox.VerifyMAC(entry.Key, append(append([]byte(nil), stored...), aad...), entry.MACs[i]) {
+		if !verifyChunkMAC(entry.Key, stored, aad, entry.MACs[i]) {
 			return nil, fmt.Errorf("%w: %s chunk %d", ErrTampered, path, i)
 		}
 		if entry.Mode == ModeEncrypted {
@@ -351,7 +371,7 @@ func (fs *FS) ReadChunk(path string, idx int) ([]byte, error) {
 		}
 		fs.acct.Mem.AccessRange(r.addr+uint64(off), len(stored), false)
 	}
-	if !cryptbox.VerifyMAC(entry.Key, append(append([]byte(nil), stored...), aad...), entry.MACs[idx]) {
+	if !verifyChunkMAC(entry.Key, stored, aad, entry.MACs[idx]) {
 		return nil, fmt.Errorf("%w: %s chunk %d", ErrTampered, path, idx)
 	}
 	if entry.Mode == ModeEncrypted {

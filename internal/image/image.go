@@ -33,13 +33,19 @@ func (l Layer) Digest() cryptbox.Digest {
 	return cryptbox.Sum(l.canonical())
 }
 
-// canonical renders the layer deterministically (sorted paths).
-func (l Layer) canonical() []byte {
+// sortedPaths returns the layer's paths in canonical order.
+func (l Layer) sortedPaths() []string {
 	paths := make([]string, 0, len(l.Files))
 	for p := range l.Files {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
+	return paths
+}
+
+// canonical renders the layer deterministically (sorted paths).
+func (l Layer) canonical() []byte {
+	paths := l.sortedPaths()
 	var buf []byte
 	for _, p := range paths {
 		buf = append(buf, p...)

@@ -1,0 +1,75 @@
+package image
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The data plane moves layers as chunked transfer payloads, which needs a
+// byte form that is both deterministic (identical layers must chunk to
+// identical sealed bytes for cross-image dedup) and parseable (the puller
+// reconstructs the layer from reassembled bytes). Layer.canonical is
+// deterministic but not parseable — file contents may contain its NUL
+// separators — so the codec below length-prefixes every field instead.
+// Layer.Digest intentionally stays defined over canonical: the digest is
+// the layer's identity, the encoding is its wire form.
+
+// maxLayerEntry bounds a single decoded path or file against forged
+// length prefixes demanding absurd allocations.
+const maxLayerEntry = 1 << 30
+
+// Encode renders the layer deterministically for chunking: paths sorted,
+// every path and content uvarint-length-prefixed.
+func (l Layer) Encode() []byte {
+	paths := l.sortedPaths()
+	size := 0
+	for _, p := range paths {
+		size += binary.MaxVarintLen64 * 2
+		size += len(p) + len(l.Files[p])
+	}
+	buf := make([]byte, 0, size)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, p := range paths {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(p)))]...)
+		buf = append(buf, p...)
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(l.Files[p])))]...)
+		buf = append(buf, l.Files[p]...)
+	}
+	return buf
+}
+
+// DecodeLayer reverses Layer.Encode. The caller must still check the
+// decoded layer's Digest against a trusted manifest — the encoding crosses
+// the untrusted registry.
+func DecodeLayer(b []byte) (Layer, error) {
+	l := Layer{Files: make(map[string][]byte)}
+	off := 0
+	field := func(what string) ([]byte, error) {
+		n, w := binary.Uvarint(b[off:])
+		if w <= 0 || n > maxLayerEntry {
+			return nil, fmt.Errorf("image: decoding layer: bad %s length at offset %d", what, off)
+		}
+		off += w
+		if uint64(len(b)-off) < n {
+			return nil, fmt.Errorf("image: decoding layer: truncated %s at offset %d", what, off)
+		}
+		out := b[off : off+int(n)]
+		off += int(n)
+		return out, nil
+	}
+	for off < len(b) {
+		path, err := field("path")
+		if err != nil {
+			return Layer{}, err
+		}
+		data, err := field("content")
+		if err != nil {
+			return Layer{}, err
+		}
+		if _, dup := l.Files[string(path)]; dup {
+			return Layer{}, fmt.Errorf("image: decoding layer: duplicate path %q", path)
+		}
+		l.Files[string(path)] = append([]byte(nil), data...)
+	}
+	return l, nil
+}

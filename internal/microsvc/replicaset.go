@@ -14,7 +14,6 @@ import (
 	"securecloud/internal/enclave"
 	"securecloud/internal/eventbus"
 	"securecloud/internal/orchestrator"
-	"securecloud/internal/registry"
 	"securecloud/internal/sconert"
 	"securecloud/internal/sim"
 )
@@ -193,13 +192,18 @@ func NewReplicaSet(bus *eventbus.Bus, svc *attest.Service, kb *attest.KeyBroker,
 
 // ContainerSpec names the image a container-mode replica set boots from.
 type ContainerSpec struct {
-	// Registry is the (untrusted) image registry replicas pull from.
-	Registry *registry.Registry
+	// Registry is the (untrusted) pull source replicas pull from: the
+	// in-process registry or its HTTP client.
+	Registry container.PullSource
 	// CAS releases each replica's SCF during sconert.Boot.
 	CAS *sconert.CAS
 	// Image / Tag name the secure image.
 	Image string
 	Tag   string
+	// Cache is the node-local blob cache the replicas' engines share, so
+	// only the first boot fetches chunks from the registry. Nil gets a
+	// cache private to this replica set.
+	Cache *container.BlobCache
 }
 
 // NewContainerReplicaSet builds a replica set whose replicas launch
@@ -213,11 +217,15 @@ func NewContainerReplicaSet(bus *eventbus.Bus, svc *attest.Service, kb *attest.K
 	if spec.Registry == nil || spec.CAS == nil || spec.Image == "" {
 		return nil, errors.New("microsvc: incomplete container spec")
 	}
+	if spec.Cache == nil {
+		spec.Cache = container.NewBlobCache()
+	}
 	boot := func(id string) (bootResult, error) {
 		eng, err := container.LaunchNode(svc, id, spec.Registry, cfg.Platform)
 		if err != nil {
 			return bootResult{}, err
 		}
+		eng.Cache = spec.Cache
 		c, err := eng.Run(spec.Image, spec.Tag, spec.CAS)
 		if err != nil {
 			return bootResult{}, err

@@ -355,6 +355,86 @@ func TestContainerReplicaSetBootSequence(t *testing.T) {
 	}
 }
 
+// TestContainerReplicaSetSharesBlobCache: the replicas of one set pull
+// through one node-local blob cache, so only the very first boot (the
+// front-end's) fetches chunks; every subsequent replica — including
+// scale-out — boots warm, fetching zero.
+func TestContainerReplicaSetSharesBlobCache(t *testing.T) {
+	reg := registry.New()
+	svc := attest.NewService()
+	cas := sconert.NewCAS(svc)
+	bus := eventbus.New()
+	kb := attest.NewKeyBroker(svc)
+
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := image.NewBuilder("plane/cached", "1.0").
+		AddLayer(map[string][]byte{container.EntrypointPath: []byte("CACHED-WORKER-BINARY")}).
+		SetEntrypoint(container.EntrypointPath).
+		SetEnclaveSize(2 << 20).
+		Build(priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := container.NewSCONEClient(priv, cas)
+	secured, secrets, err := client.BuildSecure(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Deploy(secured, secrets, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Push(secured); err != nil {
+		t.Fatal(err)
+	}
+	m, err := container.ExpectedMeasurement(secured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root cryptbox.Key
+	root[0] = 0x7D
+	keys, err := NewServiceKeys(root, "plane/cached", "c/req", "c/resp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb.Register("plane/cached", attest.Policy{AllowedMREnclave: []cryptbox.Digest{m}}, keys)
+
+	cache := container.NewBlobCache()
+	rs, err := NewContainerReplicaSet(bus, svc, kb, "plane/cached",
+		func(req []byte) ([]byte, error) { return req, nil },
+		ReplicaSetConfig{Replicas: 2, InTopic: "c/req", OutTopic: "c/resp"},
+		ContainerSpec{Registry: reg, CAS: cas, Image: "plane/cached", Tag: "1.0", Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Stop()
+
+	st := cache.Stats()
+	if st.Stores == 0 {
+		t.Fatal("first boot stored no chunks")
+	}
+	if st.Misses != st.Stores {
+		t.Fatalf("misses %d != stores %d: some boot refetched", st.Misses, st.Stores)
+	}
+	// Front-end + 2 replicas = 3 boots; all chunks after the first boot hit.
+	if st.Hits != 2*st.Stores {
+		t.Fatalf("hits = %d, want %d (two warm boots)", st.Hits, 2*st.Stores)
+	}
+	// Scale-out boots warm too: no new stores, only hits.
+	if _, err := rs.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := cache.Stats()
+	if st2.Stores != st.Stores || st2.Misses != st.Misses {
+		t.Fatalf("scale-out refetched: before %+v after %+v", st, st2)
+	}
+	if st2.Hits != 3*st.Stores {
+		t.Fatalf("scale-out hits = %d, want %d", st2.Hits, 3*st.Stores)
+	}
+}
+
 // TestOrchestratedReplicaSetClosedLoop drives a real ReplicaSet through
 // the orchestrator: a burst overloads the budgeted replicas, the
 // orchestrator scales out, the burst drains, and it scales back in.

@@ -1,0 +1,244 @@
+package registry
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"securecloud/internal/image"
+	"securecloud/internal/sim"
+)
+
+// bigImage builds an image whose layers span multiple chunks.
+func bigImage(t *testing.T, name string, shared []byte, unique byte) *image.Image {
+	t.Helper()
+	priv := ed25519.NewKeyFromSeed(bytes.Repeat([]byte{unique}, ed25519.SeedSize))
+	uniq := make([]byte, 3*LayerChunkSize/2)
+	rng := sim.NewRand(int64(unique))
+	rng.Read(uniq)
+	img, err := image.NewBuilder(name, "1.0").
+		AddLayer(map[string][]byte{"/lib/base": shared}).
+		AddLayer(map[string][]byte{"/bin/app": uniq}).
+		SetEntrypoint("/bin/app").
+		Build(priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func sharedBase(t *testing.T) []byte {
+	t.Helper()
+	base := make([]byte, 4*LayerChunkSize)
+	sim.NewRand(7).Read(base)
+	return base
+}
+
+func TestPushRejectsShortManifestBeforeIndexing(t *testing.T) {
+	r := New()
+	img := testImage(t, "svc/a", "1.0")
+	img.Manifest.LayerDigests = nil // short manifest, layers still attached
+	if err := r.Push(img); !errors.Is(err, ErrManifest) {
+		t.Fatalf("short manifest: err = %v, want ErrManifest", err)
+	}
+	if st := r.Stats(); st.Manifests != 0 || st.Layers != 0 || st.Blobs != 0 {
+		t.Fatalf("short manifest left state behind: %+v", st)
+	}
+	// The converse: more digests than layers.
+	img2 := testImage(t, "svc/b", "1.0")
+	img2.Layers = nil
+	if err := r.Push(img2); !errors.Is(err, ErrManifest) {
+		t.Fatalf("manifest without layers: err = %v, want ErrManifest", err)
+	}
+}
+
+func TestChunkDedupAcrossImages(t *testing.T) {
+	r := New()
+	base := sharedBase(t)
+	a := bigImage(t, "svc/a", base, 1)
+	b := bigImage(t, "svc/b", base, 2)
+	if err := r.Push(a); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Stats()
+	if err := r.Push(b); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	// The 4-chunk base layer is shared: pushing b added only b's unique
+	// app layer chunks and counted the base chunks as dedup hits.
+	baseChunks := 0
+	if lm, err := r.LayerManifest(a.Manifest.LayerDigests[0]); err == nil {
+		baseChunks = lm.Chunks()
+	} else {
+		t.Fatal(err)
+	}
+	if baseChunks < 4 {
+		t.Fatalf("base layer only %d chunks; test wants a multi-chunk layer", baseChunks)
+	}
+	if got := st.DedupHits - after.DedupHits; got != uint64(baseChunks) {
+		t.Fatalf("dedup hits from second push = %d, want %d (the shared base)", got, baseChunks)
+	}
+	if st.Layers != 3 {
+		t.Fatalf("stored %d layers, want 3 (base deduplicated)", st.Layers)
+	}
+	// Pull both and verify bit-identical reconstruction.
+	for _, img := range []*image.Image{a, b} {
+		got, err := r.Pull(img.Manifest.Name, "1.0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		want := img.Flatten()
+		have := got.Flatten()
+		if len(want) != len(have) {
+			t.Fatalf("flatten size mismatch")
+		}
+		for p, wb := range want {
+			if !bytes.Equal(have[p], wb) {
+				t.Fatalf("file %q differs after chunked round trip", p)
+			}
+		}
+	}
+}
+
+func TestTamperBlobBreaksExactlyThatLayer(t *testing.T) {
+	r := New()
+	base := sharedBase(t)
+	img := bigImage(t, "svc/a", base, 3)
+	if err := r.Push(img); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := r.LayerManifest(img.Manifest.LayerDigests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := lm.Leaves[1]
+	orig, err := r.Blob(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TamperBlob(victim, func(b []byte) []byte { b[3] ^= 1; return b }) {
+		t.Fatal("tamper hook missed blob")
+	}
+	if _, err := r.Pull("svc/a", "1.0"); err == nil {
+		t.Fatal("pull reassembled a layer from a tampered chunk")
+	}
+	// Healing the blob restores the image.
+	if r.RestoreBlob(victim, orig[:len(orig)-1]) {
+		t.Fatal("RestoreBlob accepted bytes that do not match the digest")
+	}
+	if !r.RestoreBlob(victim, orig) {
+		t.Fatal("RestoreBlob rejected the original bytes")
+	}
+	got, err := r.Pull("svc/a", "1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPChunkEndpoints(t *testing.T) {
+	r := New()
+	img := bigImage(t, "svc/http", sharedBase(t), 4)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if err := c.Push(img); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := c.Manifest("svc/http", "1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "svc/http" || len(m.LayerDigests) != 2 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	lm, err := c.LayerManifest(m.LayerDigests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, leaf := range lm.Leaves {
+		chunk, err := c.Blob(leaf)
+		if err != nil {
+			t.Fatalf("blob %d: %v", i, err)
+		}
+		want, err := r.Blob(leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(chunk, want) {
+			t.Fatalf("blob %d differs over HTTP", i)
+		}
+	}
+	if _, err := c.LayerManifest(img.Layers[0].Digest()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Manifest("ghost", "1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing manifest: %v", err)
+	}
+}
+
+func TestHTTPDigestConditionalGet(t *testing.T) {
+	r := New()
+	img := bigImage(t, "svc/cond", sharedBase(t), 5)
+	if err := r.Push(img); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	lm, err := r.LayerManifest(img.Manifest.LayerDigests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := lm.Leaves[0]
+	url := srv.URL + "/v2/blobs/" + leaf.String()
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || etag == "" {
+		t.Fatalf("unconditional GET: %s, etag %q", resp.Status, etag)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET with matching digest: %s, want 304", resp2.Status)
+	}
+	// Layer manifests revalidate the same way.
+	lurl := srv.URL + "/v2/layers/" + img.Manifest.LayerDigests[0].String()
+	lreq, _ := http.NewRequest(http.MethodGet, lurl, nil)
+	lreq.Header.Set("If-None-Match", `"`+img.Manifest.LayerDigests[0].String()+`"`)
+	resp3, err := http.DefaultClient.Do(lreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional layer GET: %s, want 304", resp3.Status)
+	}
+	if _, err := http.Get(srv.URL + "/v2/blobs/not-a-digest"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -43,6 +43,15 @@ go run ./cmd/kv-bench -json >"$TMP/kv.json"
 echo "bench-smoke: app-bench (orchestrated replica-set scenarios, workers 1,2,4,8)" >&2
 go run ./cmd/app-bench -json >"$TMP/app.json"
 
+# Content-addressed data plane: chunk-granular registry push with dedup,
+# then cold / shared-base / warm pulls through the node blob cache, swept
+# across pull worker counts 1,2,4,8. The driver itself asserts that all
+# simulated metrics are bit-identical across the sweep and that the warm
+# (second-replica) pull fetches zero chunks; the deterministic metrics are
+# gated by scripts/bench_check.sh.
+echo "bench-smoke: pull-bench (chunk registry + parallel verified pulls, workers 1,2,4,8)" >&2
+go run ./cmd/pull-bench -json >"$TMP/pull.json"
+
 echo "bench-smoke: go test -bench=CacheMissVsSwap -benchtime=1x" >&2
 go test -run '^$' -bench 'CacheMissVsSwap' -benchtime=1x . >"$TMP/bench.txt" 2>&1 \
     || { cat "$TMP/bench.txt" >&2; exit 1; }
@@ -105,6 +114,7 @@ SEED_BASELINE="scripts/seed_baseline.json"
     echo "  \"host_cpus\": $(nproc),"
     echo "  \"kv_bench\": $(cat "$TMP/kv.json"),"
     echo "  \"app_bench\": $(cat "$TMP/app.json"),"
+    echo "  \"pull_bench\": $(cat "$TMP/pull.json"),"
     echo "  \"cache_miss_vs_swap\": $(cat "$TMP/cachemiss.json"),"
     echo "  \"broker_publish_parallel\": $(cat "$TMP/par.json"),"
     echo "  \"figure3_reduced_sweep\": $(cat "$TMP/sweep.json"),"

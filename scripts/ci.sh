@@ -11,9 +11,10 @@
 # 5. go test -race <concurrent packages>
 #                               (the packages with lock-free fast paths,
 #                                the sharded broker, the sharded store,
-#                                the parallel map/reduce engine, and the
+#                                the parallel map/reduce engine, the
 #                                application plane: attest/microsvc/
-#                                orchestrator)
+#                                orchestrator, and the data plane:
+#                                transfer/registry/container)
 # 6. bench-regression gate      (deterministic sim-metrics in the newest
 #                                BENCH_N.json must match the committed
 #                                baseline — see scripts/bench_check.sh)
@@ -51,6 +52,9 @@ RACE_PKGS=(
     ./internal/attest
     ./internal/microsvc
     ./internal/orchestrator
+    ./internal/transfer
+    ./internal/registry
+    ./internal/container
 )
 echo "ci: go test -race ${RACE_PKGS[*]}" >&2
 go test -race "${RACE_PKGS[@]}"

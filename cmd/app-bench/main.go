@@ -1,21 +1,28 @@
 // Command app-bench drives the application plane's closed-loop
-// fault-injection scenarios (replica crash, load spike, hot-key skew,
-// slow replica) end to end: a deterministic load schedule flows through an
-// attested ReplicaSet while the orchestrator samples queue depths and
-// service cycles each simulated millisecond and adapts.
+// fault-injection scenarios end to end: a deterministic load schedule
+// flows through an attested ReplicaSet while the orchestrator samples
+// queue depths and service cycles each simulated millisecond and adapts.
+//
+// Two scenario families run. The four legacy scenarios (replica crash,
+// load spike, hot-key skew, slow replica) exercise the orchestrator's
+// scaling rules; the declarative lab matrix (overload, noisy-neighbor,
+// cascade, slow-network, recovery) exercises tenant-aware admission
+// control — token buckets, weighted-fair dequeue, shed-with-retry-after,
+// hot-key splitting and client retry — and each lab spec carries its own
+// assertion table, whose verdict is recorded in the JSON and gated by
+// cmd/bench-check.
 //
 // Each scenario runs once per worker count (default 1,2,4,8). Worker count
 // is execution-only, so the adaptation trace, the per-replica cycle totals
-// and the fault counts must be bit-identical across the sweep — the
-// command verifies this itself and reports trace_equal_across_workers;
+// and every deterministic metric must be bit-identical across the sweep —
+// the command verifies this itself and reports trace_equal_across_workers;
 // scripts/bench_check.sh fails CI if it is false or if any deterministic
 // metric drifts from the committed baseline.
 //
-// Reported per scenario: requests per replica ever launched, the summed
-// vs critical-path cycle decomposition across replica enclaves (the
-// shard-per-core scaling statement), and the adaptation latency in
-// simulated milliseconds from fault injection to the orchestrator's first
-// reaction.
+// The overload lab spec additionally runs a WithoutAdmission contrast arm:
+// the same spike with the controller stripped. Admission on must bound the
+// final backlog; admission off must let it grow past 8× that bound — the
+// admission_contrast block records both figures and contrast_ok.
 //
 // Usage:
 //
@@ -26,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -62,6 +70,44 @@ type scenarioOut struct {
 	WallNS            int64   `json:"wall_ns"`
 }
 
+// labOut is one declarative lab scenario's record: the worker-sweep
+// determinism verdict, the spec's own assertion verdict, and the full
+// deterministic metric table (admission, retry and per-tenant figures
+// included).
+type labOut struct {
+	Name                    string   `json:"name"`
+	Ticks                   int      `json:"ticks"`
+	WorkerCounts            []int    `json:"worker_counts"`
+	TraceEqualAcrossWorkers bool     `json:"trace_equal_across_workers"`
+	TraceHash               string   `json:"trace_hash"`
+	AssertionsPassed        bool     `json:"assertions_passed"`
+	AssertionFailures       []string `json:"assertion_failures,omitempty"`
+
+	Served           uint64 `json:"served"`
+	Shed             uint64 `json:"shed"`
+	Splits           uint64 `json:"splits"`
+	RetriesSent      uint64 `json:"retries_sent"`
+	RetriesAbandoned uint64 `json:"retries_abandoned"`
+	Backlog          int    `json:"backlog"`
+
+	Metrics map[string]float64 `json:"metrics"`
+	WallNS  int64              `json:"wall_ns"`
+}
+
+// contrastOut is the overload A/B: identical spike, admission on vs
+// stripped (WithoutAdmission). ContrastOK is the robustness statement
+// bench-check gates: with admission the backlog stays bounded, without it
+// the backlog diverges.
+type contrastOut struct {
+	Scenario                string  `json:"scenario"`
+	AdmissionBacklogFinal   float64 `json:"admission_backlog_final"`
+	AdmissionShed           float64 `json:"admission_shed"`
+	AdmissionMaxWaitSimMS   float64 `json:"admission_max_wait_sim_ms"`
+	NoAdmissionBacklogFinal float64 `json:"noadmission_backlog_final"`
+	NoAdmissionServed       float64 `json:"noadmission_served"`
+	ContrastOK              bool    `json:"contrast_ok"`
+}
+
 func main() {
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (execution-only)")
 	ticks := flag.Int("ticks", 0, "override scenario tick count (0 = scenario default)")
@@ -87,6 +133,8 @@ func main() {
 
 	out := struct {
 		Scenarios     []scenarioOut      `json:"scenarios"`
+		Lab           []labOut           `json:"lab_scenarios"`
+		Contrast      *contrastOut       `json:"admission_contrast,omitempty"`
 		Deterministic map[string]float64 `json:"deterministic"`
 	}{Deterministic: make(map[string]float64)}
 
@@ -166,6 +214,104 @@ func main() {
 		p("adapt_latency_sim_ms", ref.AdaptLatencySimMS)
 	}
 
+	// Declarative lab matrix: every metric in the result table must be
+	// bit-identical across the worker sweep, and every spec's assertion
+	// table must pass. Both verdicts land in the JSON for bench-check.
+	allAsserted := true
+	var overloadRef microsvc.ScenarioResult
+	for _, spec := range microsvc.LabScenarios() {
+		if *ticks > 0 {
+			spec.Ticks = *ticks
+		}
+		var ref microsvc.ScenarioResult
+		equal := true
+		start := time.Now()
+		for i, w := range workerCounts {
+			spec.Workers = w
+			res, err := microsvc.RunSpec(spec)
+			if err != nil {
+				fail("lab scenario %s workers=%d: %v", spec.Name, w, err)
+			}
+			if i == 0 {
+				ref = res
+				continue
+			}
+			if res.TraceHash != ref.TraceHash || !metricsEqual(res.Metrics, ref.Metrics) {
+				equal = false
+				fmt.Fprintf(os.Stderr,
+					"app-bench: lab scenario %s NONDETERMINISTIC at workers=%d (trace %s vs %s)\n",
+					spec.Name, w, res.TraceHash, ref.TraceHash)
+			}
+		}
+		if spec.Name == "overload" {
+			overloadRef = ref
+		}
+		out.Lab = append(out.Lab, labOut{
+			Name:                    ref.Name,
+			Ticks:                   ref.Ticks,
+			WorkerCounts:            workerCounts,
+			TraceEqualAcrossWorkers: equal,
+			TraceHash:               ref.TraceHash,
+			AssertionsPassed:        ref.AssertionsPassed,
+			AssertionFailures:       ref.AssertionFailures,
+			Served:                  ref.Served,
+			Shed:                    ref.Shed,
+			Splits:                  ref.Splits,
+			RetriesSent:             ref.RetriesSent,
+			RetriesAbandoned:        ref.RetriesAbandoned,
+			Backlog:                 ref.Backlog,
+			Metrics:                 ref.Metrics,
+			WallNS:                  time.Since(start).Nanoseconds() / int64(len(workerCounts)),
+		})
+		allEqual = allEqual && equal
+		allAsserted = allAsserted && ref.AssertionsPassed
+		for _, f := range ref.AssertionFailures {
+			fmt.Fprintf(os.Stderr, "app-bench: lab scenario %s ASSERTION FAILED: %s\n", ref.Name, f)
+		}
+		for m, v := range ref.Metrics {
+			out.Deterministic["lab_"+ref.Name+"_"+m] = v
+		}
+		out.Deterministic["lab_"+ref.Name+"_assertions_passed"] = b2f(ref.AssertionsPassed)
+	}
+
+	// Contrast arm: the overload spike without the admission controller.
+	// The run is deterministic, so one worker count suffices.
+	if overloadRef.Name != "" && *ticks == 0 {
+		for _, spec := range microsvc.LabScenarios() {
+			if spec.Name != "overload" {
+				continue
+			}
+			noadm := spec.WithoutAdmission()
+			noadm.Workers = workerCounts[0]
+			res, err := microsvc.RunSpec(noadm)
+			if err != nil {
+				fail("contrast arm %s: %v", noadm.Name, err)
+			}
+			admBacklog := overloadRef.Metrics["backlog_final"]
+			noBacklog := res.Metrics["backlog_final"]
+			c := &contrastOut{
+				Scenario:                spec.Name,
+				AdmissionBacklogFinal:   admBacklog,
+				AdmissionShed:           overloadRef.Metrics["shed"],
+				AdmissionMaxWaitSimMS:   overloadRef.Metrics["max_wait_sim_ms"],
+				NoAdmissionBacklogFinal: noBacklog,
+				NoAdmissionServed:       res.Metrics["served"],
+				ContrastOK: overloadRef.Shed > 0 &&
+					noBacklog >= 8*math.Max(1, admBacklog),
+			}
+			out.Contrast = c
+			out.Deterministic["overload_noadm_backlog_final"] = noBacklog
+			out.Deterministic["overload_noadm_served"] = res.Metrics["served"]
+			out.Deterministic["overload_contrast_ok"] = b2f(c.ContrastOK)
+			if !c.ContrastOK {
+				fmt.Fprintf(os.Stderr,
+					"app-bench: CONTRAST BROKEN: admission backlog %.0f vs no-admission backlog %.0f (shed %.0f)\n",
+					admBacklog, noBacklog, overloadRef.Metrics["shed"])
+			}
+			allAsserted = allAsserted && c.ContrastOK
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -179,8 +325,44 @@ func main() {
 				so.RequestsPerReplica, so.AdaptLatencySimMS, so.SimSpeedup,
 				so.TraceEqualAcrossWorkers)
 		}
+		for _, lo := range out.Lab {
+			fmt.Printf("lab:%-14s served=%-5d shed=%-5d splits=%-4d retries=%d/%d backlog=%d det=%v asserts=%v\n",
+				lo.Name, lo.Served, lo.Shed, lo.Splits,
+				lo.RetriesSent, lo.RetriesAbandoned, lo.Backlog,
+				lo.TraceEqualAcrossWorkers, lo.AssertionsPassed)
+		}
+		if c := out.Contrast; c != nil {
+			fmt.Printf("contrast:%s admission backlog=%.0f (shed=%.0f, max-wait=%.0f sim-ms) vs no-admission backlog=%.0f ok=%v\n",
+				c.Scenario, c.AdmissionBacklogFinal, c.AdmissionShed,
+				c.AdmissionMaxWaitSimMS, c.NoAdmissionBacklogFinal, c.ContrastOK)
+		}
 	}
 	if !allEqual {
 		fail("adaptation traces differ across worker counts")
 	}
+	if !allAsserted {
+		fail("lab scenario assertions or the admission contrast failed")
+	}
+}
+
+// metricsEqual reports whether two deterministic metric tables are
+// bit-identical — same keys, same float64 values.
+func metricsEqual(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -198,6 +198,44 @@ func extract(doc map[string]any) (map[string]float64, []string) {
 				}
 			}
 		}
+		// Lab scenarios carry their own assertion tables (admission, shed,
+		// retry and per-tenant bounds); a failed table is a robustness
+		// regression, gated exactly like metric drift.
+		if labs, ok := app["lab_scenarios"].([]any); ok {
+			for _, s := range labs {
+				obj, ok := s.(map[string]any)
+				if !ok {
+					continue
+				}
+				name, _ := obj["name"].(string)
+				if eq, ok := obj["trace_equal_across_workers"].(bool); ok && !eq {
+					problems = append(problems, fmt.Sprintf(
+						"app_bench: lab scenario %s differed across worker counts (nondeterministic)", name))
+				}
+				if passed, ok := obj["assertions_passed"].(bool); ok && !passed {
+					detail := ""
+					if fails, ok := obj["assertion_failures"].([]any); ok {
+						for _, f := range fails {
+							if msg, ok := f.(string); ok {
+								detail += "; " + msg
+							}
+						}
+					}
+					problems = append(problems, fmt.Sprintf(
+						"app_bench: lab scenario %s assertion table failed%s", name, detail))
+				}
+			}
+		}
+		// The overload A/B: admission on bounds the backlog, admission off
+		// diverges. If the contrast collapses, the controller stopped doing
+		// its job (or the spike stopped overloading) — fail either way.
+		if c, ok := app["admission_contrast"].(map[string]any); ok {
+			if okFlag, ok := c["contrast_ok"].(bool); ok && !okFlag {
+				problems = append(problems, fmt.Sprintf(
+					"app_bench: admission contrast broken (admission backlog %v vs no-admission %v)",
+					c["admission_backlog_final"], c["noadmission_backlog_final"]))
+			}
+		}
 	}
 
 	if pb, ok := doc["pull_bench"].(map[string]any); ok {

@@ -193,6 +193,59 @@
 // BENCH_N.json gates the per-scenario cycle totals, adaptation latencies
 // (in sim-ms) and trace lengths against scripts/bench_baseline.json.
 //
+// # Admission & overload
+//
+// The plane survives overload by refusing work deterministically instead
+// of queueing it unboundedly. Giving ReplicaSetConfig an AdmissionConfig
+// puts a tenant-aware admission controller between the front-end's poll
+// and the replicas' queues:
+//
+//   - Tenant envelope. PlaneClient.SendTenant tags each request with a
+//     tenant and a client-assigned id using a second frame version: the
+//     two bytes where a legacy frame keeps its key length hold the
+//     reserved magic 0xFFFF (SendBatch rejects keys that long), followed
+//     by a flags byte, the tenant, the id, and then the usual key +
+//     sealed body. Untagged requests keep the legacy layout bit for bit,
+//     and replies echo the request's envelope, so a plane without an
+//     AdmissionConfig is byte-identical to the pre-admission plane.
+//
+//   - Token buckets and weighted-fair dequeue. Each tenant has a
+//     TenantPolicy (Weight, Rate, Burst, MaxQueue); buckets refill once
+//     per Step and dispatch proceeds in weighted rounds over the sorted
+//     tenant order, so shares are a pure function of config and arrival
+//     order — never of map iteration or worker interleaving.
+//
+//   - Bounded queues and shed. A request arriving past its tenant's
+//     MaxQueue or the global MaxGlobalQueue bound is shed at arrival
+//     (admitted requests are never shed later) with a sealed reply
+//     carrying a deterministic retry-after hint in sim-ms: the time the
+//     tenant's queue needs to drain at its refill rate, capped at 64
+//     steps. PlaneClient.EnableRetry turns the hints into exponential
+//     backoff (hint × 2^attempt), re-sending due retries in (due, id)
+//     order; work a retired replica requeues re-enters Step ahead of
+//     admission, so it is neither charged twice nor shed twice.
+//
+//   - Hot-key splitting. When one key exceeds HotKeyPerStep dispatches in
+//     a step and its home replica's queue is at least SplitDepth deep,
+//     the overflow rotates across SplitWays neighbours — trading strict
+//     key affinity for bounded straggler latency, deterministically.
+//
+// The declarative scenario lab (microsvc.ScenarioSpec, RunSpec) drives
+// all of it closed-loop: a spec is pure data — tenants with load
+// profiles (uniform, genpack batch-arrival, smartgrid streaming), a
+// fault table, an admission config and an assertion table over the
+// result's flat metric map — so a new scenario is ~20 lines.
+// microsvc.LabScenarios pins five: overload, noisy-neighbor, cascade,
+// slow-network and recovery; the legacy scenarios run through the same
+// engine via Scenario.Spec, replaying the exact pre-engine RNG stream.
+// cmd/app-bench sweeps the lab across worker counts, asserts every
+// metric bit-identical, evaluates each spec's assertions, and runs the
+// overload spike once more with the controller stripped
+// (ScenarioSpec.WithoutAdmission): admission on must bound the final
+// backlog, admission off must let it diverge past 8× that bound.
+// cmd/bench-check fails CI on a failed assertion table, a broken
+// contrast, or drift in any lab metric.
+//
 // Because the simulated metrics are deterministic, they are CI-gated.
 // scripts/ci.sh — run locally or by .github/workflows/ci.yml — enforces,
 // beyond fmt/build/vet/test and -race on the concurrent packages

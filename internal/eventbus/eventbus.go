@@ -35,7 +35,8 @@ var (
 )
 
 // QueueLimit bounds each subscriber queue; the bus applies back-pressure
-// beyond it rather than growing unboundedly.
+// beyond it rather than growing unboundedly. Individual topics can tighten
+// or relax the bound with SetQueueLimit.
 const QueueLimit = 4096
 
 // Bus is the untrusted message store-and-forward fabric.
@@ -44,6 +45,7 @@ type Bus struct {
 	seqs   map[string]uint64
 	queues map[string]map[int][]Message // topic -> subscriber handle -> queue
 	leased map[string]map[int]map[uint64]bool
+	limits map[string]int // topic -> queue limit override (0/absent = QueueLimit)
 	nextID int
 	closed bool
 }
@@ -54,6 +56,34 @@ func New() *Bus {
 		seqs:   make(map[string]uint64),
 		queues: make(map[string]map[int][]Message),
 	}
+}
+
+// SetQueueLimit overrides the per-subscriber queue bound of one topic
+// (limit <= 0 restores the default QueueLimit). The limit is topology
+// configuration: it persists across subscriber churn, including the
+// last-unsubscriber prune of the topic's queues. A queue may hold exactly
+// `limit` messages; the publish that would exceed it is rejected whole
+// (all-or-nothing, like the default bound).
+func (b *Bus) SetQueueLimit(topic string, limit int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if limit <= 0 {
+		delete(b.limits, topic)
+		return
+	}
+	if b.limits == nil {
+		b.limits = make(map[string]int)
+	}
+	b.limits[topic] = limit
+}
+
+// queueLimit returns the effective per-subscriber bound of one topic.
+// Caller holds b.mu.
+func (b *Bus) queueLimit(topic string) int {
+	if lim, ok := b.limits[topic]; ok {
+		return lim
+	}
+	return QueueLimit
 }
 
 // Close shuts the bus down; further operations fail.
@@ -97,8 +127,9 @@ func (b *Bus) publishBatch(topic string, sealed [][]byte) ([]uint64, error) {
 	if b.closed {
 		return nil, ErrClosed
 	}
+	lim := b.queueLimit(topic)
 	for id, q := range b.queues[topic] {
-		if len(q)+len(sealed) > QueueLimit {
+		if len(q)+len(sealed) > lim {
 			return nil, fmt.Errorf("%w: topic %s subscriber %d", ErrBackPres, topic, id)
 		}
 	}

@@ -587,3 +587,123 @@ func TestSubscriberDepthIndependentPerSubscriber(t *testing.T) {
 		t.Fatalf("topic Depth = %d, want 4", got)
 	}
 }
+
+// TestQueueLimitExactlyFull pins the bound's boundary semantics: a queue
+// may hold exactly the limit; the publish that would exceed it — even by
+// one message of a batch — is rejected whole, with nothing enqueued.
+func TestQueueLimitExactlyFull(t *testing.T) {
+	bus := New()
+	bus.SetQueueLimit("t", 8)
+	p, s := topicPair(t, bus, "t")
+
+	// Fill to exactly the limit in one batch: allowed.
+	batch := make([][]byte, 8)
+	for i := range batch {
+		batch[i] = []byte{byte(i)}
+	}
+	if _, err := p.PublishBatch(batch); err != nil {
+		t.Fatalf("publish at exactly-full: %v", err)
+	}
+	if got := s.Depth(); got != 8 {
+		t.Fatalf("Depth = %d, want 8", got)
+	}
+	// One more is back-pressure, and the queue is untouched.
+	if _, err := p.Publish([]byte("x")); !errors.Is(err, ErrBackPres) {
+		t.Fatalf("publish beyond limit: err = %v, want ErrBackPres", err)
+	}
+	if got := s.Depth(); got != 8 {
+		t.Fatalf("Depth after rejected publish = %d, want 8", got)
+	}
+	// A batch straddling the boundary (7 queued + 2 new) is all-or-nothing.
+	if _, err := s.PollBatch(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PublishBatch([][]byte{{0xA}, {0xB}}); !errors.Is(err, ErrBackPres) {
+		t.Fatalf("straddling batch: err = %v, want ErrBackPres", err)
+	}
+	if got := s.Depth(); got != 7 {
+		t.Fatalf("Depth after rejected batch = %d, want 7", got)
+	}
+	// Exactly filling the remaining slot succeeds.
+	if _, err := p.Publish([]byte("y")); err != nil {
+		t.Fatalf("publish into last slot: %v", err)
+	}
+}
+
+// TestQueueLimitPersistsAcrossSubscriberChurn: SetQueueLimit is topology
+// configuration — the last unsubscriber prunes the topic's queue maps, but
+// a re-created subscription is bounded identically. Restoring the default
+// with limit <= 0 also works.
+func TestQueueLimitPersistsAcrossSubscriberChurn(t *testing.T) {
+	bus := New()
+	bus.SetQueueLimit("t", 2)
+	p, s := topicPair(t, bus, "t")
+	if _, err := p.PublishBatch([][]byte{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Last unsubscriber pruned the queue map entirely.
+	bus.mu.Lock()
+	_, queueAlive := bus.queues["t"]
+	bus.mu.Unlock()
+	if queueAlive {
+		t.Fatal("topic queue map survived last unsubscribe")
+	}
+	key, _ := TopicKey(appRoot(), "t")
+	s2, err := NewSubscriber(bus, "t", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PublishBatch([][]byte{{3}, {4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Publish([]byte{5}); !errorsIsBackPres(err) {
+		t.Fatalf("limit lost across churn: err = %v", err)
+	}
+	bus.SetQueueLimit("t", 0) // restore default
+	if _, err := p.Publish([]byte{5}); err != nil {
+		t.Fatalf("default limit not restored: %v", err)
+	}
+	s2.Close()
+}
+
+func errorsIsBackPres(err error) bool { return errors.Is(err, ErrBackPres) }
+
+// TestUnsubscribePrunesQueueAndLimitIndependence: unsubscribing one of two
+// subscribers prunes only that handle's queue (the per-tenant queue of the
+// departing consumer), leaving the peer's backlog and the topic limit
+// intact.
+func TestUnsubscribePrunesOnlyOwnQueue(t *testing.T) {
+	bus := New()
+	p, a := topicPair(t, bus, "t")
+	key, _ := TopicKey(appRoot(), "t")
+	b, err := NewSubscriber(bus, "t", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PublishBatch([][]byte{{1}, {2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if got := b.Depth(); got != 3 {
+		t.Fatalf("peer Depth after unsubscribe = %d, want 3", got)
+	}
+	bus.mu.Lock()
+	n := len(bus.queues["t"])
+	bus.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("queue handles after unsubscribe = %d, want 1", n)
+	}
+	// The departed handle's queue no longer counts toward back-pressure.
+	bus.SetQueueLimit("t", 3)
+	if _, err := p.Publish([]byte{4}); !errors.Is(err, ErrBackPres) {
+		t.Fatalf("peer still bounded: err = %v, want ErrBackPres", err)
+	}
+	if _, err := b.PollBatch(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Publish([]byte{4}); err != nil {
+		t.Fatalf("publish after drain: %v", err)
+	}
+	b.Close()
+}

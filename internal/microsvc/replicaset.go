@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -107,6 +109,11 @@ type ReplicaSetConfig struct {
 	// RequestCycles is the modeled application compute charged inside the
 	// enclave for every request, on top of the memory-hierarchy charges.
 	RequestCycles sim.Cycles
+	// Admission enables the tenant-aware admission controller (see
+	// admission.go): per-tenant token buckets, weighted-fair dequeue,
+	// bounded queues with shed replies, hot-key splitting. Nil disables
+	// admission entirely — Step behaves exactly as before.
+	Admission *AdmissionConfig
 }
 
 // bootResult is what a boot path yields: an initialized enclave with its
@@ -132,6 +139,12 @@ type ReplicaSet struct {
 
 	front *frontEnd
 
+	// adm is the admission controller (nil unless cfg.Admission is set);
+	// lastShed is the shed count of the last Step, the overload signal
+	// Sample() reports to the orchestrator.
+	adm      *admission
+	lastShed atomic.Uint64
+
 	mu       sync.Mutex
 	replicas []*Replica
 	requeue  []request
@@ -151,19 +164,35 @@ type retiredTotals struct {
 }
 
 // frontEnd is the set's attested dispatcher: the enclave that holds the
-// topic stream keys and owns the bus endpoints.
+// topic stream keys and owns the bus endpoints. box holds the service
+// request key, used only to seal shed replies (the front end never opens
+// request bodies — routing stays on cleartext metadata).
 type frontEnd struct {
 	enc  *enclave.Enclave
 	stop func()
 	sub  *eventbus.Subscriber
 	pub  *eventbus.Publisher
+	box  *cryptbox.Box
 }
 
-// request is one routed unit of work: the cleartext routing key and the
-// still-sealed body.
+// frameMeta is the tenant envelope of a v2 frame: the tenant ID the
+// admission controller accounts the request to and the client-assigned
+// request ID echoed in replies (served and shed alike) so clients can
+// correlate. Legacy frames decode to the zero meta (default tenant "").
+type frameMeta struct {
+	v2     bool
+	tenant string
+	id     uint64
+}
+
+// request is one routed unit of work: the cleartext routing key, the
+// still-sealed body, the tenant envelope, and — once admitted — the
+// admission step it arrived in (queue-wait accounting).
 type request struct {
-	key    string
-	sealed []byte
+	key       string
+	sealed    []byte
+	meta      frameMeta
+	admitStep uint64
 }
 
 // NewReplicaSet builds a direct-mode replica set: each replica boots on a
@@ -258,6 +287,9 @@ func newReplicaSet(bus *eventbus.Bus, kb *attest.KeyBroker, name string, handler
 		name: name, bus: bus, broker: kb,
 		handler: handler, cfg: cfg, boot: boot,
 	}
+	if cfg.Admission != nil {
+		rs.adm = newAdmission(*cfg.Admission)
+	}
 	fe, err := rs.bootFront()
 	if err != nil {
 		return nil, err
@@ -306,7 +338,13 @@ func (rs *ReplicaSet) bootFront() (*frontEnd, error) {
 		br.stop()
 		return nil, err
 	}
-	return &frontEnd{enc: br.enc, stop: br.stop, sub: sub, pub: pub}, nil
+	box, err := cryptbox.NewBox(keys.Request)
+	if err != nil {
+		sub.Close()
+		br.stop()
+		return nil, err
+	}
+	return &frontEnd{enc: br.enc, stop: br.stop, sub: sub, pub: pub, box: box}, nil
 }
 
 // Replica is one enclave-per-replica worker of a ReplicaSet. All counters
@@ -468,6 +506,9 @@ func (rs *ReplicaSet) Backlog() int {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	n += len(rs.requeue)
+	if rs.adm != nil {
+		n += rs.adm.depth()
+	}
 	for _, r := range rs.replicas {
 		n += r.Depth()
 	}
@@ -514,6 +555,10 @@ type PlaneTotals struct {
 	Live           int
 	FrontCycles    sim.Cycles
 	FrontFaults    uint64
+	// Shed / Splits are admission-controller lifetime totals (zero when
+	// admission is disabled).
+	Shed   uint64
+	Splits uint64
 }
 
 // Totals returns the set-lifetime accounting.
@@ -541,7 +586,34 @@ func (rs *ReplicaSet) Totals() PlaneTotals {
 	}
 	t.FrontCycles = rs.front.enc.Memory().Cycles()
 	t.FrontFaults = rs.front.enc.Memory().Faults()
+	if rs.adm != nil {
+		t.Shed = rs.adm.shedAll
+		t.Splits = rs.adm.splits
+	}
 	return t
+}
+
+// AdmissionStats returns a snapshot of the admission controller — queue
+// depths, per-tenant admit/dispatch/shed counters. The zero snapshot when
+// admission is disabled.
+func (rs *ReplicaSet) AdmissionStats() AdmissionSnapshot {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.adm == nil {
+		return AdmissionSnapshot{ByTenant: map[string]TenantSnapshot{}}
+	}
+	return rs.adm.snapshot()
+}
+
+// LatencyPercentiles reduces the admission queue-wait histogram to
+// p50/p95/max in sim-ms (zeros when admission is disabled).
+func (rs *ReplicaSet) LatencyPercentiles() (p50, p95, max float64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.adm == nil {
+		return 0, 0, 0
+	}
+	return rs.adm.latencyPercentiles(rs.adm.cfg.TickMillis)
 }
 
 // ID implements orchestrator.Replica.
@@ -566,6 +638,10 @@ func (r *Replica) Sample() orchestrator.Metrics {
 	m := orchestrator.Metrics{
 		QueueDepth: r.Depth(),
 		Healthy:    !r.crashed.Load(),
+		// Shed is a set-level figure (admission happens before routing);
+		// every replica reports the same last-step count, per the
+		// orchestrator.Metrics contract.
+		Shed: int(r.set.lastShed.Load()),
 	}
 	if n := r.lastServed.Load(); n > 0 {
 		m.ServiceCycles = sim.Cycles(r.lastCycles.Load() / n)
@@ -678,7 +754,7 @@ func (r *Replica) serveTick() (replies [][]byte, served, failed int) {
 		if ok {
 			served++
 			if sealedResp != nil {
-				replies = append(replies, encodeFrame(q.key, sealedResp))
+				replies = append(replies, encodeReply(q, sealedResp))
 			}
 		} else {
 			failed++
@@ -729,6 +805,9 @@ type StepStats struct {
 	Failed int
 	// Replies counts reply frames published to the out topic.
 	Replies int
+	// Shed counts arrivals the admission controller rejected this step
+	// (each answered with a retry-after reply; always 0 without admission).
+	Shed int
 }
 
 // Step runs one serve tick of the whole set: the front-end polls a batch
@@ -749,32 +828,89 @@ func (rs *ReplicaSet) Step() (StepStats, error) {
 	reqs := rs.requeue
 	rs.requeue = nil
 	reps := append([]*Replica(nil), rs.replicas...)
+	adm := rs.adm
 	rs.mu.Unlock()
+	var arrivals []request
 	for _, f := range frames {
-		key, sealed, err := decodeFrame(f)
-		if err != nil {
+		q, shedFlag, err := decodeFrameAny(f)
+		if err != nil || shedFlag {
 			// A malformed frame means a buggy or malicious holder of the
-			// topic key (the topic seal already authenticated). Drop it
+			// topic key (the topic seal already authenticated); a shed
+			// reply on the in topic is equally out of place. Drop it
 			// and keep going: aborting here would lose the requeued work
 			// and every valid frame of the batch.
 			st.Dropped++
 			continue
 		}
-		reqs = append(reqs, request{key: key, sealed: sealed})
+		arrivals = append(arrivals, q)
 	}
+
+	// Admission: arrivals pass the controller — queued per tenant, shed
+	// with a retry-after reply on overflow, dispatched weighted-fair.
+	// Requeued work (reqs) was already admitted once and bypasses the
+	// controller: no double token charge, and no admitted request is ever
+	// shed after the fact.
+	var sheds []shedVerdict
+	var dispatched []request
+	if adm != nil {
+		rs.mu.Lock()
+		adm.beginStep()
+		for _, q := range arrivals {
+			if shed, retry := adm.offer(q); shed {
+				sheds = append(sheds, shedVerdict{req: q, retryAfterMS: retry})
+			}
+		}
+		if len(reps) > 0 {
+			dispatched = adm.dispatch()
+		}
+		rs.mu.Unlock()
+		st.Shed = len(sheds)
+		rs.lastShed.Store(uint64(len(sheds)))
+	} else {
+		dispatched = arrivals
+	}
+
 	if len(reps) == 0 {
+		// With admission, admitted-but-undispatched arrivals stay inside
+		// the controller's tenant queues; without it they join the requeue
+		// list like before.
+		if adm == nil {
+			reqs = append(reqs, dispatched...)
+			dispatched = nil
+		}
 		if len(reqs) > 0 {
 			rs.mu.Lock()
 			rs.requeue = append(reqs, rs.requeue...)
 			rs.mu.Unlock()
+		}
+		pubErr := rs.publishSheds(sheds, &st)
+		if len(reqs) > 0 || (adm != nil && len(arrivals) > len(sheds)) {
 			return st, ErrNoLiveReplicas
 		}
-		return st, nil
+		return st, pubErr
 	}
 	for _, q := range reqs {
 		reps[routeIndex(q.key, len(reps))].enqueue(q)
 	}
-	st.Routed = len(reqs)
+	if adm != nil && len(dispatched) > 0 {
+		// Hot-key routing works off a depth snapshot taken after the
+		// requeue pass, so the split decision sees the straggler backlog
+		// but never the effects of this step's own parallel serve.
+		depths := make([]int, len(reps))
+		for i, r := range reps {
+			depths[i] = r.Depth()
+		}
+		rs.mu.Lock()
+		for _, q := range dispatched {
+			reps[adm.routeFor(q.key, len(reps), depths)].enqueue(q)
+		}
+		rs.mu.Unlock()
+	} else {
+		for _, q := range dispatched {
+			reps[routeIndex(q.key, len(reps))].enqueue(q)
+		}
+	}
+	st.Routed = len(reqs) + len(dispatched)
 
 	workers := rs.cfg.Workers
 	if workers <= 0 {
@@ -808,7 +944,44 @@ func (rs *ReplicaSet) Step() (StepStats, error) {
 		}
 		st.Replies += len(res.replies)
 	}
+	if err := rs.publishSheds(sheds, &st); err != nil && pubErr == nil {
+		pubErr = err
+	}
 	return st, pubErr
+}
+
+// publishSheds seals and publishes the step's shed replies, after the
+// serve replies: each carries the retry-after hint (8-byte float64 sim-ms)
+// sealed under the shed AAD, framed v2 with the shed flag and the original
+// request's tenant envelope so the client can correlate.
+func (rs *ReplicaSet) publishSheds(sheds []shedVerdict, st *StepStats) error {
+	if len(sheds) == 0 {
+		return nil
+	}
+	frames := make([][]byte, 0, len(sheds))
+	var firstErr error
+	for _, sv := range sheds {
+		body := make([]byte, 8)
+		binary.BigEndian.PutUint64(body, math.Float64bits(sv.retryAfterMS))
+		sealed, err := rs.front.box.Seal(body, shedAADFor(rs.name))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		frames = append(frames, encodeFrameV2(sv.req.key, sealed, sv.req.meta, frameFlagShed))
+	}
+	if len(frames) > 0 {
+		if _, err := rs.front.pub.PublishBatch(frames); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			st.Replies += len(frames)
+		}
+	}
+	return firstErr
 }
 
 // routeIndex hashes a routing key onto a replica slot (FNV-1a mod n) — a
@@ -822,11 +995,12 @@ func routeIndex(key string, n int) int {
 	return int(h % uint32(n))
 }
 
-// reqAADFor / respAADFor bind plane frames to the service and direction,
-// matching the single-service AADs so a reply can never replay as a
-// request.
+// reqAADFor / respAADFor / shedAADFor bind plane frames to the service and
+// direction, matching the single-service AADs so a reply can never replay
+// as a request — and a shed notice can never replay as a served reply.
 func reqAADFor(name string) []byte  { return []byte("req|" + name) }
 func respAADFor(name string) []byte { return []byte("resp|" + name) }
+func shedAADFor(name string) []byte { return []byte("shed|" + name) }
 
 // encodeFrame frames a routing key and a sealed body for the bus: 2-byte
 // big-endian key length, the key, the sealed body. The key is cleartext
@@ -851,6 +1025,84 @@ func decodeFrame(b []byte) (string, []byte, error) {
 	return string(b[2 : 2+n]), b[2+n:], nil
 }
 
+// v2 frames carry the tenant envelope. The leading key-length slot holds
+// the reserved magic (no legacy key is 64 KiB−1 long — SendBatch rejects
+// it), so the two formats coexist on one topic:
+//
+//	0xFF 0xFF | flags u8 | tlen u8 | tenant | id u64 | klen u16 | key | sealed
+//
+// flags bit 0 marks a shed reply (sealed body = retry-after, not a
+// response). Everything before sealed is cleartext routing metadata, like
+// the legacy key — tenant IDs are account names, not payload.
+const (
+	frameMagic    = 0xFFFF
+	frameFlagShed = 0x01
+)
+
+// encodeFrameV2 frames a request or reply with its tenant envelope.
+func encodeFrameV2(key string, sealed []byte, meta frameMeta, flags byte) []byte {
+	tn := len(meta.tenant)
+	b := make([]byte, 2+1+1+tn+8+2+len(key)+len(sealed))
+	binary.BigEndian.PutUint16(b, frameMagic)
+	b[2] = flags
+	b[3] = byte(tn)
+	copy(b[4:], meta.tenant)
+	off := 4 + tn
+	binary.BigEndian.PutUint64(b[off:], meta.id)
+	off += 8
+	binary.BigEndian.PutUint16(b[off:], uint16(len(key)))
+	off += 2
+	copy(b[off:], key)
+	copy(b[off+len(key):], sealed)
+	return b
+}
+
+// decodeFrameAny decodes either frame version into a request; the bool
+// reports the v2 shed flag (always false for legacy frames).
+func decodeFrameAny(b []byte) (request, bool, error) {
+	if len(b) < 2 || binary.BigEndian.Uint16(b) != frameMagic {
+		key, sealed, err := decodeFrame(b)
+		if err != nil {
+			return request{}, false, err
+		}
+		return request{key: key, sealed: sealed}, false, nil
+	}
+	if len(b) < 4 {
+		return request{}, false, ErrBadFrame
+	}
+	flags := b[2]
+	tn := int(b[3])
+	off := 4
+	if len(b) < off+tn+8+2 {
+		return request{}, false, ErrBadFrame
+	}
+	tenant := string(b[off : off+tn])
+	off += tn
+	id := binary.BigEndian.Uint64(b[off:])
+	off += 8
+	kn := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+kn {
+		return request{}, false, ErrBadFrame
+	}
+	q := request{
+		key:    string(b[off : off+kn]),
+		sealed: b[off+kn:],
+		meta:   frameMeta{v2: true, tenant: tenant, id: id},
+	}
+	return q, flags&frameFlagShed != 0, nil
+}
+
+// encodeReply frames a served reply in the same version as its request, so
+// tenant-tagged requests get their envelope (tenant, id) echoed back and
+// legacy clients see byte-identical legacy frames.
+func encodeReply(q request, sealed []byte) []byte {
+	if q.meta.v2 {
+		return encodeFrameV2(q.key, sealed, q.meta, 0)
+	}
+	return encodeFrame(q.key, sealed)
+}
+
 // PlaneRequest is one client request: a cleartext routing key and the
 // plaintext body (sealed by the client before it touches the bus).
 type PlaneRequest struct {
@@ -858,10 +1110,36 @@ type PlaneRequest struct {
 	Body []byte
 }
 
-// PlaneReply is one opened reply.
+// PlaneReply is one opened reply. Tenant and ID echo the request envelope
+// for tenant-tagged requests (zero values for legacy ones). Shed marks an
+// admission rejection: Body is nil and RetryAfterSimMS carries the
+// server's deterministic hint.
 type PlaneReply struct {
-	Key  string
-	Body []byte
+	Key             string
+	Body            []byte
+	Tenant          string
+	ID              uint64
+	Shed            bool
+	RetryAfterSimMS float64
+}
+
+// RetryPolicy shapes a client's deterministic retry behaviour: a shed
+// request is re-sent after the server's retry-after hint scaled by
+// exponential backoff (hint × 2^(attempt−1), all in sim-ms), up to
+// MaxAttempts total sends.
+type RetryPolicy struct {
+	// MaxAttempts bounds total send attempts per request, the first
+	// included (default 4).
+	MaxAttempts int
+}
+
+// inflightReq is one tenant-tagged request the client can still re-send.
+type inflightReq struct {
+	meta    frameMeta
+	key     string
+	body    []byte
+	attempt int
+	dueMS   float64
 }
 
 // PlaneClient is the owner-side endpoint of a replica set: it holds the
@@ -873,6 +1151,16 @@ type PlaneClient struct {
 	box  *cryptbox.Box
 	pub  *eventbus.Publisher
 	sub  *eventbus.Subscriber
+
+	// Retry state (nil retry = fire-and-forget, the legacy behaviour).
+	// All of it is driven by the caller's sim-ms clock, never a host
+	// clock: Poll schedules, DueRetries re-sends.
+	retry            *RetryPolicy
+	nextID           uint64
+	inflight         map[uint64]*inflightReq
+	retryQ           []*inflightReq
+	retriesSent      uint64
+	retriesAbandoned uint64
 }
 
 // NewPlaneClient builds a client for the named service from its key set.
@@ -908,8 +1196,9 @@ func (c *PlaneClient) SendBatch(reqs []PlaneRequest) error {
 	}
 	frames := make([][]byte, len(reqs))
 	for i, q := range reqs {
-		if len(q.Key) > 0xFFFF {
-			return fmt.Errorf("%w: routing key longer than 64 KiB", ErrBadFrame)
+		if len(q.Key) >= 0xFFFF {
+			// 0xFFFF is the v2 frame magic, reserved.
+			return fmt.Errorf("%w: routing key longer than 64 KiB-2", ErrBadFrame)
 		}
 		sealed, err := c.box.Seal(q.Body, reqAADFor(c.name))
 		if err != nil {
@@ -921,30 +1210,166 @@ func (c *PlaneClient) SendBatch(reqs []PlaneRequest) error {
 	return err
 }
 
+// SendTenant seals and publishes a batch of requests tagged with the given
+// tenant ID (v2 frames). Each request gets a fresh monotonically
+// increasing ID, echoed in its reply; with retry enabled the client keeps
+// the request re-sendable until it is served or abandoned.
+func (c *PlaneClient) SendTenant(tenant string, reqs []PlaneRequest) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if len(tenant) > 0xFF {
+		return fmt.Errorf("%w: tenant ID longer than 255 bytes", ErrBadFrame)
+	}
+	frames := make([][]byte, len(reqs))
+	metas := make([]frameMeta, len(reqs))
+	for i, q := range reqs {
+		if len(q.Key) >= 0xFFFF {
+			return fmt.Errorf("%w: routing key longer than 64 KiB-2", ErrBadFrame)
+		}
+		sealed, err := c.box.Seal(q.Body, reqAADFor(c.name))
+		if err != nil {
+			return err
+		}
+		c.nextID++
+		metas[i] = frameMeta{v2: true, tenant: tenant, id: c.nextID}
+		frames[i] = encodeFrameV2(q.Key, sealed, metas[i], 0)
+	}
+	if _, err := c.pub.PublishBatch(frames); err != nil {
+		return err
+	}
+	if c.retry != nil {
+		for i, q := range reqs {
+			c.inflight[metas[i].id] = &inflightReq{
+				meta: metas[i], key: q.Key, body: q.Body, attempt: 1,
+			}
+		}
+	}
+	return nil
+}
+
 // Send seals and publishes one request.
 func (c *PlaneClient) Send(key string, body []byte) error {
 	return c.SendBatch([]PlaneRequest{{Key: key, Body: body}})
 }
 
-// Replies drains, authenticates and opens every pending reply.
+// EnableRetry turns on deterministic shed-driven retry for tenant-tagged
+// requests.
+func (c *PlaneClient) EnableRetry(p RetryPolicy) {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	c.retry = &p
+	if c.inflight == nil {
+		c.inflight = make(map[uint64]*inflightReq)
+	}
+}
+
+// RetryStats reports retry totals: re-sends, abandons (MaxAttempts
+// exhausted), and requests still awaiting a served reply.
+func (c *PlaneClient) RetryStats() (sent, abandoned uint64, inflight int) {
+	return c.retriesSent, c.retriesAbandoned, len(c.inflight)
+}
+
+// Replies drains, authenticates and opens every pending reply. Equivalent
+// to Poll(0) — use Poll from simulated-time loops so retry backoff is
+// anchored at the right sim-ms.
 func (c *PlaneClient) Replies() ([]PlaneReply, error) {
+	return c.Poll(0)
+}
+
+// Poll drains pending replies at simulated time nowMS. Served replies
+// clear their in-flight entries; shed replies schedule a retry at
+// nowMS + retryAfter × 2^(attempt−1) sim-ms (or abandon the request once
+// MaxAttempts is exhausted). The caller re-sends due retries with
+// DueRetries.
+func (c *PlaneClient) Poll(nowMS float64) ([]PlaneReply, error) {
 	frames, err := c.sub.Receive()
 	if err != nil {
 		return nil, err
 	}
 	out := make([]PlaneReply, 0, len(frames))
 	for _, f := range frames {
-		key, sealed, err := decodeFrame(f)
+		q, shedFlag, err := decodeFrameAny(f)
 		if err != nil {
 			return nil, err
 		}
-		body, err := c.box.Open(sealed, respAADFor(c.name))
+		if shedFlag {
+			raw, err := c.box.Open(q.sealed, shedAADFor(c.name))
+			if err != nil || len(raw) != 8 {
+				return nil, ErrSealedRequest
+			}
+			rep := PlaneReply{
+				Key: q.key, Tenant: q.meta.tenant, ID: q.meta.id,
+				Shed:            true,
+				RetryAfterSimMS: math.Float64frombits(binary.BigEndian.Uint64(raw)),
+			}
+			if c.retry != nil {
+				if fl, ok := c.inflight[q.meta.id]; ok {
+					if fl.attempt >= c.retry.MaxAttempts {
+						delete(c.inflight, q.meta.id)
+						c.retriesAbandoned++
+					} else {
+						fl.dueMS = nowMS + rep.RetryAfterSimMS*float64(uint64(1)<<(fl.attempt-1))
+						c.retryQ = append(c.retryQ, fl)
+					}
+				}
+			}
+			out = append(out, rep)
+			continue
+		}
+		body, err := c.box.Open(q.sealed, respAADFor(c.name))
 		if err != nil {
 			return nil, ErrSealedRequest
 		}
-		out = append(out, PlaneReply{Key: key, Body: body})
+		if q.meta.v2 && c.retry != nil {
+			delete(c.inflight, q.meta.id)
+		}
+		out = append(out, PlaneReply{Key: q.key, Body: body, Tenant: q.meta.tenant, ID: q.meta.id})
 	}
 	return out, nil
+}
+
+// DueRetries re-sends every scheduled retry due at simulated time nowMS,
+// in (due time, request ID) order — deterministic regardless of reply
+// arrival interleavings. Returns how many were re-sent.
+func (c *PlaneClient) DueRetries(nowMS float64) (int, error) {
+	if c.retry == nil || len(c.retryQ) == 0 {
+		return 0, nil
+	}
+	var due []*inflightReq
+	rest := c.retryQ[:0]
+	for _, fl := range c.retryQ {
+		if fl.dueMS <= nowMS {
+			due = append(due, fl)
+		} else {
+			rest = append(rest, fl)
+		}
+	}
+	c.retryQ = rest
+	if len(due) == 0 {
+		return 0, nil
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].dueMS != due[j].dueMS {
+			return due[i].dueMS < due[j].dueMS
+		}
+		return due[i].meta.id < due[j].meta.id
+	})
+	frames := make([][]byte, len(due))
+	for i, fl := range due {
+		sealed, err := c.box.Seal(fl.body, reqAADFor(c.name))
+		if err != nil {
+			return 0, err
+		}
+		fl.attempt++
+		frames[i] = encodeFrameV2(fl.key, sealed, fl.meta, 0)
+	}
+	if _, err := c.pub.PublishBatch(frames); err != nil {
+		return 0, err
+	}
+	c.retriesSent += uint64(len(frames))
+	return len(frames), nil
 }
 
 // Close releases the client's bus subscription.

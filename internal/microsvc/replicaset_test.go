@@ -494,3 +494,96 @@ func TestOrchestratedReplicaSetClosedLoop(t *testing.T) {
 		t.Fatalf("served = %d, want %d", tot.Served, 8*40)
 	}
 }
+
+// TestRetireUnderAdmissionNoLossNoDoubleServe drives the two recovery
+// paths against each other: work a retired replica requeues re-enters
+// Step ahead of admission (no second token charge, no second shed
+// decision), while fresh arrivals keep flowing through the controller.
+// Every request is either shed exactly once at arrival or served exactly
+// once — nothing lost, nothing duplicated.
+func TestRetireUnderAdmissionNoLossNoDoubleServe(t *testing.T) {
+	bus, svc, kb, keys := planeFixture(t, "plane/armq", "aq/req", "aq/resp")
+	rs, err := NewReplicaSet(bus, svc, kb, "plane/armq",
+		func(req []byte) ([]byte, error) { return req, nil },
+		ReplicaSetConfig{Replicas: 2, InTopic: "aq/req", OutTopic: "aq/resp",
+			// One request per replica per tick, so retire catches pending work.
+			TickBudget: 1,
+			Admission: &AdmissionConfig{
+				Default:         TenantPolicy{Weight: 4, MaxQueue: 8},
+				DispatchPerStep: 4,
+				TickMillis:      1,
+			}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Stop()
+	client, err := NewPlaneClient(bus, "plane/armq", keys, "aq/req", "aq/resp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var batch []PlaneRequest
+	for i := 0; i < 12; i++ {
+		batch = append(batch, PlaneRequest{Key: fmt.Sprintf("rq-%02d", i), Body: []byte{byte(i)}})
+	}
+	if err := client.SendTenant("t", batch); err != nil {
+		t.Fatal(err)
+	}
+	// Step 1: the tenant queue (MaxQueue 8) admits 8 and sheds 4 at
+	// arrival; 4 dispatch, and the tick budget leaves some pending.
+	st, err := rs.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed != 4 {
+		t.Fatalf("shed at arrival = %d, want 4", st.Shed)
+	}
+	// Retire one replica mid-backlog: its pending work requeues.
+	if err := rs.Retire(rs.ReplicaHandles()[0].ID()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20 && rs.Backlog() > 0; i++ {
+		if _, err := rs.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rs.Backlog(); got != 0 {
+		t.Fatalf("backlog = %d after drain", got)
+	}
+
+	replies, err := client.Replies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perKey := make(map[string]int)
+	served, shed := 0, 0
+	for _, r := range replies {
+		perKey[r.Key]++
+		if r.Shed {
+			shed++
+			if r.RetryAfterSimMS <= 0 {
+				t.Fatalf("shed reply for %s has no retry-after", r.Key)
+			}
+		} else {
+			served++
+		}
+	}
+	if served != 8 || shed != 4 {
+		t.Fatalf("served = %d, shed = %d; want 8 served, 4 shed", served, shed)
+	}
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("rq-%02d", i)
+		if perKey[key] != 1 {
+			t.Fatalf("key %s got %d replies, want exactly 1", key, perKey[key])
+		}
+	}
+	if tot := rs.Totals(); tot.Served != 8 || tot.Shed != 4 {
+		t.Fatalf("totals = %+v, want Served 8 Shed 4", tot)
+	}
+	adm := rs.AdmissionStats()
+	ts, ok := adm.ByTenant["t"]
+	if !ok || ts.Admitted != 8 || ts.Dispatched != 8 || ts.Shed != 4 {
+		t.Fatalf("tenant stats = %+v, want Admitted 8 Dispatched 8 Shed 4", ts)
+	}
+}

@@ -1,14 +1,8 @@
 package microsvc
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
-	"strings"
 
-	"securecloud/internal/attest"
-	"securecloud/internal/cryptbox"
-	"securecloud/internal/eventbus"
 	"securecloud/internal/orchestrator"
 	"securecloud/internal/sim"
 )
@@ -103,146 +97,74 @@ type ScenarioResult struct {
 	// the end of the tick whose Observe reacted: one tick of latency means
 	// the same monitoring period that saw the fault also repaired it.
 	AdaptLatencySimMS float64
+
+	// Admission figures (zero without an AdmissionConfig): shed and
+	// hot-key-split totals, admission queue-wait percentiles in sim-ms,
+	// and the client's retry counters.
+	Shed             uint64
+	Splits           uint64
+	P50WaitSimMS     float64
+	P95WaitSimMS     float64
+	MaxWaitSimMS     float64
+	RetriesSent      uint64
+	RetriesAbandoned uint64
+
+	// Metrics is the flat deterministic metric table the spec's assertion
+	// table binds against and the bench harness gates (includes per-tenant
+	// sent/shed/dispatched/served_share entries).
+	Metrics map[string]float64
+	// AssertionsPassed / AssertionFailures report the spec's assertion
+	// table verdict (vacuously true for a spec without assertions).
+	AssertionsPassed  bool
+	AssertionFailures []string
 }
 
 // scenarioService is the service name scenarios run under.
 const scenarioService = "plane/scenario"
 
-// RunScenario executes one scenario and returns its deterministic result.
+// Spec converts the legacy scenario shape into its declarative
+// equivalent: one untagged tenant carrying the whole load schedule plus a
+// fault table. RunSpec on the conversion replays the exact RNG stream and
+// closed loop of the pre-engine RunScenario, so the pinned traces and
+// cycle totals are bit-identical.
+func (sc Scenario) Spec() ScenarioSpec {
+	spec := ScenarioSpec{
+		Name:          sc.Name,
+		Seed:          sc.Seed,
+		Ticks:         sc.Ticks,
+		Replicas:      sc.Replicas,
+		Workers:       sc.Workers,
+		TickMillis:    sc.TickMillis,
+		RequestCycles: sc.RequestCycles,
+		Target:        sc.Target,
+		Tenants: []TenantLoad{{
+			BaseLoad:    sc.BaseLoad,
+			Keys:        sc.Keys,
+			KeyPrefix:   "k-",
+			BodyBytes:   sc.BodyBytes,
+			SpikeAt:     sc.SpikeAt,
+			SpikeTicks:  sc.SpikeTicks,
+			SpikeFactor: sc.SpikeFactor,
+			SkewAt:      sc.SkewAt,
+			SkewPercent: sc.SkewPercent,
+			SkewKey:     sc.SkewKey,
+		}},
+	}
+	if sc.CrashAt > 0 {
+		spec.Faults = append(spec.Faults, FaultSpec{Kind: "crash", At: sc.CrashAt, Replica: sc.CrashReplica})
+	}
+	if sc.SlowAt > 0 {
+		spec.Faults = append(spec.Faults, FaultSpec{Kind: "slow", At: sc.SlowAt, Replica: sc.SlowReplica, Extra: sc.SlowExtra})
+	}
+	return spec
+}
+
+// RunScenario executes one legacy scenario through the declarative engine.
 func RunScenario(sc Scenario) (ScenarioResult, error) {
 	if sc.Ticks <= 0 || sc.Replicas <= 0 || sc.BaseLoad <= 0 || sc.Keys <= 0 {
 		return ScenarioResult{}, fmt.Errorf("microsvc: scenario %q underspecified", sc.Name)
 	}
-	bus := eventbus.New()
-	svc := attest.NewService()
-	kb := attest.NewKeyBroker(svc)
-
-	var appRoot cryptbox.Key
-	appRoot[0] = 0xA7
-	appRoot[1] = byte(sc.Seed)
-	inTopic, outTopic := "plane/req", "plane/resp"
-	keys, err := NewServiceKeys(appRoot, scenarioService, inTopic, outTopic)
-	if err != nil {
-		return ScenarioResult{}, err
-	}
-	kb.Register(scenarioService,
-		attest.Policy{AllowedMRSigner: []cryptbox.Digest{ReplicaSigner(scenarioService)}}, keys)
-
-	// The handler echoes a fixed-size ack; the modeled per-request compute
-	// comes from RequestCycles, charged inside the replica's span.
-	handler := func(req []byte) ([]byte, error) { return []byte{byte(len(req))}, nil }
-
-	rs, err := NewReplicaSet(bus, svc, kb, scenarioService, handler, ReplicaSetConfig{
-		Replicas:      sc.Replicas,
-		Workers:       sc.Workers,
-		InTopic:       inTopic,
-		OutTopic:      outTopic,
-		TickBudget:    sim.MillisToCycles(sc.TickMillis),
-		RequestCycles: sc.RequestCycles,
-	})
-	if err != nil {
-		return ScenarioResult{}, err
-	}
-	defer rs.Stop()
-	o, err := orchestrator.New(sc.Target, rs, rs.ReplicaHandles()...)
-	if err != nil {
-		return ScenarioResult{}, err
-	}
-	client, err := NewPlaneClient(bus, scenarioService, keys, inTopic, outTopic)
-	if err != nil {
-		return ScenarioResult{}, err
-	}
-	defer client.Close()
-
-	res := ScenarioResult{
-		Name: sc.Name, Workers: sc.Workers, Ticks: sc.Ticks,
-		InjectTick: sc.InjectTick(), FirstReactionTick: -1,
-	}
-	rng := sim.NewRand(sc.Seed)
-	for t := 1; t <= sc.Ticks; t++ {
-		// Fault injection.
-		if sc.CrashAt > 0 && t == sc.CrashAt {
-			if id := rs.InjectCrash(sc.CrashReplica); id != "" {
-				res.Trace = append(res.Trace, fmt.Sprintf("t%04d inject crash %s", t, id))
-			}
-		}
-		if sc.SlowAt > 0 && t == sc.SlowAt {
-			if id := rs.InjectSlow(sc.SlowReplica, sc.SlowExtra); id != "" {
-				res.Trace = append(res.Trace, fmt.Sprintf("t%04d inject slow %s +%d", t, id, sc.SlowExtra))
-			}
-		}
-
-		// Deterministic load schedule.
-		n := sc.BaseLoad
-		if sc.SpikeAt > 0 && t >= sc.SpikeAt && t < sc.SpikeAt+sc.SpikeTicks {
-			n *= sc.SpikeFactor
-		}
-		reqs := make([]PlaneRequest, n)
-		for i := range reqs {
-			key := fmt.Sprintf("k-%03d", rng.Intn(sc.Keys))
-			if sc.SkewAt > 0 && t >= sc.SkewAt && rng.Intn(100) < sc.SkewPercent {
-				key = sc.SkewKey
-			}
-			body := make([]byte, sc.BodyBytes+i%33)
-			rng.Read(body)
-			reqs[i] = PlaneRequest{Key: key, Body: body}
-		}
-		if err := client.SendBatch(reqs); err != nil {
-			return res, err
-		}
-		res.Sent += n
-
-		// Serve + observe: the closed loop.
-		if _, err := rs.Step(); err != nil {
-			return res, err
-		}
-		actions, err := o.Observe()
-		if err != nil {
-			return res, err
-		}
-		if len(actions) > 0 && res.FirstReactionTick < 0 &&
-			(res.InjectTick < 0 || t >= res.InjectTick) {
-			res.FirstReactionTick = t
-		}
-		replies, err := client.Replies()
-		if err != nil {
-			return res, err
-		}
-		res.Replies += len(replies)
-
-		line := fmt.Sprintf("t%04d replicas=%d backlog=%d", t, o.Replicas(), rs.Backlog())
-		if len(actions) > 0 {
-			parts := make([]string, len(actions))
-			for i, a := range actions {
-				parts[i] = a.String()
-			}
-			line += " | " + strings.Join(parts, "; ")
-		}
-		res.Trace = append(res.Trace, line)
-	}
-
-	sum := sha256.Sum256([]byte(strings.Join(res.Trace, "\n")))
-	res.TraceHash = hex.EncodeToString(sum[:])
-	tot := rs.Totals()
-	res.Served = tot.Served
-	res.Failed = tot.Failed
-	res.Backlog = rs.Backlog()
-	res.Launched = tot.Launched
-	res.FinalReplicas = tot.Live
-	if tot.Launched > 0 {
-		res.RequestsPerReplica = float64(tot.Served) / float64(tot.Launched)
-	}
-	res.SerialCycles = tot.SerialCycles
-	res.CriticalCycles = tot.CriticalCycles
-	if tot.CriticalCycles > 0 {
-		res.SimSpeedup = float64(tot.SerialCycles) / float64(tot.CriticalCycles)
-	}
-	res.Faults = tot.Faults
-	res.FrontCycles = tot.FrontCycles
-	if res.InjectTick > 0 && res.FirstReactionTick > 0 {
-		res.AdaptLatencySimMS = float64(res.FirstReactionTick-res.InjectTick+1) * sc.TickMillis
-	}
-	return res, nil
+	return RunSpec(sc.Spec())
 }
 
 // DefaultScenarios returns the four gated fault-injection scenarios:

@@ -25,6 +25,14 @@ type Metrics struct {
 	ServiceCycles sim.Cycles
 	// Healthy is false when the replica stopped responding.
 	Healthy bool
+	// Shed counts requests the service's admission front end rejected in
+	// the last serve tick. It is a set-level figure reported identically by
+	// every replica of a set: shedding happens before routing, so it cannot
+	// be attributed to one replica — but it is the overload signal the
+	// control loop needs when admission keeps per-replica queues bounded
+	// (deep queues never form, so MaxQueueDepth alone would miss the
+	// overload entirely).
+	Shed int
 }
 
 // Replica is the orchestrator's handle on one running micro-service
@@ -52,6 +60,11 @@ type Target struct {
 	// node, interference) is replaced with a fresh one rather than left to
 	// drag the service's tail latency. Zero disables the rule.
 	MaxServiceCycles sim.Cycles
+	// MaxShedPerTick scales out when the service's admission front end shed
+	// more than this many requests in the last tick — the overload signal
+	// for admission-controlled services, whose bounded per-replica queues
+	// never trip MaxQueueDepth. Zero disables the rule.
+	MaxShedPerTick int
 }
 
 // DefaultTarget returns a conservative QoS target.
@@ -164,16 +177,31 @@ func (o *Orchestrator) Observe() ([]Action, error) {
 		}))
 	}
 
-	// 2. Load: scale out when any replica exceeds the queue target.
-	worst, total := 0, 0
+	// 2. Load: scale out when any replica exceeds the queue target, or —
+	// for admission-controlled services — when the front end sheds beyond
+	// the tolerated rate (bounded queues hide overload from the depth rule;
+	// the shed rate is where it reappears).
+	worst, total, shed := 0, 0, 0
 	for _, r := range o.replicas {
-		d := r.Sample().QueueDepth
-		total += d
-		if d > worst {
-			worst = d
+		m := r.Sample()
+		total += m.QueueDepth
+		if m.QueueDepth > worst {
+			worst = m.QueueDepth
+		}
+		if m.Shed > shed {
+			shed = m.Shed
 		}
 	}
-	if worst > o.target.MaxQueueDepth && len(o.replicas) < o.target.MaxReplicas && o.launcher != nil {
+	overloaded, reason := false, ""
+	switch {
+	case worst > o.target.MaxQueueDepth:
+		overloaded = true
+		reason = fmt.Sprintf("queue depth %d > %d", worst, o.target.MaxQueueDepth)
+	case o.target.MaxShedPerTick > 0 && shed > o.target.MaxShedPerTick:
+		overloaded = true
+		reason = fmt.Sprintf("shed %d > %d per tick", shed, o.target.MaxShedPerTick)
+	}
+	if overloaded && len(o.replicas) < o.target.MaxReplicas && o.launcher != nil {
 		fresh, err := o.launcher.Launch()
 		if err != nil {
 			return actions, fmt.Errorf("orchestrator: scale-out: %w", err)
@@ -181,13 +209,14 @@ func (o *Orchestrator) Observe() ([]Action, error) {
 		o.replicas = append(o.replicas, fresh)
 		actions = append(actions, o.record(Action{
 			Kind: "scale-out", Tick: o.tick,
-			Reason: fmt.Sprintf("queue depth %d > %d", worst, o.target.MaxQueueDepth),
+			Reason: reason,
 		}))
 	}
 
 	// 3. Efficiency: scale in when the whole fleet is idle enough that
-	// one fewer replica still meets the target.
-	if len(o.replicas) > o.target.MinReplicas && o.launcher != nil {
+	// one fewer replica still meets the target. A service that is actively
+	// shedding is never idle, however shallow its (bounded) queues look.
+	if len(o.replicas) > o.target.MinReplicas && o.launcher != nil && shed == 0 {
 		perReplica := total / len(o.replicas)
 		if perReplica < o.target.ScaleInBelow && worst < o.target.ScaleInBelow {
 			victim := o.replicas[len(o.replicas)-1]

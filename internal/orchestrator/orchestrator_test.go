@@ -316,3 +316,71 @@ func TestTraceDeterministicRendering(t *testing.T) {
 		}
 	}
 }
+
+// TestScaleOutOnShedRate: an admission-controlled service keeps queues
+// shallow, so overload surfaces as shed rate, not queue depth. The shed
+// rule scales out with a deterministic reason string.
+func TestScaleOutOnShedRate(t *testing.T) {
+	l := &fakeLauncher{}
+	r := &fakeReplica{id: "r00", metrics: Metrics{Healthy: true, QueueDepth: 2, Shed: 40}}
+	target := DefaultTarget()
+	target.MaxShedPerTick = 16
+	o, err := New(target, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err := o.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || actions[0].Kind != "scale-out" {
+		t.Fatalf("actions = %+v", actions)
+	}
+	if want := "shed 40 > 16 per tick"; actions[0].Reason != want {
+		t.Fatalf("reason = %q, want %q", actions[0].Reason, want)
+	}
+	// Zero MaxShedPerTick disables the rule entirely.
+	o2, err := New(DefaultTarget(), l, &fakeReplica{id: "r01",
+		metrics: Metrics{Healthy: true, QueueDepth: 2, Shed: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err = o2.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 0 {
+		t.Fatalf("shed rule fired while disabled: %+v", actions)
+	}
+}
+
+// TestNoScaleInWhileShedding: shallow bounded queues must not trigger
+// scale-in while the front end is actively rejecting work.
+func TestNoScaleInWhileShedding(t *testing.T) {
+	l := &fakeLauncher{}
+	a := &fakeReplica{id: "r00", metrics: Metrics{Healthy: true, QueueDepth: 0, Shed: 5}}
+	b := &fakeReplica{id: "r01", metrics: Metrics{Healthy: true, QueueDepth: 0, Shed: 5}}
+	target := DefaultTarget()
+	target.MaxShedPerTick = 100 // shed below the scale-OUT threshold…
+	o, err := New(target, l, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err := o.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 0 {
+		t.Fatalf("scaled while shedding: %+v", actions) // …but still no scale-in
+	}
+	// Once shedding stops, the idle fleet contracts as before.
+	a.set(Metrics{Healthy: true})
+	b.set(Metrics{Healthy: true})
+	actions, err = o.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || actions[0].Kind != "scale-in" {
+		t.Fatalf("actions = %+v", actions)
+	}
+}

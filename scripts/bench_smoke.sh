@@ -35,12 +35,15 @@ echo "bench-smoke: kv-bench (sharded store + parallel map/reduce + smartgrid bil
 go run ./cmd/kv-bench -json >"$TMP/kv.json"
 
 # Application plane: the four closed-loop fault-injection scenarios
-# (crash, load spike, hot-key skew, slow replica), each swept across
-# worker counts 1,2,4,8. The driver itself asserts that adaptation traces
-# and cycle totals are bit-identical across the sweep; the deterministic
-# metrics (per-scenario cycle totals, adaptation latencies, trace lengths)
-# are gated by scripts/bench_check.sh.
-echo "bench-smoke: app-bench (orchestrated replica-set scenarios, workers 1,2,4,8)" >&2
+# (crash, load spike, hot-key skew, slow replica) plus the declarative
+# admission lab (overload, noisy-neighbor, cascade, slow-network,
+# recovery) and the overload admission-on/off contrast arm, each swept
+# across worker counts 1,2,4,8. The driver itself asserts that adaptation
+# traces, cycle totals and every lab metric are bit-identical across the
+# sweep and that each lab spec's assertion table passes; the deterministic
+# metrics, assertion verdicts and the contrast flag are gated by
+# scripts/bench_check.sh.
+echo "bench-smoke: app-bench (orchestrated replica-set scenarios + admission lab, workers 1,2,4,8)" >&2
 go run ./cmd/app-bench -json >"$TMP/app.json"
 
 # Content-addressed data plane: chunk-granular registry push with dedup,

@@ -226,6 +226,21 @@ func extract(doc map[string]any) (map[string]float64, []string) {
 				}
 			}
 		}
+		// Durability invariants, gated explicitly on top of the assertion
+		// tables: crash-with-state-loss recovery must land bit-identical to
+		// the never-crashed twin, and a revoked service must serve nothing
+		// while revoked (fail closed). These are correctness statements, not
+		// just figures, so they get their own failure messages.
+		if det, ok := app["deterministic"].(map[string]any); ok {
+			if v, ok := num(det["lab_crash-state_recovered_state_equal"]); ok && v != 1 {
+				problems = append(problems,
+					"app_bench: crash-state recovery diverged from the never-crashed twin (recovered_state_equal != 1)")
+			}
+			if v, ok := num(det["lab_key-revocation_served_phase_inject"]); ok && v != 0 {
+				problems = append(problems, fmt.Sprintf(
+					"app_bench: revoked service served %v requests during the revocation window, want 0 (fail-open)", v))
+			}
+		}
 		// The overload A/B: admission on bounds the backlog, admission off
 		// diverges. If the contrast collapses, the controller stopped doing
 		// its job (or the spike stopped overloading) — fail either way.

@@ -235,9 +235,10 @@
 // profiles (uniform, genpack batch-arrival, smartgrid streaming), a
 // fault table, an admission config and an assertion table over the
 // result's flat metric map — so a new scenario is ~20 lines.
-// microsvc.LabScenarios pins five: overload, noisy-neighbor, cascade,
-// slow-network and recovery; the legacy scenarios run through the same
-// engine via Scenario.Spec, replaying the exact pre-engine RNG stream.
+// microsvc.LabScenarios pins seven: overload, noisy-neighbor, cascade,
+// slow-network, recovery, crash-state and key-revocation; the legacy
+// scenarios run through the same engine via Scenario.Spec, replaying the
+// exact pre-engine RNG stream.
 // cmd/app-bench sweeps the lab across worker counts, asserts every
 // metric bit-identical, evaluates each spec's assertions, and runs the
 // overload spike once more with the controller stripped
@@ -250,8 +251,9 @@
 // scripts/ci.sh — run locally or by .github/workflows/ci.yml — enforces,
 // beyond fmt/build/vet/test and -race on the concurrent packages
 // (sim, enclave, scbr, eventbus, cryptbox, kvstore, mapreduce, the
-// application plane: attest, microsvc, orchestrator, and the data plane:
-// transfer, registry, container):
+// application plane: attest, microsvc, orchestrator, the data plane:
+// transfer, registry, container, and the protected-file layer under the
+// durable WAL: fsshield, shield, sconert):
 //
 //   - The bench-regression gate (scripts/bench_check.sh): every
 //     deterministic metric in the newest BENCH_N.json — sim-cycles/match,
@@ -271,6 +273,52 @@
 // scripts/bench_smoke.sh N, refresh the metric baseline with
 // scripts/bench_check.sh -update, and commit all three together so the PR
 // diff shows the intended figure changes.
+//
+// # Durability & recovery
+//
+// kvstore.DurableStore makes the sharded secure store survive total
+// process loss by reusing the data plane's sealed-chunk machinery for its
+// own persistence artifacts:
+//
+//   - Per-shard sealed WAL. Every PutBatch group-commits one WAL record
+//     per touched shard before the in-enclave tables apply: the batch's
+//     ops encode to a compact codec, seal convergently
+//     (transfer.SealConvergent — identical log segments dedup like any
+//     other chunk), and the record carries the convergent key wrapped
+//     under the shard's WAL key plus a MAC bound to the log's identity
+//     and position (fsshield.ChunkAAD over name, epoch, record index), so
+//     records cannot be reordered, transplanted across shards or replayed
+//     across epochs. Torn tails are part of the contract: damage confined
+//     to the final record reads as a clean crash point and truncates;
+//     damage earlier in the log is a hard ErrWALCorrupt. A fuzz target
+//     (FuzzDecodeWALRecord) pins that every input lands in exactly
+//     torn, corrupt or valid.
+//
+//   - Sealed snapshots. Snapshot serializes each shard's table, packs it
+//     convergently (transfer.PackConvergent) and publishes the blob set
+//     through internal/registry — chunk-granular, content-addressed, and
+//     deduped against every image layer and prior snapshot already
+//     stored. The snapshot manifest seals under a per-shard key derived
+//     from the service key the attest.KeyBroker released, with the
+//     sequence number in the AAD; the registry refuses sequence
+//     rollbacks, and each snapshot rolls its shard's WAL to a fresh
+//     epoch.
+//
+//   - Recovery. RecoverDurableStore bootstraps a replacement from the
+//     latest snapshot plus the WAL tail: snapshot chunks come through
+//     container.Engine.PullBlobSet — the same parallel verified pull as
+//     image boot, per-chunk digest verification, tamper isolation, warm
+//     BlobCache hits — and the tail replays inside accounting spans.
+//     Snapshot-bootstrap and log-replay sim-cycles are topology
+//     (worker-invariant), so RecoveryStats is CI-gated like every other
+//     simulated figure.
+//
+// The crash-state lab scenario drives the whole loop closed: replicas
+// crash with total state loss mid-run, recover from snapshot + tail, and
+// must come back bit-identical to a never-crashed twin fed the same
+// request stream; key-revocation drives the fail-closed half, revoking
+// the service mid-run so replacement replicas are denied keys until a
+// reinstate lets them re-attest.
 //
 // # Data plane
 //

@@ -32,6 +32,16 @@ func (k ServiceKeys) Topic(name string) (cryptbox.Key, bool) {
 	return key, ok
 }
 
+// Derive returns a key derived from the released request key for an
+// auxiliary duty of the service — per-shard WAL sealing, snapshot manifest
+// sealing. Deriving (instead of registering one key per duty) keeps the
+// broker's release payload fixed while still giving every duty its own
+// key, and the derivation chain roots every durability artifact in a key
+// that only an attested replica could have obtained.
+func (k ServiceKeys) Derive(label string) (cryptbox.Key, error) {
+	return cryptbox.DeriveKey(k.Request, "svc-derive|"+label)
+}
+
 // keyEntry is one registered service: its release policy, its keys, and
 // its revocation state.
 type keyEntry struct {

@@ -193,6 +193,53 @@ func (e *Engine) PullImage(name, tag string) (*image.Image, PullStats, error) {
 		// uniform (and still dedups within this pull).
 		cache = NewBlobCache()
 	}
+	if err := e.classifyAndFetch(name+":"+tag, cache, unique, &ps); err != nil {
+		e.recordPull(ps)
+		return nil, ps, err
+	}
+
+	// Assembly fan-out: one verification enclave per layer (topology), so
+	// each layer's simulated cycle total is independent of which worker
+	// runs it and of the other layers.
+	layers := make([]image.Layer, len(lms))
+	layerCycles := make([]sim.Cycles, len(lms))
+	layerFaults := make([]uint64, len(lms))
+	asmErrs := make([]error, len(lms))
+	sim.ParallelFor(len(lms), e.pullWorkers(), func(i int) {
+		layers[i], layerCycles[i], layerFaults[i], asmErrs[i] =
+			e.assembleLayer(m.LayerDigests[i], lms[i], cache)
+	})
+	var firstErr error
+	for i, err := range asmErrs {
+		ps.SerialCycles += layerCycles[i]
+		ps.Faults += layerFaults[i]
+		if layerCycles[i] > ps.CriticalCycles {
+			ps.CriticalCycles = layerCycles[i]
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("container: pull %s:%s layer %d: %w", name, tag, i, err)
+		}
+	}
+	if firstErr != nil {
+		e.recordPull(ps)
+		return nil, ps, firstErr
+	}
+
+	img := &image.Image{Manifest: m, Layers: layers}
+	if err := img.Verify(); err != nil {
+		e.recordPull(ps)
+		return nil, ps, fmt.Errorf("container: pulled image failed verification: %w", err)
+	}
+	e.recordPull(ps)
+	return img, ps, nil
+}
+
+// classifyAndFetch runs the cache classification and verified fetch fan-out
+// for one unique chunk set: every digest is looked up once, every missing
+// digest fetched exactly once, and nothing enters the cache unverified.
+// Failures reject only their own chunk, so a retry resumes the partial
+// pull. Updates CacheHits/ChunksFetch/ChunksFailed/BytesFetched in ps.
+func (e *Engine) classifyAndFetch(label string, cache *BlobCache, unique []cryptbox.Digest, ps *PullStats) error {
 	missing := make([]cryptbox.Digest, 0, len(unique))
 	for _, d := range unique {
 		if cache.Lookup(d) {
@@ -201,9 +248,6 @@ func (e *Engine) PullImage(name, tag string) (*image.Image, PullStats, error) {
 			missing = append(missing, d)
 		}
 	}
-
-	// Fetch fan-out: each missing digest exactly once, verified before it
-	// may enter the cache. Failures reject that chunk only.
 	fetchErrs := make([]error, len(missing))
 	fetched := make([]int64, len(missing))
 	sim.ParallelFor(len(missing), e.pullWorkers(), func(i int) {
@@ -232,90 +276,112 @@ func (e *Engine) PullImage(name, tag string) (*image.Image, PullStats, error) {
 		ps.BytesFetched += fetched[i]
 	}
 	if ps.ChunksFailed > 0 {
-		e.recordPull(ps)
-		return nil, ps, fmt.Errorf("container: pull %s:%s: %d of %d chunks failed, %d verified and cached (resume by retrying): %w",
-			name, tag, ps.ChunksFailed, len(missing), ps.ChunksFetch, firstErr)
+		return fmt.Errorf("container: pull %s: %d of %d chunks failed, %d verified and cached (resume by retrying): %w",
+			label, ps.ChunksFailed, len(missing), ps.ChunksFetch, firstErr)
 	}
-
-	// Assembly fan-out: one verification enclave per layer (topology), so
-	// each layer's simulated cycle total is independent of which worker
-	// runs it and of the other layers.
-	layers := make([]image.Layer, len(lms))
-	layerCycles := make([]sim.Cycles, len(lms))
-	layerFaults := make([]uint64, len(lms))
-	asmErrs := make([]error, len(lms))
-	sim.ParallelFor(len(lms), e.pullWorkers(), func(i int) {
-		layers[i], layerCycles[i], layerFaults[i], asmErrs[i] =
-			e.assembleLayer(m.LayerDigests[i], lms[i], cache)
-	})
-	for i, err := range asmErrs {
-		ps.SerialCycles += layerCycles[i]
-		ps.Faults += layerFaults[i]
-		if layerCycles[i] > ps.CriticalCycles {
-			ps.CriticalCycles = layerCycles[i]
-		}
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("container: pull %s:%s layer %d: %w", name, tag, i, err)
-		}
-	}
-	if firstErr != nil {
-		e.recordPull(ps)
-		return nil, ps, firstErr
-	}
-
-	img := &image.Image{Manifest: m, Layers: layers}
-	if err := img.Verify(); err != nil {
-		e.recordPull(ps)
-		return nil, ps, fmt.Errorf("container: pulled image failed verification: %w", err)
-	}
-	e.recordPull(ps)
-	return img, ps, nil
+	return nil
 }
 
-// assembleLayer reconstructs one layer from cached chunks inside a fresh
-// verification enclave, charging the staging, verification and decode
-// costs to its simulated memory, and checks the decoded layer against the
-// trusted digest from the signed image manifest.
-func (e *Engine) assembleLayer(want cryptbox.Digest, lm *transfer.Manifest, cache *BlobCache) (image.Layer, sim.Cycles, uint64, error) {
+// assembleBlobSet reassembles one packed blob set from cached chunks inside
+// a fresh verification enclave, charging the staging, verification and
+// decompression costs to its simulated memory. The receiver re-verifies
+// every chunk against the manifest as it accepts it.
+func (e *Engine) assembleBlobSet(label string, lm *transfer.Manifest, cache *BlobCache) ([]byte, sim.Cycles, uint64, error) {
 	var stored int64
 	for _, leaf := range lm.Leaves {
 		b, ok := cache.peek(leaf)
 		if !ok {
-			return image.Layer{}, 0, 0, fmt.Errorf("%w: chunk %s evicted mid-pull", ErrChunkVerify, leaf)
+			return nil, 0, 0, fmt.Errorf("%w: chunk %s evicted mid-pull", ErrChunkVerify, leaf)
 		}
 		stored += int64(len(b))
 	}
 	size := uint64(stored) + uint64(lm.Size) + (1 << 20)
 	size = (size + 4095) &^ 4095
-	enc, arena, err := enclave.NewWorker(e.PullPlatform, size, "pull/"+want.String())
+	enc, arena, err := enclave.NewWorker(e.PullPlatform, size, "pull/"+label)
 	if err != nil {
-		return image.Layer{}, 0, 0, err
+		return nil, 0, 0, err
 	}
 	defer enc.Destroy()
 	recv, err := transfer.NewReceiver(lm, cryptbox.Key{})
 	if err != nil {
-		return image.Layer{}, 0, 0, err
+		return nil, 0, 0, err
 	}
 	recv.WithAccounting(transfer.Accounting{Mem: enc.Memory(), Arena: arena})
 	for j, leaf := range lm.Leaves {
 		b, _ := cache.peek(leaf)
 		if err := recv.Accept(j, b); err != nil {
-			return image.Layer{}, enc.Memory().Cycles(), enc.Memory().Faults(), err
+			return nil, enc.Memory().Cycles(), enc.Memory().Faults(), err
 		}
 	}
 	raw, err := recv.Assemble()
 	if err != nil {
-		return image.Layer{}, enc.Memory().Cycles(), enc.Memory().Faults(), err
+		return nil, enc.Memory().Cycles(), enc.Memory().Faults(), err
+	}
+	return raw, enc.Memory().Cycles(), enc.Memory().Faults(), nil
+}
+
+// assembleLayer reconstructs one layer through assembleBlobSet and checks
+// the decoded layer against the trusted digest from the signed image
+// manifest.
+func (e *Engine) assembleLayer(want cryptbox.Digest, lm *transfer.Manifest, cache *BlobCache) (image.Layer, sim.Cycles, uint64, error) {
+	raw, cycles, faults, err := e.assembleBlobSet(want.String(), lm, cache)
+	if err != nil {
+		return image.Layer{}, cycles, faults, err
 	}
 	l, err := image.DecodeLayer(raw)
 	if err != nil {
-		return image.Layer{}, enc.Memory().Cycles(), enc.Memory().Faults(), err
+		return image.Layer{}, cycles, faults, err
 	}
 	if l.Digest() != want {
-		return image.Layer{}, enc.Memory().Cycles(), enc.Memory().Faults(),
+		return image.Layer{}, cycles, faults,
 			fmt.Errorf("%w: layer digest mismatch", image.ErrDigestMismatch)
 	}
-	return l, enc.Memory().Cycles(), enc.Memory().Faults(), nil
+	return l, cycles, faults, nil
+}
+
+// PullBlobSet pulls one packed blob set — a shard snapshot, anything
+// published through Registry.PutBlobSet — through the node cache and
+// reassembles its payload. The manifest must come from a trusted channel
+// (for snapshots: sealed under the service key); the pull verifies every
+// chunk against the manifest's content digests, isolates tampered chunks,
+// and warms the cache exactly like an image pull, so PullStats stays
+// bit-identical across worker counts here too.
+func (e *Engine) PullBlobSet(lm *transfer.Manifest, label string) ([]byte, PullStats, error) {
+	var ps PullStats
+	if err := lm.Validate(); err != nil {
+		return nil, ps, err
+	}
+	ps.Layers = 1
+	ps.ChunksTotal = lm.Chunks()
+	seen := make(map[cryptbox.Digest]struct{}, ps.ChunksTotal)
+	unique := make([]cryptbox.Digest, 0, ps.ChunksTotal)
+	for _, leaf := range lm.Leaves {
+		if _, dup := seen[leaf]; dup {
+			continue
+		}
+		seen[leaf] = struct{}{}
+		unique = append(unique, leaf)
+	}
+	ps.UniqueChunks = len(unique)
+	ps.DedupHits = ps.ChunksTotal - ps.UniqueChunks
+
+	cache := e.Cache
+	if cache == nil {
+		cache = NewBlobCache()
+	}
+	if err := e.classifyAndFetch(label, cache, unique, &ps); err != nil {
+		e.recordPull(ps)
+		return nil, ps, err
+	}
+	raw, cycles, faults, err := e.assembleBlobSet(label, lm, cache)
+	ps.SerialCycles = cycles
+	ps.CriticalCycles = cycles
+	ps.Faults = faults
+	e.recordPull(ps)
+	if err != nil {
+		return nil, ps, fmt.Errorf("container: pull %s: %w", label, err)
+	}
+	return raw, ps, nil
 }
 
 // recordPull remembers the engine's most recent pull for inspection.

@@ -12,6 +12,7 @@ import (
 	"securecloud/internal/registry"
 	"securecloud/internal/shield"
 	"securecloud/internal/sim"
+	"securecloud/internal/transfer"
 )
 
 // pullFixture is a registry holding two images that share a multi-chunk
@@ -249,5 +250,121 @@ func TestPullConsistentLieDetectedAtLayer(t *testing.T) {
 	}
 	if err := img.Verify(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// blobSetFixture publishes a convergent-chunked payload (with a repeated
+// block, so dedup is exercised) to a fresh registry, as a durable-store
+// snapshot would.
+func blobSetFixture(t *testing.T) (*registry.Registry, *transfer.Manifest, []byte) {
+	t.Helper()
+	reg := registry.New()
+	block := make([]byte, 256)
+	sim.NewRand(17).Read(block)
+	payload := append(append(append([]byte(nil), block...), block...), bytes.Repeat([]byte("tail"), 64)...)
+	lm, chunks, err := transfer.PackConvergent("snap/shard-0", payload, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.PutBlobSet(lm, chunks); err != nil {
+		t.Fatal(err)
+	}
+	return reg, lm, payload
+}
+
+// TestPullBlobSetRoundTrip: a trusted manifest pulls back the exact payload
+// through the verified chunk path, with stats accounted as one layer.
+func TestPullBlobSetRoundTrip(t *testing.T) {
+	reg, lm, payload := blobSetFixture(t)
+	e := NewEngine(enclave.NewPlatform(enclave.Config{}), shield.NewHost(), reg, nil)
+	e.Cache = NewBlobCache()
+	e.PullWorkers = 4
+	got, ps, err := e.PullBlobSet(lm, "snap/shard-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("pulled payload differs")
+	}
+	if ps.Layers != 1 || ps.ChunksTotal != lm.Chunks() {
+		t.Fatalf("stats = %+v", ps)
+	}
+	if ps.DedupHits == 0 {
+		t.Fatalf("repeated block produced no dedup hits: %+v", ps)
+	}
+	if ps.SerialCycles == 0 || ps.CriticalCycles == 0 {
+		t.Fatalf("no cycles charged: %+v", ps)
+	}
+
+	// Second pull rides the warm node cache: nothing crosses the network.
+	got2, ps2, err := e.PullBlobSet(lm, "snap/shard-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, payload) {
+		t.Fatal("warm pull payload differs")
+	}
+	if ps2.ChunksFetch != 0 || ps2.BytesFetched != 0 || ps2.CacheHits != ps2.UniqueChunks {
+		t.Fatalf("warm pull fetched: %+v", ps2)
+	}
+}
+
+// TestPullBlobSetTamperIsolation: one tampered chunk fails the pull without
+// poisoning the cache; after the source heals, the retry fetches exactly
+// the missing chunk.
+func TestPullBlobSetTamperIsolation(t *testing.T) {
+	reg, lm, payload := blobSetFixture(t)
+	victim := lm.Leaves[1]
+	orig, err := reg.Blob(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.TamperBlob(victim, func(b []byte) []byte { b[3] ^= 1; return b }) {
+		t.Fatal("tamper hook missed blob")
+	}
+	e := NewEngine(enclave.NewPlatform(enclave.Config{}), shield.NewHost(), reg, nil)
+	e.Cache = NewBlobCache()
+	e.PullWorkers = 4
+	if _, ps, err := e.PullBlobSet(lm, "snap/shard-0"); !errors.Is(err, ErrChunkVerify) {
+		t.Fatalf("err = %v, want ErrChunkVerify", err)
+	} else if ps.ChunksFailed != 1 || ps.ChunksFetch != ps.UniqueChunks-1 {
+		t.Fatalf("tampered pull: %+v", ps)
+	}
+	if !reg.RestoreBlob(victim, orig) {
+		t.Fatal("restore failed")
+	}
+	got, ps, err := e.PullBlobSet(lm, "snap/shard-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("resumed payload differs")
+	}
+	if ps.ChunksFetch != 1 || ps.CacheHits != ps.UniqueChunks-1 {
+		t.Fatalf("resume fetched %d (cache hits %d), want exactly 1", ps.ChunksFetch, ps.CacheHits)
+	}
+}
+
+// TestPullBlobSetStatsInvariantAcrossWorkers: blob-set pull metrics are
+// topology, bit-identical across worker counts.
+func TestPullBlobSetStatsInvariantAcrossWorkers(t *testing.T) {
+	var first PullStats
+	var payload []byte
+	for wi, workers := range []int{1, 2, 4, 8} {
+		reg, lm, want := blobSetFixture(t)
+		e := NewEngine(enclave.NewPlatform(enclave.Config{}), shield.NewHost(), reg, nil)
+		e.Cache = NewBlobCache()
+		e.PullWorkers = workers
+		got, ps, err := e.PullBlobSet(lm, "snap/shard-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wi == 0 {
+			first, payload = ps, want
+			continue
+		}
+		if ps != first || !bytes.Equal(got, payload) {
+			t.Fatalf("workers=%d: %+v vs %+v", workers, ps, first)
+		}
 	}
 }

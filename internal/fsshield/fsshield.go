@@ -81,7 +81,9 @@ func NewProtectionFile(chunkSize int) *ProtectionFile {
 	return &ProtectionFile{ChunkSize: chunkSize, Files: make(map[string]*FileEntry)}
 }
 
-// Paths returns the protected paths in sorted order.
+// Paths returns the protected paths in sorted order. The slice is freshly
+// built on every call (unlike the pre-fix FS.Blobs, it never aliased
+// internal state — audited alongside that fix).
 func (pf *ProtectionFile) Paths() []string {
 	out := make([]string, 0, len(pf.Files))
 	for p := range pf.Files {
@@ -151,6 +153,27 @@ func VerifySignature(raw, sig []byte, pub ed25519.PublicKey) bool {
 // chunkAAD binds a ciphertext chunk to its position and file version.
 func chunkAAD(path string, version uint64, idx, total int) []byte {
 	return []byte(fmt.Sprintf("%s|v%d|%d/%d", path, version, idx, total))
+}
+
+// ChunkAAD is the exported chunk position binding: (path, version, index,
+// chunk count) rendered exactly as the protected file system binds its own
+// chunks. Other sealed-chunk logs built on the fsshield format — the
+// kvstore write-ahead log uses (log name, epoch, sequence, 0 for
+// open-ended) — share it so their records get the same substitution,
+// reordering, splicing and rollback protection.
+func ChunkAAD(path string, version uint64, idx, total int) []byte {
+	return chunkAAD(path, version, idx, total)
+}
+
+// MACChunk is the exported form of the pooled chunk MAC: the tag over
+// stored||aad that pins one sealed chunk to its ChunkAAD position.
+func MACChunk(key cryptbox.Key, stored, aad []byte) [cryptbox.MACSize]byte {
+	return macChunk(key, stored, aad)
+}
+
+// VerifyChunkMAC is the verifying counterpart of MACChunk.
+func VerifyChunkMAC(key cryptbox.Key, stored, aad []byte, tag [cryptbox.MACSize]byte) bool {
+	return verifyChunkMAC(key, stored, aad, tag)
 }
 
 // macChunk computes the chunk MAC over stored||aad in a pooled scratch
@@ -257,8 +280,23 @@ func (fs *FS) placeFile(path string, chunks [][]byte) {
 // ProtectionFile returns the trusted protection records.
 func (fs *FS) ProtectionFile() *ProtectionFile { return fs.pf }
 
-// Blobs returns the ciphertext chunks (what an image build publishes).
-func (fs *FS) Blobs() map[string][][]byte { return fs.blobs }
+// Blobs returns a deep copy of the ciphertext chunks (what an image build
+// publishes). It must never return the live map: a caller holding it could
+// alias and mutate sealed chunk storage underneath the protection file,
+// turning every later ReadFile into a spurious ErrTampered — or worse,
+// silently corrupting an integrity-only file before it is sealed. Tamper
+// simulation in tests goes through the internal field on purpose.
+func (fs *FS) Blobs() map[string][][]byte {
+	out := make(map[string][][]byte, len(fs.blobs))
+	for path, chunks := range fs.blobs {
+		cp := make([][]byte, len(chunks))
+		for i, c := range chunks {
+			cp[i] = append([]byte(nil), c...)
+		}
+		out[path] = cp
+	}
+	return out
+}
 
 // WriteFile protects data under path with the given mode, deriving the
 // per-file key from rootKey. Rewriting a path bumps its version so stale

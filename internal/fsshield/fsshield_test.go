@@ -66,7 +66,8 @@ func TestTamperedChunkDetected(t *testing.T) {
 		if err := fs.WriteFile("/f", data, mode, rootKey()); err != nil {
 			t.Fatal(err)
 		}
-		fs.Blobs()["/f"][2][0] ^= 1
+		// Tamper the untrusted store directly (Blobs() hands out copies).
+		fs.blobs["/f"][2][0] ^= 1
 		if _, err := fs.ReadFile("/f"); !errors.Is(err, ErrTampered) {
 			t.Fatalf("mode %v: tampering not detected: %v", mode, err)
 		}
@@ -79,7 +80,7 @@ func TestChunkReorderDetected(t *testing.T) {
 	if err := fs.WriteFile("/f", data, ModeEncrypted, rootKey()); err != nil {
 		t.Fatal(err)
 	}
-	b := fs.Blobs()["/f"]
+	b := fs.blobs["/f"]
 	b[0], b[1] = b[1], b[0]
 	if _, err := fs.ReadFile("/f"); !errors.Is(err, ErrTampered) {
 		t.Fatalf("chunk reordering not detected: %v", err)
@@ -298,7 +299,7 @@ func TestPropAnyChunkBitFlipDetected(t *testing.T) {
 		if err := fs.WriteFile("/p", data, ModeEncrypted, rootKey()); err != nil {
 			return false
 		}
-		chunks := fs.Blobs()["/p"]
+		chunks := fs.blobs["/p"]
 		c := chunks[int(chunkIdx)%len(chunks)]
 		c[int(byteIdx)%len(c)] ^= 0x40
 		_, err := fs.ReadFile("/p")
@@ -306,5 +307,32 @@ func TestPropAnyChunkBitFlipDetected(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBlobsReturnsCopies is the regression test for Blobs() handing out the
+// live chunk map: mutating the returned map or its chunk bytes must not
+// corrupt (or, worse, silently tamper with) the store's protected state.
+func TestBlobsReturnsCopies(t *testing.T) {
+	fs := NewFS(64)
+	data := bytes.Repeat([]byte("durable"), 40)
+	if err := fs.WriteFile("/a", data, ModeEncrypted, rootKey()); err != nil {
+		t.Fatal(err)
+	}
+	blobs := fs.Blobs()
+	for _, chunks := range blobs {
+		for _, c := range chunks {
+			for i := range c {
+				c[i] ^= 0xFF
+			}
+		}
+	}
+	delete(blobs, "/a")
+	got, err := fs.ReadFile("/a")
+	if err != nil {
+		t.Fatalf("store corrupted through Blobs() alias: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("store contents changed through Blobs() alias")
 	}
 }

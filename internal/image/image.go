@@ -265,6 +265,7 @@ func SecureBuild(img *Image, spec SecureBuildSpec, priv ed25519.PrivateKey) (*Im
 	files := img.Flatten()
 	pfs := fsshield.NewFS(spec.ChunkSize)
 	out := make(map[string][]byte, len(files))
+	protected := make([]string, 0, len(spec.Protect))
 	for path, data := range files {
 		mode, protect := spec.Protect[path]
 		if !protect {
@@ -274,7 +275,13 @@ func SecureBuild(img *Image, spec SecureBuildSpec, priv ed25519.PrivateKey) (*Im
 		if err := pfs.WriteFile(path, data, mode, spec.RootKey); err != nil {
 			return nil, nil, err
 		}
-		out[path] = EncodeChunks(pfs.Blobs()[path])
+		protected = append(protected, path)
+	}
+	// Blobs() deep-copies the whole store, so take one copy for all
+	// protected paths rather than one per path.
+	blobs := pfs.Blobs()
+	for _, path := range protected {
+		out[path] = EncodeChunks(blobs[path])
 	}
 	pfKey, err := cryptbox.DeriveKey(spec.RootKey, "protection-file")
 	if err != nil {

@@ -1,0 +1,341 @@
+// The per-shard sealed write-ahead log. A WAL is the durable half of a
+// shard: PutBatch appends one group-commit record per tick, and the byte
+// buffer — not the in-memory table — is what survives a crash. The format
+// composes the repo's existing sealing layers instead of inventing one:
+//
+//	frame   = u32 len | body | mac[32]
+//	body    = u32 wrappedLen | wrapped convergent key | u32 sealedLen | sealed ops
+//	sealed  = transfer.SealConvergent(encodeWALOps(batch))
+//	wrapped = convergent key sealed under the shard WAL key (deterministic nonce)
+//	mac     = fsshield.MACChunk(walKey, body, fsshield.ChunkAAD(name, epoch, seq, 0))
+//
+// The payload is convergently sealed (pooled deflate + content-derived key),
+// so identical batches produce bit-identical sealed segments and dedup
+// wherever log segments are stored content-addressed. Position binding comes
+// from the fsshield chunk AAD: a record authenticated at (log, epoch, seq)
+// cannot be replayed at any other position, the same cut-and-paste defence
+// the protected FS gives file chunks. Total = 0 in the AAD marks the extent
+// open-ended — a log grows, unlike a file of known chunk count.
+//
+// Torn-tail discipline (the crash contract): a record that is incomplete —
+// truncated framing, or a full final frame whose MAC fails — is a clean
+// crash point; recovery truncates it and continues. The same damage
+// anywhere before the final record cannot be explained by a crash during a
+// sequential append and is a hard integrity error.
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/fsshield"
+	"securecloud/internal/transfer"
+)
+
+// WAL errors.
+var (
+	// ErrWALTorn marks a truncated or MAC-failing final record — the clean
+	// crash point. Recovery truncates at the last good record and continues.
+	ErrWALTorn = errors.New("kvstore: wal torn tail")
+	// ErrWALCorrupt marks damage that a crash cannot explain: a bad record
+	// with valid records after it, or an authenticated record whose payload
+	// does not decode. Recovery must fail loudly.
+	ErrWALCorrupt = errors.New("kvstore: wal corrupt")
+)
+
+// WALOp is one logged mutation.
+type WALOp struct {
+	Key    string
+	Value  []byte
+	Delete bool
+}
+
+// walMaxOps bounds a single record's declared op count against its byte
+// length before any allocation — the forged-count guard, mirroring
+// transfer.Manifest.Validate.
+const walOpMinBytes = 3 // flags + u16 key length, for an empty-key delete
+
+// encodeWALOps serializes a batch deterministically:
+//
+//	u32 count, then per op: u8 flags (bit0 = delete), u16 klen, key,
+//	and for puts u32 vlen, value.
+func encodeWALOps(ops []WALOp) ([]byte, error) {
+	buf := make([]byte, 4, 4+len(ops)*16)
+	binary.BigEndian.PutUint32(buf, uint32(len(ops)))
+	for _, op := range ops {
+		if len(op.Key) > 0xFFFF {
+			return nil, fmt.Errorf("kvstore: wal key %d bytes exceeds 64KiB", len(op.Key))
+		}
+		var flags byte
+		if op.Delete {
+			flags = 1
+		}
+		buf = append(buf, flags)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(op.Key)))
+		buf = append(buf, op.Key...)
+		if !op.Delete {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(op.Value)))
+			buf = append(buf, op.Value...)
+		}
+	}
+	return buf, nil
+}
+
+// decodeWALOps reverses encodeWALOps with incremental bounds checks; every
+// length is validated against the remaining bytes before use, and the
+// declared count against the minimum op size before allocating.
+func decodeWALOps(buf []byte) ([]WALOp, error) {
+	if len(buf) < 4 {
+		return nil, errors.New("kvstore: wal ops truncated before count")
+	}
+	count := int(binary.BigEndian.Uint32(buf))
+	rest := buf[4:]
+	if count > len(rest)/walOpMinBytes {
+		return nil, fmt.Errorf("kvstore: wal ops count %d exceeds %d bytes", count, len(rest))
+	}
+	ops := make([]WALOp, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < walOpMinBytes {
+			return nil, fmt.Errorf("kvstore: wal op %d truncated", i)
+		}
+		flags := rest[0]
+		if flags > 1 {
+			return nil, fmt.Errorf("kvstore: wal op %d has unknown flags %#x", i, flags)
+		}
+		klen := int(binary.BigEndian.Uint16(rest[1:3]))
+		rest = rest[3:]
+		if len(rest) < klen {
+			return nil, fmt.Errorf("kvstore: wal op %d key overruns record", i)
+		}
+		op := WALOp{Key: string(rest[:klen]), Delete: flags == 1}
+		rest = rest[klen:]
+		if !op.Delete {
+			if len(rest) < 4 {
+				return nil, fmt.Errorf("kvstore: wal op %d truncated before value length", i)
+			}
+			vlen := int(binary.BigEndian.Uint32(rest))
+			rest = rest[4:]
+			if vlen > len(rest) {
+				return nil, fmt.Errorf("kvstore: wal op %d value overruns record", i)
+			}
+			op.Value = append([]byte(nil), rest[:vlen]...)
+			rest = rest[vlen:]
+		}
+		ops = append(ops, op)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("kvstore: wal ops carry %d trailing bytes", len(rest))
+	}
+	return ops, nil
+}
+
+// walWrapNonceLabel domain-separates the deterministic wrap nonce.
+const walWrapNonceLabel = "kv-wal-wrap-nonce"
+
+// sealDeterministic seals plaintext under key with a nonce derived from the
+// plaintext and AAD instead of a random one, so identical appends produce
+// bit-identical log bytes (the twin-determinism the recovery gate pins).
+// The (key, nonce) pair can only recur for an identical (plaintext, aad)
+// pair — which produces the identical sealed record — so determinism costs
+// no nonce-reuse safety, the same argument transfer makes for convergent
+// chunks.
+func sealDeterministic(key cryptbox.Key, plaintext, aad []byte) ([]byte, error) {
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	seed := make([]byte, 0, len(plaintext)+len(aad)+len(walWrapNonceLabel))
+	seed = append(seed, plaintext...)
+	seed = append(seed, aad...)
+	seed = append(seed, walWrapNonceLabel...)
+	sum := cryptbox.Sum(seed)
+	box.SetNonceSource(bytes.NewReader(sum[:cryptbox.NonceSize]))
+	return box.Seal(plaintext, aad)
+}
+
+// WAL is one shard's sealed write-ahead log. Its buffer models the durable
+// medium: everything in it survives the process; nothing else does. Epochs
+// tie the log to snapshots — publishing a snapshot resets the WAL into the
+// next epoch, and recovery replays only the current epoch's records over
+// the snapshot.
+type WAL struct {
+	name    string
+	key     cryptbox.Key
+	epoch   uint64
+	seq     uint64
+	buf     []byte
+	records int
+}
+
+// NewWAL opens an empty log for one shard.
+func NewWAL(key cryptbox.Key, name string, epoch uint64) *WAL {
+	return &WAL{name: name, key: key, epoch: epoch}
+}
+
+// Name returns the log's position-binding name.
+func (w *WAL) Name() string { return w.name }
+
+// Epoch returns the current epoch.
+func (w *WAL) Epoch() uint64 { return w.epoch }
+
+// Records returns how many records the log holds.
+func (w *WAL) Records() int { return w.records }
+
+// Bytes returns a copy of the durable log bytes — what a crashed process
+// leaves behind.
+func (w *WAL) Bytes() []byte { return append([]byte(nil), w.buf...) }
+
+// Reset discards the log and starts the given epoch — the compaction step
+// after the state it covered was published as a snapshot.
+func (w *WAL) Reset(epoch uint64) {
+	w.epoch = epoch
+	w.seq = 0
+	w.records = 0
+	w.buf = nil
+}
+
+// Append group-commits one batch as a single sealed record.
+func (w *WAL) Append(ops []WALOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	payload, err := encodeWALOps(ops)
+	if err != nil {
+		return err
+	}
+	convKey, sealed, err := transfer.SealConvergent(payload)
+	if err != nil {
+		return err
+	}
+	aad := fsshield.ChunkAAD(w.name, w.epoch, int(w.seq), 0)
+	wrapped, err := sealDeterministic(w.key, convKey[:], aad)
+	if err != nil {
+		return err
+	}
+	body := make([]byte, 0, 8+len(wrapped)+len(sealed))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(wrapped)))
+	body = append(body, wrapped...)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(sealed)))
+	body = append(body, sealed...)
+	tag := fsshield.MACChunk(w.key, body, aad)
+	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(len(body)+cryptbox.MACSize))
+	w.buf = append(w.buf, body...)
+	w.buf = append(w.buf, tag[:]...)
+	w.seq++
+	w.records++
+	return nil
+}
+
+// DecodeWALRecord authenticates and decodes the record expected at
+// (name, epoch, seq) from the front of buf, returning the batch and how
+// many bytes the frame consumed. buf must run to the end of the log:
+// whether a bad record is the final one — a crash point (ErrWALTorn) — or
+// has records after it — corruption (ErrWALCorrupt) — is decided by
+// whether its frame reaches exactly len(buf).
+func DecodeWALRecord(key cryptbox.Key, name string, epoch, seq uint64, buf []byte) ([]WALOp, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("%w: %d bytes of trailing framing", ErrWALTorn, len(buf))
+	}
+	rl := int(binary.BigEndian.Uint32(buf))
+	end := 4 + rl
+	if end > len(buf) {
+		// Declared extent overruns the log: the append died mid-write (or
+		// the length field itself is damaged — indistinguishable, and
+		// everything after it is unwalkable either way).
+		return nil, 0, fmt.Errorf("%w: record %d declares %d bytes, %d remain", ErrWALTorn, seq, rl, len(buf)-4)
+	}
+	tornOrCorrupt := func(format string, args ...any) error {
+		kind := ErrWALCorrupt
+		if end == len(buf) {
+			kind = ErrWALTorn
+		}
+		return fmt.Errorf("%w: record %d: %s", kind, seq, fmt.Sprintf(format, args...))
+	}
+	if rl < cryptbox.MACSize+8 {
+		return nil, 0, tornOrCorrupt("%d bytes below frame minimum", rl)
+	}
+	body := buf[4 : end-cryptbox.MACSize]
+	var tag [cryptbox.MACSize]byte
+	copy(tag[:], buf[end-cryptbox.MACSize:end])
+	aad := fsshield.ChunkAAD(name, epoch, int(seq), 0)
+	if !fsshield.VerifyChunkMAC(key, body, aad, tag) {
+		return nil, 0, tornOrCorrupt("MAC verification failed")
+	}
+	// The MAC covers body and position: from here every failure means the
+	// authenticated bytes themselves are wrong — forged under the key or a
+	// writer bug — which no crash explains. Hard error regardless of
+	// position.
+	wl := int(binary.BigEndian.Uint32(body))
+	if 4+wl > len(body)-4 {
+		return nil, 0, fmt.Errorf("%w: record %d wrapped key overruns body", ErrWALCorrupt, seq)
+	}
+	wrapped := body[4 : 4+wl]
+	rest := body[4+wl:]
+	sl := int(binary.BigEndian.Uint32(rest))
+	if 4+sl != len(rest) {
+		return nil, 0, fmt.Errorf("%w: record %d sealed payload length mismatch", ErrWALCorrupt, seq)
+	}
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	rawKey, err := box.Open(wrapped, aad)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: record %d key unwrap failed", ErrWALCorrupt, seq)
+	}
+	convKey, err := cryptbox.KeyFromBytes(rawKey)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: record %d: %v", ErrWALCorrupt, seq, err)
+	}
+	payload, err := transfer.OpenConvergent(convKey, rest[4:], 0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: record %d payload: %v", ErrWALCorrupt, seq, err)
+	}
+	ops, err := decodeWALOps(payload)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: record %d: %v", ErrWALCorrupt, seq, err)
+	}
+	return ops, end, nil
+}
+
+// DecodeWAL walks a whole log, applying the torn-tail discipline: a torn
+// final record is silently truncated (prefix reports the clean length),
+// while mid-log corruption returns the batches before the damage alongside
+// ErrWALCorrupt.
+func DecodeWAL(key cryptbox.Key, name string, epoch uint64, buf []byte) (batches [][]WALOp, prefix int, err error) {
+	off := 0
+	for seq := uint64(0); off < len(buf); seq++ {
+		ops, n, err := DecodeWALRecord(key, name, epoch, seq, buf[off:])
+		if errors.Is(err, ErrWALTorn) {
+			return batches, off, nil
+		}
+		if err != nil {
+			return batches, off, err
+		}
+		batches = append(batches, ops)
+		off += n
+	}
+	return batches, off, nil
+}
+
+// RecoverWAL rebuilds a usable log handle from crash-surviving bytes: the
+// decoded batches for replay, plus a WAL truncated at the last clean record
+// and positioned to append the next one.
+func RecoverWAL(key cryptbox.Key, name string, epoch uint64, buf []byte) (*WAL, [][]WALOp, error) {
+	batches, prefix, err := DecodeWAL(key, name, epoch, buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{
+		name:    name,
+		key:     key,
+		epoch:   epoch,
+		seq:     uint64(len(batches)),
+		buf:     append([]byte(nil), buf[:prefix]...),
+		records: len(batches),
+	}
+	return w, batches, nil
+}

@@ -1,0 +1,169 @@
+package microsvc
+
+import (
+	"fmt"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/container"
+	"securecloud/internal/enclave"
+	"securecloud/internal/kvstore"
+	"securecloud/internal/registry"
+	"securecloud/internal/shield"
+	"securecloud/internal/sim"
+)
+
+// DurabilitySpec attaches a durable sealed store to a scenario: every
+// served tick's requests are also applied to a kvstore.DurableStore (WAL
+// group commit per tick), snapshots publish on a fixed cadence, and the
+// "crash-state" fault kind recovers the store from snapshot + WAL tail and
+// pins it bit-identical to a never-crashed twin.
+type DurabilitySpec struct {
+	// Shards is the durable store's shard count (topology).
+	Shards int
+	// SnapshotEvery publishes a snapshot every N ticks (0 = never).
+	SnapshotEvery int
+	// ShardBytes sizes each shard enclave (0 = kvstore default).
+	ShardBytes uint64
+}
+
+// durabilityHarness is the scenario engine's durable-state rig: the durable
+// store under test, a never-crashed unaccounted twin receiving the same
+// writes, and the registry + engine that survive the "crash" (they model
+// off-node services). Its seal key comes through the full attested release
+// path — an enclave signed as the scenario service quotes itself to the
+// KeyBroker — so durable state is rooted in attestation exactly like the
+// replicas' request keys.
+type durabilityHarness struct {
+	cfg   kvstore.DurableConfig
+	store *kvstore.DurableStore
+	twin  *kvstore.ShardedStore
+
+	snapshots     int
+	recoveries    int
+	mismatches    int
+	replayed      int
+	snapshotPairs int
+	chunksFetched int
+	cacheHits     int
+	bootCycles    sim.Cycles
+	replayCycles  sim.Cycles
+}
+
+func newDurabilityHarness(spec ScenarioSpec, svc *attest.Service, kb *attest.KeyBroker) (*durabilityHarness, error) {
+	d := spec.Durability
+	enc, _, err := enclave.NewSignedWorker(enclave.Config{}, 1<<20, scenarioService, ReplicaSigner(scenarioService))
+	if err != nil {
+		return nil, err
+	}
+	defer enc.Destroy()
+	quoter, err := svc.Provision(enc.Platform(), "durable-node")
+	if err != nil {
+		return nil, err
+	}
+	skeys, err := attest.FetchServiceKeys(enc, quoter, kb, scenarioService)
+	if err != nil {
+		return nil, fmt.Errorf("microsvc: durability key release: %w", err)
+	}
+	sealKey, err := skeys.Derive("durability")
+	if err != nil {
+		return nil, err
+	}
+
+	reg := registry.New()
+	eng := container.NewEngine(enclave.NewPlatform(enclave.Config{}), shield.NewHost(), reg, nil)
+	eng.Cache = container.NewBlobCache()
+	eng.PullWorkers = spec.Workers
+
+	cfg := kvstore.DurableConfig{
+		Shards: d.Shards, Workers: spec.Workers, Seed: spec.Seed,
+		ShardBytes: d.ShardBytes,
+		Service:    "durable/" + scenarioService,
+		SealKey:    sealKey,
+		Registry:   reg, Engine: eng,
+	}
+	store, err := kvstore.NewDurableStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	twin, err := kvstore.NewShardedStore(sealKey, kvstore.ShardedStoreConfig{
+		Shards: d.Shards, Workers: spec.Workers, Seed: spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &durabilityHarness{cfg: cfg, store: store, twin: twin}, nil
+}
+
+// put applies one tick's pairs to both the durable store and the twin.
+func (h *durabilityHarness) put(pairs []kvstore.Pair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	if err := h.store.PutBatch(pairs); err != nil {
+		return err
+	}
+	return h.twin.PutBatch(pairs)
+}
+
+// maybeSnapshot publishes on the spec's cadence, returning a trace line.
+func (h *durabilityHarness) maybeSnapshot(t, every int) (string, error) {
+	if every <= 0 || t%every != 0 {
+		return "", nil
+	}
+	seq, err := h.store.Snapshot()
+	if err != nil {
+		return "", err
+	}
+	h.snapshots++
+	return fmt.Sprintf("t%04d snapshot seq=%d", t, seq), nil
+}
+
+// crash kills the durable store with total state loss — only the WAL bytes
+// and the off-node registry survive — then recovers a fresh store and
+// checks it bit-identical to the never-crashed twin. Returns a trace line.
+func (h *durabilityHarness) crash(t int) (string, error) {
+	walBytes := h.store.WALBytes()
+	recovered, rstats, err := kvstore.RecoverDurableStore(h.cfg, walBytes)
+	if err != nil {
+		return "", err
+	}
+	h.store = recovered
+	h.recoveries++
+	h.replayed += rstats.RecordsReplayed
+	h.snapshotPairs += rstats.SnapshotPairs
+	h.chunksFetched += rstats.ChunksFetched
+	h.cacheHits += rstats.CacheHits
+	h.bootCycles += rstats.SnapshotBootstrapCycles
+	h.replayCycles += rstats.LogReplayCycles
+	got, err := recovered.StateDigest()
+	if err != nil {
+		return "", err
+	}
+	want, err := h.twin.StateDigest()
+	if err != nil {
+		return "", err
+	}
+	equal := got == want
+	if !equal {
+		h.mismatches++
+	}
+	return fmt.Sprintf("t%04d recover state pairs=%d replayed=%d fetched=%d cached=%d equal=%v",
+		t, rstats.SnapshotPairs, rstats.RecordsReplayed, rstats.ChunksFetched, rstats.CacheHits, equal), nil
+}
+
+// metrics folds the harness counters into the scenario metric table.
+func (h *durabilityHarness) metrics(m map[string]float64) {
+	equal := 1.0
+	if h.mismatches > 0 {
+		equal = 0
+	}
+	m["recovered_state_equal"] = equal
+	m["recoveries"] = float64(h.recoveries)
+	m["snapshots_published"] = float64(h.snapshots)
+	m["wal_records_replayed"] = float64(h.replayed)
+	m["snapshot_pairs_restored"] = float64(h.snapshotPairs)
+	m["recovery_chunks_fetched"] = float64(h.chunksFetched)
+	m["recovery_cache_hits"] = float64(h.cacheHits)
+	m["snapshot_bootstrap_cycles"] = float64(h.bootCycles)
+	m["log_replay_cycles"] = float64(h.replayCycles)
+}

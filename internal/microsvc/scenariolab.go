@@ -183,5 +183,70 @@ func LabScenarios() []ScenarioSpec {
 		},
 	}
 
-	return []ScenarioSpec{overload, noisy, cascade, slownet, recovery}
+	// crash-state: replicas crash WITH total state loss. The durable store
+	// mirrors the request stream (sealed WAL per shard, snapshots every 10
+	// ticks); each crash recovers from the latest snapshot — pulled through
+	// the engine's verified chunk path — plus the WAL tail, and must come
+	// back bit-identical to a never-crashed twin. The second crash recovers
+	// through the warm node BlobCache, so it fetches nothing.
+	crashState := ScenarioSpec{
+		Name: "crash-state", Seed: 42,
+		Ticks: 40, WarmupTicks: 10, InjectTicks: 14,
+		Replicas: 2, TickMillis: 1, RequestCycles: 60_000,
+		Target: pinnedTarget,
+		Admission: &AdmissionConfig{
+			Default:        TenantPolicy{Weight: 1, MaxQueue: 256},
+			MaxGlobalQueue: 512,
+			TickMillis:     1,
+		},
+		Durability: &DurabilitySpec{Shards: 4, SnapshotEvery: 10},
+		Tenants:    []TenantLoad{{Tenant: "web", BaseLoad: 40, Keys: 64, BodyBytes: 192}},
+		Faults: []FaultSpec{
+			{Kind: "crash-state", At: 13, Replica: 0},
+			{Kind: "crash-state", At: 17, Replica: 1},
+		},
+		Assert: []Assertion{
+			Equals("recovered_state_equal", 1),
+			Equals("recoveries", 2),
+			AtLeast("snapshot_bootstrap_cycles", 1),
+			AtLeast("log_replay_cycles", 1),
+			AtLeast("wal_records_replayed", 1),
+			AtLeast("recovery_chunks_fetched", 1),
+			AtLeast("recovery_cache_hits", 1),
+			Equals("failed", 0),
+		},
+	}
+
+	// key-revocation: the KeyBroker revokes the service mid-run just as
+	// both replicas crash. Replacements fail closed — the broker denies
+	// their key release every tick, nothing is served during the inject
+	// phase — until a reinstate lets them re-attest and drain the backlog.
+	revocation := ScenarioSpec{
+		Name: "key-revocation", Seed: 42,
+		Ticks: 48, WarmupTicks: 12, InjectTicks: 8,
+		Replicas: 2, TickMillis: 1, RequestCycles: 60_000,
+		Target: pinnedTarget,
+		Admission: &AdmissionConfig{
+			Default:        TenantPolicy{Weight: 1, MaxQueue: 256},
+			MaxGlobalQueue: 512,
+			TickMillis:     1,
+		},
+		Tenants: []TenantLoad{{Tenant: "api", BaseLoad: 24, Keys: 64, BodyBytes: 192}},
+		Faults: []FaultSpec{
+			{Kind: "revoke", At: 13},
+			{Kind: "crash", At: 13, Replica: 0},
+			{Kind: "crash", At: 13, Replica: 1},
+			{Kind: "reinstate", At: 21},
+		},
+		Assert: []Assertion{
+			Equals("served_phase_inject", 0),
+			AtLeast("served_phase_warmup", 1),
+			AtLeast("served_phase_recover", 1),
+			AtLeast("launch_denied", 1),
+			Equals("failed", 0),
+			AtMost("backlog_final", 64),
+		},
+	}
+
+	return []ScenarioSpec{overload, noisy, cascade, slownet, recovery, crashState, revocation}
 }

@@ -3,6 +3,7 @@ package microsvc
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"securecloud/internal/cryptbox"
 	"securecloud/internal/eventbus"
 	"securecloud/internal/genpack"
+	"securecloud/internal/kvstore"
 	"securecloud/internal/orchestrator"
 	"securecloud/internal/sim"
 	"securecloud/internal/smartgrid"
@@ -56,8 +58,13 @@ type TenantLoad struct {
 
 // FaultSpec is one injected infrastructure fault.
 type FaultSpec struct {
-	// Kind is "crash" (replica dies) or "slow" (replica charged Extra
-	// cycles per request — a degraded NIC or noisy neighbour).
+	// Kind is "crash" (replica dies), "slow" (replica charged Extra cycles
+	// per request — a degraded NIC or noisy neighbour), "crash-state"
+	// (replica dies AND the durable store loses all in-memory state, then
+	// recovers from snapshot + WAL tail; needs spec.Durability), "revoke"
+	// (the KeyBroker revokes the service — replacement replicas are denied
+	// keys and fail closed) or "reinstate" (re-registers the service,
+	// letting replacements re-attest).
 	Kind    string
 	At      int // injection tick
 	Replica int // routing-order index at injection time
@@ -118,6 +125,10 @@ type ScenarioSpec struct {
 	// enables deterministic client retry honoring shed retry-after hints.
 	Admission *AdmissionConfig
 	Retry     *RetryPolicy
+
+	// Durability attaches a durable sealed store mirroring the request
+	// stream (see DurabilitySpec); required by "crash-state" faults.
+	Durability *DurabilitySpec
 
 	Tenants []TenantLoad
 	Faults  []FaultSpec
@@ -300,8 +311,15 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 	if err != nil {
 		return ScenarioResult{}, err
 	}
-	kb.Register(scenarioService,
-		attest.Policy{AllowedMRSigner: []cryptbox.Digest{ReplicaSigner(scenarioService)}}, keys)
+	policy := attest.Policy{AllowedMRSigner: []cryptbox.Digest{ReplicaSigner(scenarioService)}}
+	kb.Register(scenarioService, policy, keys)
+
+	var durH *durabilityHarness
+	if spec.Durability != nil {
+		if durH, err = newDurabilityHarness(spec, svc, kb); err != nil {
+			return ScenarioResult{}, err
+		}
+	}
 
 	// The handler echoes a fixed-size ack; the modeled per-request compute
 	// comes from RequestCycles, charged inside the replica's span.
@@ -351,6 +369,8 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 	}
 	sentByTenant := make(map[string]int)
 	shedByPhase := [3]int{}
+	servedByPhase := [3]int{}
+	launchDenied := 0
 	phaseOf := func(t int) int {
 		if spec.WarmupTicks <= 0 {
 			return 1
@@ -379,6 +399,24 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 				if id := rs.InjectSlow(f.Replica, f.Extra); id != "" {
 					res.Trace = append(res.Trace, fmt.Sprintf("t%04d inject slow %s +%d", t, id, f.Extra))
 				}
+			case "crash-state":
+				if durH == nil {
+					return res, fmt.Errorf("microsvc: scenario %q has crash-state fault but no Durability", spec.Name)
+				}
+				if id := rs.InjectCrash(f.Replica); id != "" {
+					res.Trace = append(res.Trace, fmt.Sprintf("t%04d inject crash-state %s", t, id))
+				}
+				line, err := durH.crash(t)
+				if err != nil {
+					return res, err
+				}
+				res.Trace = append(res.Trace, line)
+			case "revoke":
+				kb.Revoke(scenarioService)
+				res.Trace = append(res.Trace, fmt.Sprintf("t%04d inject revoke %s", t, scenarioService))
+			case "reinstate":
+				kb.Register(scenarioService, policy, keys)
+				res.Trace = append(res.Trace, fmt.Sprintf("t%04d reinstate %s", t, scenarioService))
 			}
 		}
 		if spec.Retry != nil {
@@ -386,6 +424,7 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 				return res, err
 			}
 		}
+		var durPairs []kvstore.Pair
 		for _, g := range gens {
 			reqs := g.requests(t)
 			if len(reqs) == 0 {
@@ -401,6 +440,23 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 			}
 			res.Sent += len(reqs)
 			sentByTenant[g.load.Tenant] += len(reqs)
+			if durH != nil {
+				for _, rq := range reqs {
+					durPairs = append(durPairs, kvstore.Pair{Key: g.load.Tenant + "/" + rq.Key, Value: rq.Body})
+				}
+			}
+		}
+		if durH != nil {
+			if err := durH.put(durPairs); err != nil {
+				return res, err
+			}
+			line, err := durH.maybeSnapshot(t, spec.Durability.SnapshotEvery)
+			if err != nil {
+				return res, err
+			}
+			if line != "" {
+				res.Trace = append(res.Trace, line)
+			}
 		}
 
 		st, err := rs.Step()
@@ -408,9 +464,18 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 			return res, err
 		}
 		shedByPhase[phaseOf(t)] += st.Shed
+		servedByPhase[phaseOf(t)] += st.Served
 		actions, err := o.Observe()
 		if err != nil {
-			return res, err
+			// A revoked service denies keys to replacement replicas: the
+			// orchestrator's launch fails closed, the dead replica stays
+			// down, and the retry next tick either re-attests (after a
+			// reinstate) or is denied again. Any other error is fatal.
+			if !errors.Is(err, attest.ErrServiceRevoked) {
+				return res, err
+			}
+			launchDenied++
+			res.Trace = append(res.Trace, fmt.Sprintf("t%04d launch denied (revoked)", t))
 		}
 		if len(actions) > 0 && res.FirstReactionTick < 0 &&
 			(res.InjectTick < 0 || t >= res.InjectTick) {
@@ -495,6 +560,13 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 		m["shed_phase_warmup"] = float64(shedByPhase[0])
 		m["shed_phase_inject"] = float64(shedByPhase[1])
 		m["shed_phase_recover"] = float64(shedByPhase[2])
+		m["served_phase_warmup"] = float64(servedByPhase[0])
+		m["served_phase_inject"] = float64(servedByPhase[1])
+		m["served_phase_recover"] = float64(servedByPhase[2])
+	}
+	m["launch_denied"] = float64(launchDenied)
+	if durH != nil {
+		durH.metrics(m)
 	}
 	adm := rs.AdmissionStats()
 	var dispatchedAll uint64

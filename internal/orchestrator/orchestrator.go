@@ -142,6 +142,14 @@ func (o *Orchestrator) Log() []Action {
 // Observe runs one monitoring tick: sample every replica, detect
 // anomalies, react immediately (same tick — the simulated counterpart of
 // the paper's millisecond reactions). It returns the actions taken.
+//
+// Replacement is fail-closed: a launch that the launcher refuses (for
+// example the KeyBroker denying key release to a revoked service) aborts
+// the tick with the error before the unhealthy replica is retired, so the
+// fleet never trades an unhealthy replica for nothing. The dead replica
+// stays in the set and the orchestrator retries the replacement on every
+// subsequent tick until the launch succeeds — e.g. after the service is
+// reinstated and replacements can re-attest.
 func (o *Orchestrator) Observe() ([]Action, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()

@@ -67,6 +67,7 @@ type Registry struct {
 	manifests map[string]image.Manifest             // "name:tag" -> manifest
 	layers    map[cryptbox.Digest]transfer.Manifest // layer digest -> chunk manifest
 	blobs     map[cryptbox.Digest][]byte            // chunk digest -> sealed chunk
+	snapshots map[string]snapshotRecord             // snapshot name -> latest record
 	blobBytes int64
 	dedupHits uint64
 }
@@ -77,6 +78,7 @@ func New() *Registry {
 		manifests: make(map[string]image.Manifest),
 		layers:    make(map[cryptbox.Digest]transfer.Manifest),
 		blobs:     make(map[cryptbox.Digest][]byte),
+		snapshots: make(map[string]snapshotRecord),
 	}
 }
 
@@ -390,6 +392,7 @@ func writeConditional(w http.ResponseWriter, req *http.Request, d cryptbox.Diges
 //	GET  /v2/manifests/{name}/{tag}   (image manifest JSON)
 //	GET  /v2/layers/{digest}          (layer chunk manifest JSON, conditional)
 //	GET  /v2/blobs/{digest}           (one sealed chunk, conditional)
+//	GET  /v2/snapshots/{name}         (latest sealed snapshot record JSON)
 //	GET  /v2/list
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -495,6 +498,7 @@ func (r *Registry) Handler() http.Handler {
 			return r.Blob(d)
 		})
 	})
+	mux.HandleFunc("/v2/snapshots/", r.snapshotHandler)
 	mux.HandleFunc("/v2/list", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(r.List()); err != nil {

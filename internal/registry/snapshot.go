@@ -1,0 +1,114 @@
+// The snapshot surface: the registry as the durable home of sealed state
+// snapshots. A durable store publishes each shard snapshot as a
+// content-addressed blob set (the chunks of a transfer.PackConvergent run)
+// plus one small sealed manifest record under a stable name. The chunks
+// land in the same blob namespace as image layers, so successive snapshots
+// of mostly-unchanged state dedup chunk-for-chunk against their
+// predecessors — the registry stores deltas without knowing it. The sealed
+// manifest record is opaque to the registry: what it names, and under which
+// key it opens, is the publishing service's business. The registry only
+// enforces ordering — a snapshot's sequence number must grow, so a replayed
+// or lagging publisher cannot roll a name back to older state.
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"securecloud/internal/transfer"
+)
+
+// snapshotRecord is the latest published snapshot under one name.
+type snapshotRecord struct {
+	Seq    uint64 `json:"seq"`
+	Sealed []byte `json:"sealed"`
+}
+
+// PutBlobSet stores the chunks of a packed blob set under their manifest's
+// leaf digests — the push half of the chunk-granular pull path, reusable by
+// anything that packs with transfer.PackConvergent. Chunks already present
+// (earlier snapshots, image layers) count as dedup hits.
+func (r *Registry) PutBlobSet(m *transfer.Manifest, chunks [][]byte) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if len(chunks) != len(m.Leaves) {
+		return fmt.Errorf("%w: %d chunks, %d leaves", ErrManifest, len(chunks), len(m.Leaves))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, c := range chunks {
+		if err := r.storeBlobLocked(m.Leaves[i], c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PublishSnapshot binds name to a new sealed snapshot record. Sequence
+// numbers must strictly increase per name — the rollback guard.
+func (r *Registry) PublishSnapshot(name string, seq uint64, sealed []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if have, ok := r.snapshots[name]; ok && seq <= have.Seq {
+		return fmt.Errorf("%w: snapshot %s seq %d not after %d", ErrConflict, name, seq, have.Seq)
+	}
+	r.snapshots[name] = snapshotRecord{Seq: seq, Sealed: append([]byte(nil), sealed...)}
+	return nil
+}
+
+// LatestSnapshot returns the newest sealed snapshot record under name.
+func (r *Registry) LatestSnapshot(name string) (seq uint64, sealed []byte, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rec, ok := r.snapshots[name]
+	if !ok {
+		return 0, nil, false
+	}
+	return rec.Seq, append([]byte(nil), rec.Sealed...), true
+}
+
+// Snapshots returns how many snapshot names are bound.
+func (r *Registry) Snapshots() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.snapshots)
+}
+
+// snapshotHandler serves GET /v2/snapshots/{name} (names may contain
+// slashes) as a JSON snapshot record.
+func (r *Registry) snapshotHandler(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(req.URL.Path, "/v2/snapshots/")
+	if name == "" {
+		http.Error(w, "want /v2/snapshots/{name}", http.StatusBadRequest)
+		return
+	}
+	seq, sealed, ok := r.LatestSnapshot(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("%v: snapshot %s", ErrNotFound, name), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(snapshotRecord{Seq: seq, Sealed: sealed}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// LatestSnapshot mirrors Registry.LatestSnapshot over HTTP.
+func (c *Client) LatestSnapshot(name string) (seq uint64, sealed []byte, ok bool) {
+	raw, err := c.get(fmt.Sprintf("%s/v2/snapshots/%s", c.BaseURL, name), "snapshot "+name)
+	if err != nil {
+		return 0, nil, false
+	}
+	var rec snapshotRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return 0, nil, false
+	}
+	return rec.Seq, rec.Sealed, true
+}

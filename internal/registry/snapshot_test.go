@@ -1,0 +1,103 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"securecloud/internal/transfer"
+)
+
+func packSnapshot(t *testing.T, name string, payload []byte) (*transfer.Manifest, [][]byte) {
+	t.Helper()
+	m, chunks, err := transfer.PackConvergent(name, payload, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, chunks
+}
+
+func TestPutBlobSetDedup(t *testing.T) {
+	r := New()
+	payload := bytes.Repeat([]byte("shard-table."), 40)
+	m, chunks := packSnapshot(t, "snap/a", payload)
+	if err := r.PutBlobSet(m, chunks); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Stats()
+	// Re-publishing the identical blob set stores nothing new: every chunk
+	// is a dedup hit against the convergent-sealed blobs already present.
+	if err := r.PutBlobSet(m, chunks); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Stats()
+	if after.Blobs != before.Blobs {
+		t.Fatalf("blob count grew %d -> %d on identical blob set", before.Blobs, after.Blobs)
+	}
+	if got := after.DedupHits - before.DedupHits; got != uint64(len(chunks)) {
+		t.Fatalf("dedup hits %d, want %d", got, len(chunks))
+	}
+}
+
+func TestPutBlobSetRejectsMismatch(t *testing.T) {
+	r := New()
+	m, chunks := packSnapshot(t, "snap/a", bytes.Repeat([]byte("x"), 300))
+	if err := r.PutBlobSet(m, chunks[:len(chunks)-1]); err == nil {
+		t.Fatal("accepted short chunk list")
+	}
+	tampered := make([][]byte, len(chunks))
+	copy(tampered, chunks)
+	tampered[0] = append([]byte(nil), chunks[0]...)
+	tampered[0][0] ^= 0xFF
+	if err := r.PutBlobSet(m, tampered); err == nil {
+		t.Fatal("accepted chunk that does not match its manifest digest")
+	}
+}
+
+func TestPublishSnapshotRollbackRejected(t *testing.T) {
+	r := New()
+	if err := r.PublishSnapshot("svc/shard-0", 3, []byte("sealed-3")); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying an old (or equal) sequence is a rollback attempt and must
+	// not displace the newer manifest.
+	for _, seq := range []uint64{3, 2} {
+		if err := r.PublishSnapshot("svc/shard-0", seq, []byte("stale")); !errors.Is(err, ErrConflict) {
+			t.Fatalf("seq %d: got %v, want ErrConflict", seq, err)
+		}
+	}
+	seq, sealed, ok := r.LatestSnapshot("svc/shard-0")
+	if !ok || seq != 3 || !bytes.Equal(sealed, []byte("sealed-3")) {
+		t.Fatalf("latest = %d %q %v", seq, sealed, ok)
+	}
+	if err := r.PublishSnapshot("svc/shard-0", 4, []byte("sealed-4")); err != nil {
+		t.Fatal(err)
+	}
+	if seq, _, _ := r.LatestSnapshot("svc/shard-0"); seq != 4 {
+		t.Fatalf("latest seq = %d after advance", seq)
+	}
+}
+
+func TestLatestSnapshotMissing(t *testing.T) {
+	if _, _, ok := New().LatestSnapshot("nope/shard-0"); ok {
+		t.Fatal("found a snapshot in an empty registry")
+	}
+}
+
+func TestHTTPSnapshotRoundTrip(t *testing.T) {
+	r := New()
+	if err := r.PublishSnapshot("svc/shard-1", 7, []byte("sealed-manifest")); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	seq, sealed, ok := c.LatestSnapshot("svc/shard-1")
+	if !ok || seq != 7 || !bytes.Equal(sealed, []byte("sealed-manifest")) {
+		t.Fatalf("client latest = %d %q %v", seq, sealed, ok)
+	}
+	if _, _, ok := c.LatestSnapshot("svc/shard-2"); ok {
+		t.Fatal("client found a snapshot that was never published")
+	}
+}

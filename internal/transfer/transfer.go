@@ -162,6 +162,38 @@ func convergentSeal(compressed []byte) (cryptbox.Key, []byte, error) {
 	return key, sealed, nil
 }
 
+// SealConvergent compresses and convergently seals one standalone payload
+// through the pooled deflate path: the returned key is derived from the
+// compressed content and the nonce is deterministic, so identical payloads
+// produce bit-identical sealed bytes (the dedup property PackConvergent
+// gives chunked payloads, exposed here for single-record callers like the
+// kvstore write-ahead log). The caller is responsible for carrying the key
+// over an authenticated channel and for position binding.
+func SealConvergent(payload []byte) (cryptbox.Key, []byte, error) {
+	compressed, err := deflate(payload)
+	if err != nil {
+		return cryptbox.Key{}, nil, err
+	}
+	return convergentSeal(compressed)
+}
+
+// OpenConvergent reverses SealConvergent. limit bounds the decompressed
+// size (≤ 0 applies the package-wide maxInflate zip-bomb bound).
+func OpenConvergent(key cryptbox.Key, sealed []byte, limit int) ([]byte, error) {
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	compressed, err := box.Open(sealed, convergentAAD)
+	if err != nil {
+		return nil, fmt.Errorf("%w: convergent payload failed authentication", ErrBadChunk)
+	}
+	if limit <= 0 || limit > maxInflate {
+		limit = maxInflate
+	}
+	return inflate(compressed, limit)
+}
+
 // ChunkFunc consumes sealed chunks in index order during a streaming pack.
 type ChunkFunc func(idx int, sealed []byte) error
 

@@ -13,8 +13,11 @@
 #                                the sharded broker, the sharded store,
 #                                the parallel map/reduce engine, the
 #                                application plane: attest/microsvc/
-#                                orchestrator, and the data plane:
-#                                transfer/registry/container)
+#                                orchestrator, the data plane:
+#                                transfer/registry/container, and the
+#                                protected-file + shielded-syscall layer
+#                                now on the durable WAL/snapshot path:
+#                                fsshield/shield/sconert)
 # 6. bench-regression gate      (deterministic sim-metrics in the newest
 #                                BENCH_N.json must match the committed
 #                                baseline — see scripts/bench_check.sh)
@@ -55,6 +58,9 @@ RACE_PKGS=(
     ./internal/transfer
     ./internal/registry
     ./internal/container
+    ./internal/fsshield
+    ./internal/shield
+    ./internal/sconert
 )
 echo "ci: go test -race ${RACE_PKGS[*]}" >&2
 go test -race "${RACE_PKGS[@]}"

@@ -219,7 +219,7 @@ func main() {
 	// table must pass. Both verdicts land in the JSON for bench-check.
 	allAsserted := true
 	var overloadRef microsvc.ScenarioResult
-	for _, spec := range microsvc.LabScenarios() {
+	for _, spec := range append(microsvc.LabScenarios(), microsvc.ClusterLabScenarios()...) {
 		if *ticks > 0 {
 			spec.Ticks = *ticks
 		}

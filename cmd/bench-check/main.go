@@ -240,6 +240,18 @@ func extract(doc map[string]any) (map[string]float64, []string) {
 				problems = append(problems, fmt.Sprintf(
 					"app_bench: revoked service served %v requests during the revocation window, want 0 (fail-open)", v))
 			}
+			// Cluster invariants: a partitioned replica must never serve a
+			// routed request (fail-open through the partition), and a
+			// byzantine registry must never land a tampered chunk in any
+			// node's blob cache (cache poisoning).
+			if v, ok := num(det["lab_node-partition_served_via_unreachable"]); ok && v != 0 {
+				problems = append(problems, fmt.Sprintf(
+					"app_bench: %v requests served via an unreachable replica during the partition, want 0 (fail-open)", v))
+			}
+			if v, ok := num(det["lab_byzantine-registry_tampered_cached"]); ok && v != 0 {
+				problems = append(problems, fmt.Sprintf(
+					"app_bench: %v tampered chunks found cached on cluster nodes, want 0 (cache poisoning)", v))
+			}
 		}
 		// The overload A/B: admission on bounds the backlog, admission off
 		// diverges. If the contrast collapses, the controller stopped doing

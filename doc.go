@@ -320,6 +320,45 @@
 // the service mid-run so replacement replicas are denied keys until a
 // reinstate lets them re-attest.
 //
+// # Cluster & placement
+//
+// internal/cluster turns the implicit single node into a simulated
+// multi-node SGX cluster: N nodes, each owning its own enclave platforms,
+// its own node-local container.BlobCache, and its own attested KeyBroker
+// session ("cluster/node<i>"), joined to the origin registry by links
+// whose chunk-transfer cost is the analytic transfer.LinkCost model
+// (per-chunk latency + per-KiB cycles, summed atomically so concurrent
+// fetch workers cannot reorder the totals). The orchestrator grows a
+// placement axis to match: a Placer scores candidate NodeInfo snapshots
+// by blob-cache locality (warm fraction of the service image's chunk set)
+// against current load, with ties broken on the lowest node index — a
+// pure function of the candidate set, pinned permutation-invariant by
+// property test. microsvc.ClusterSet rides the replica set on top: the
+// front-end boots on the gateway (node 0, warming its cache), every
+// replica boots where the placer says, and a boot that fails chunk
+// verification isolates its node before the error propagates.
+//
+// Node-level faults map onto the plane's existing reactions: a node
+// crash kills its replicas (the orchestrator reschedules onto surviving
+// nodes — the warm-vs-cold fetch contrast is a gated metric,
+// warm_lt_cold_ok); a network partition makes a node's link refuse and
+// its replicas unreachable (routed requests shed deterministically with
+// retry-after; served_via_unreachable is the fail-open tripwire, gated
+// to zero); a byzantine registry serves one node tampered chunks (pulls
+// fail closed on digest verification, the node isolates, placement
+// routes around it; tampered_cached — a full cache audit — is the
+// cache-poisoning tripwire, gated to zero). Three lab scenarios
+// (node-crash, node-partition, byzantine-registry) drive these loops
+// closed, swept across workers 1,2,4,8 with every per-node figure
+// bit-identical.
+//
+// Node count, capacity, link cost and placer weights are topology; host
+// workers remain execution-only. Components report their counters
+// through one shared surface, stats.Source (flat name → float64
+// snapshots, implemented by the registry, blob cache, scheduler, replica
+// set and cluster), which is what folds the per-node figures into the
+// gated scenario metric tables.
+//
 // # Data plane
 //
 // Image distribution — the paper's secure Docker workflow (Figure 2)

@@ -111,6 +111,32 @@ func (c *BlobCache) peek(d cryptbox.Digest) ([]byte, bool) {
 	return b, ok
 }
 
+// Contains reports whether the cache holds d without touching the hit/miss
+// counters — the placement layer's warm-chunk probe (scoring a candidate
+// node must not perturb its pull accounting).
+func (c *BlobCache) Contains(d cryptbox.Digest) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.blobs[d]
+	return ok
+}
+
+// Audit re-verifies every cached chunk against its digest and returns the
+// number of mismatches. Put verifies before storing, so a nonzero count
+// means the poisoning guard itself is broken — the bench gate pins this
+// to zero for the byzantine-registry scenario.
+func (c *BlobCache) Audit() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	bad := 0
+	for d, b := range c.blobs {
+		if cryptbox.Sum(b) != d {
+			bad++
+		}
+	}
+	return bad
+}
+
 // Stats returns the cache counters.
 func (c *BlobCache) Stats() BlobCacheStats {
 	c.mu.RLock()
@@ -118,6 +144,21 @@ func (c *BlobCache) Stats() BlobCacheStats {
 	return BlobCacheStats{
 		Hits: c.hits, Misses: c.misses, Stores: c.stores,
 		Blobs: len(c.blobs), Bytes: c.bytes,
+	}
+}
+
+// StatsName implements stats.Source.
+func (c *BlobCache) StatsName() string { return "blobcache" }
+
+// Snapshot implements stats.Source.
+func (c *BlobCache) Snapshot() map[string]float64 {
+	s := c.Stats()
+	return map[string]float64{
+		"hits":   float64(s.Hits),
+		"misses": float64(s.Misses),
+		"stores": float64(s.Stores),
+		"blobs":  float64(s.Blobs),
+		"bytes":  float64(s.Bytes),
 	}
 }
 

@@ -341,25 +341,48 @@ type Publisher struct {
 	stage *acctStage
 }
 
-// NewPublisher builds a publisher for topic with its topic key.
-func NewPublisher(bus *Bus, topic string, key cryptbox.Key) (*Publisher, error) {
-	return NewPublisherAccounted(bus, topic, key, Accounting{})
+// EndpointConfig configures one bus endpoint — publisher or subscriber.
+// It replaces the NewX/NewXAccounted constructor pairs with a single
+// config-struct shape: the zero Accounting leaves the endpoint
+// unaccounted, exactly like the old unaccounted constructors.
+type EndpointConfig struct {
+	Bus   *Bus
+	Topic string
+	// Key is the topic's stream key (obtained via attested key release).
+	Key cryptbox.Key
+	// Accounting optionally wires the endpoint's enclave-side copies to a
+	// simulated memory view.
+	Accounting Accounting
 }
 
-// NewPublisherAccounted builds a publisher whose outbound copies are
-// charged to the given simulated memory view. The AEAD context is built
+// OpenPublisher builds a publisher from cfg. The AEAD context is built
 // once per endpoint and dies with it — endpoints are the unit callers
 // already manage, so per-topic churn cannot grow any process-wide state.
-func NewPublisherAccounted(bus *Bus, topic string, key cryptbox.Key, acct Accounting) (*Publisher, error) {
-	box, err := cryptbox.NewBox(key)
+func OpenPublisher(cfg EndpointConfig) (*Publisher, error) {
+	box, err := cryptbox.NewBox(cfg.Key)
 	if err != nil {
 		return nil, err
 	}
 	return &Publisher{
-		bus: bus, topic: topic, box: box,
-		aad:   []byte("topic|" + topic),
-		stage: newAcctStage(acct),
+		bus: cfg.Bus, topic: cfg.Topic, box: box,
+		aad:   []byte("topic|" + cfg.Topic),
+		stage: newAcctStage(cfg.Accounting),
 	}, nil
+}
+
+// NewPublisher builds a publisher for topic with its topic key.
+//
+// Deprecated: use OpenPublisher.
+func NewPublisher(bus *Bus, topic string, key cryptbox.Key) (*Publisher, error) {
+	return OpenPublisher(EndpointConfig{Bus: bus, Topic: topic, Key: key})
+}
+
+// NewPublisherAccounted builds a publisher whose outbound copies are
+// charged to the given simulated memory view.
+//
+// Deprecated: use OpenPublisher with EndpointConfig.Accounting.
+func NewPublisherAccounted(bus *Bus, topic string, key cryptbox.Key, acct Accounting) (*Publisher, error) {
+	return OpenPublisher(EndpointConfig{Bus: bus, Topic: topic, Key: key, Accounting: acct})
 }
 
 // Publish seals body and hands it to the bus, returning its sequence
@@ -408,29 +431,38 @@ type Subscriber struct {
 	stage   *acctStage
 }
 
-// NewSubscriber registers a subscription on topic with its topic key.
-func NewSubscriber(bus *Bus, topic string, key cryptbox.Key) (*Subscriber, error) {
-	return NewSubscriberAccounted(bus, topic, key, Accounting{})
-}
-
-// NewSubscriberAccounted registers a subscription whose inbound copies are
-// charged to the given simulated memory view. The whole drained batch is
-// charged as bulk accesses through one staging window, not per message.
-// The AEAD context is per-endpoint, as in NewPublisherAccounted.
-func NewSubscriberAccounted(bus *Bus, topic string, key cryptbox.Key, acct Accounting) (*Subscriber, error) {
-	box, err := cryptbox.NewBox(key)
+// OpenSubscriber registers a subscription from cfg. The whole drained
+// batch is charged as bulk accesses through one staging window, not per
+// message; the AEAD context is per-endpoint, as in OpenPublisher.
+func OpenSubscriber(cfg EndpointConfig) (*Subscriber, error) {
+	box, err := cryptbox.NewBox(cfg.Key)
 	if err != nil {
 		return nil, err
 	}
-	h, err := bus.subscribe(topic)
+	h, err := cfg.Bus.subscribe(cfg.Topic)
 	if err != nil {
 		return nil, err
 	}
 	return &Subscriber{
-		bus: bus, topic: topic, box: box,
-		aad:    []byte("topic|" + topic),
-		handle: h, stage: newAcctStage(acct),
+		bus: cfg.Bus, topic: cfg.Topic, box: box,
+		aad:    []byte("topic|" + cfg.Topic),
+		handle: h, stage: newAcctStage(cfg.Accounting),
 	}, nil
+}
+
+// NewSubscriber registers a subscription on topic with its topic key.
+//
+// Deprecated: use OpenSubscriber.
+func NewSubscriber(bus *Bus, topic string, key cryptbox.Key) (*Subscriber, error) {
+	return OpenSubscriber(EndpointConfig{Bus: bus, Topic: topic, Key: key})
+}
+
+// NewSubscriberAccounted registers a subscription whose inbound copies
+// are charged to the given simulated memory view.
+//
+// Deprecated: use OpenSubscriber with EndpointConfig.Accounting.
+func NewSubscriberAccounted(bus *Bus, topic string, key cryptbox.Key, acct Accounting) (*Subscriber, error) {
+	return OpenSubscriber(EndpointConfig{Bus: bus, Topic: topic, Key: key, Accounting: acct})
 }
 
 // Depth reports this subscriber's pending-queue length in one bus-lock

@@ -67,15 +67,20 @@ type Store struct {
 	probe []uint64 // scratch: node addresses visited by one descent
 }
 
-// New builds a store sealing with key. The seed fixes skip-list geometry.
-func New(key cryptbox.Key, seed int64) (*Store, error) {
-	return NewAccounted(key, seed, Accounting{})
+// Options configures a Store. It replaces the New/NewAccounted
+// constructor pair with a single config-struct shape: the zero Options
+// (seed 0, no accounting) behaves exactly like New(key, 0).
+type Options struct {
+	// Seed fixes the skip-list geometry (topology: same seed, same
+	// structure, same simulated charges).
+	Seed int64
+	// Accounting optionally charges traversals and record I/O to a
+	// simulated memory view.
+	Accounting Accounting
 }
 
-// NewAccounted builds a store whose skip-list traversals and record I/O are
-// charged to the given simulated memory view. A zero Accounting yields an
-// unaccounted store, identical to New.
-func NewAccounted(key cryptbox.Key, seed int64, acct Accounting) (*Store, error) {
+// NewStore builds a store sealing with key, shaped by opts.
+func NewStore(key cryptbox.Key, opts Options) (*Store, error) {
 	box, err := cryptbox.NewBox(key)
 	if err != nil {
 		return nil, err
@@ -85,14 +90,29 @@ func NewAccounted(key cryptbox.Key, seed int64, acct Accounting) (*Store, error)
 		box:   box,
 		head:  &node{next: make([]*node, maxLevel)},
 		level: 1,
-		rng:   sim.NewRand(seed),
-		acct:  acct,
+		rng:   sim.NewRand(opts.Seed),
+		acct:  opts.Accounting,
 	}
 	if s.accounted() {
 		s.head.bytes = nodeProbeBytes + 8*maxLevel
-		s.head.addr = acct.Arena.Alloc(s.head.bytes)
+		s.head.addr = opts.Accounting.Arena.Alloc(s.head.bytes)
 	}
 	return s, nil
+}
+
+// New builds a store sealing with key. The seed fixes skip-list geometry.
+//
+// Deprecated: use NewStore.
+func New(key cryptbox.Key, seed int64) (*Store, error) {
+	return NewStore(key, Options{Seed: seed})
+}
+
+// NewAccounted builds a store whose skip-list traversals and record I/O
+// are charged to the given simulated memory view.
+//
+// Deprecated: use NewStore with Options.Accounting.
+func NewAccounted(key cryptbox.Key, seed int64, acct Accounting) (*Store, error) {
+	return NewStore(key, Options{Seed: seed, Accounting: acct})
 }
 
 func (s *Store) accounted() bool { return s.acct.Enabled() }

@@ -87,7 +87,7 @@ func NewShardedStore(key cryptbox.Key, cfg ShardedStoreConfig) (*ShardedStore, e
 			sh.enc = enc
 			sh.mem = enc.Memory()
 		}
-		st, err := NewAccounted(key, cfg.Seed+int64(i), acct)
+		st, err := NewStore(key, Options{Seed: cfg.Seed + int64(i), Accounting: acct})
 		if err != nil {
 			return nil, err
 		}

@@ -145,6 +145,14 @@ type ReplicaSet struct {
 	adm      *admission
 	lastShed atomic.Uint64
 
+	// shedUnreachable counts requests shed because their route landed on
+	// an unreachable (partitioned-away) replica. servedViaUnreachable is
+	// the fail-open tripwire: requests an unreachable replica actually
+	// served — structurally zero (routing diverts and serveTick refuses),
+	// gated to zero by the bench harness.
+	shedUnreachable      atomic.Uint64
+	servedViaUnreachable atomic.Uint64
+
 	mu       sync.Mutex
 	replicas []*Replica
 	requeue  []request
@@ -327,12 +335,16 @@ func (rs *ReplicaSet) bootFront() (*frontEnd, error) {
 		return nil, fmt.Errorf("microsvc %s: no stream key released for topic %s", rs.name, rs.cfg.OutTopic)
 	}
 	acct := enclave.Accounting{Mem: br.enc.Memory(), Arena: br.arena}
-	sub, err := eventbus.NewSubscriberAccounted(rs.bus, rs.cfg.InTopic, inKey, acct)
+	sub, err := eventbus.OpenSubscriber(eventbus.EndpointConfig{
+		Bus: rs.bus, Topic: rs.cfg.InTopic, Key: inKey, Accounting: acct,
+	})
 	if err != nil {
 		br.stop()
 		return nil, err
 	}
-	pub, err := eventbus.NewPublisherAccounted(rs.bus, rs.cfg.OutTopic, outKey, acct)
+	pub, err := eventbus.OpenPublisher(eventbus.EndpointConfig{
+		Bus: rs.bus, Topic: rs.cfg.OutTopic, Key: outKey, Accounting: acct,
+	})
 	if err != nil {
 		sub.Close()
 		br.stop()
@@ -357,13 +369,14 @@ type Replica struct {
 	stage uint64
 	stop  func()
 
-	served     atomic.Uint64
-	failed     atomic.Uint64
-	lastCycles atomic.Uint64
-	lastServed atomic.Uint64
-	crashed    atomic.Bool
-	retired    atomic.Bool
-	slow       atomic.Uint64
+	served      atomic.Uint64
+	failed      atomic.Uint64
+	lastCycles  atomic.Uint64
+	lastServed  atomic.Uint64
+	crashed     atomic.Bool
+	retired     atomic.Bool
+	unreachable atomic.Bool
+	slow        atomic.Uint64
 
 	mu      sync.Mutex
 	pending []request
@@ -528,6 +541,46 @@ func (rs *ReplicaSet) InjectCrash(i int) string {
 	return rs.replicas[i].id
 }
 
+// InjectCrashID crashes the replica with the given ID (the node-failure
+// path, where the cluster knows which replicas lived on the dead node).
+// Returns whether the ID named a live replica.
+func (rs *ReplicaSet) InjectCrashID(id string) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, r := range rs.replicas {
+		if r.id == id {
+			r.crashed.Store(true)
+			return true
+		}
+	}
+	return false
+}
+
+// SetReplicaUnreachable marks the replica with the given ID unreachable
+// (a network partition cut its node off) or reachable again. An
+// unreachable replica sheds everything routed to it, refuses to serve its
+// queue, and samples unhealthy until the orchestrator reschedules it.
+// Returns whether the ID named a live replica.
+func (rs *ReplicaSet) SetReplicaUnreachable(id string, v bool) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, r := range rs.replicas {
+		if r.id == id {
+			r.unreachable.Store(v)
+			return true
+		}
+	}
+	return false
+}
+
+// UnreachableStats returns the partition counters: requests shed because
+// their route landed on an unreachable replica, and the fail-open
+// tripwire of requests an unreachable replica actually served (must stay
+// zero).
+func (rs *ReplicaSet) UnreachableStats() (shed, served uint64) {
+	return rs.shedUnreachable.Load(), rs.servedViaUnreachable.Load()
+}
+
 // InjectSlow charges the i-th replica (routing order) extra cycles per
 // request — a degraded node or a noisy neighbour. Returns the replica ID,
 // or "" when the index is out of range.
@@ -593,6 +646,31 @@ func (rs *ReplicaSet) Totals() PlaneTotals {
 	return t
 }
 
+// StatsName implements stats.Source.
+func (rs *ReplicaSet) StatsName() string { return "plane" }
+
+// Snapshot implements stats.Source: the set-lifetime totals as a flat
+// metric map.
+func (rs *ReplicaSet) Snapshot() map[string]float64 {
+	t := rs.Totals()
+	shedU, servedU := rs.UnreachableStats()
+	return map[string]float64{
+		"serial_cycles":          float64(t.SerialCycles),
+		"critical_cycles":        float64(t.CriticalCycles),
+		"faults":                 float64(t.Faults),
+		"served":                 float64(t.Served),
+		"failed":                 float64(t.Failed),
+		"launched":               float64(t.Launched),
+		"live":                   float64(t.Live),
+		"front_cycles":           float64(t.FrontCycles),
+		"front_faults":           float64(t.FrontFaults),
+		"shed":                   float64(t.Shed),
+		"splits":                 float64(t.Splits),
+		"shed_unreachable":       float64(shedU),
+		"served_via_unreachable": float64(servedU),
+	}
+}
+
 // AdmissionStats returns a snapshot of the admission controller — queue
 // depths, per-tenant admit/dispatch/shed counters. The zero snapshot when
 // admission is disabled.
@@ -637,7 +715,7 @@ func (r *Replica) Stats() Stats {
 func (r *Replica) Sample() orchestrator.Metrics {
 	m := orchestrator.Metrics{
 		QueueDepth: r.Depth(),
-		Healthy:    !r.crashed.Load(),
+		Healthy:    !r.crashed.Load() && !r.unreachable.Load(),
 		// Shed is a set-level figure (admission happens before routing);
 		// every replica reports the same last-step count, per the
 		// orchestrator.Metrics contract.
@@ -716,7 +794,10 @@ func (r *Replica) serveOne(q request) ([]byte, bool) {
 // batch. It returns the sealed reply frames in request order plus the
 // served/failed counts of this tick.
 func (r *Replica) serveTick() (replies [][]byte, served, failed int) {
-	if r.crashed.Load() {
+	if r.crashed.Load() || r.unreachable.Load() {
+		// Crashed replicas are gone; unreachable ones are cut off by a
+		// partition — neither may serve. An unreachable replica's pending
+		// queue stays put until the orchestrator retires it (requeue).
 		r.lastCycles.Store(0)
 		r.lastServed.Store(0)
 		return nil, 0, 0
@@ -774,6 +855,13 @@ func (r *Replica) serveTick() (replies [][]byte, served, failed int) {
 	r.requeueIfRetired()
 	r.lastCycles.Store(uint64(mem.Cycles() - start))
 	r.lastServed.Store(uint64(served))
+	if served > 0 && r.unreachable.Load() {
+		// Fail-open tripwire: an unreachable replica served traffic. The
+		// entry guard makes this structurally impossible; the bench gate
+		// pins the counter to zero so a future regression cannot silently
+		// serve through a partition.
+		r.set.servedViaUnreachable.Add(uint64(served))
+	}
 	return replies, served, failed
 }
 
@@ -889,8 +977,27 @@ func (rs *ReplicaSet) Step() (StepStats, error) {
 		}
 		return st, pubErr
 	}
+	// deliver hands a routed request to its replica — unless the replica
+	// is unreachable (its node partitioned away), in which case the
+	// request is shed deterministically with a retry-after reply instead
+	// of vanishing into a queue nothing will serve.
+	unreachableRetry := 1.0
+	if adm != nil && adm.cfg.TickMillis > 0 {
+		unreachableRetry = adm.cfg.TickMillis
+	}
+	routed := 0
+	deliver := func(q request, idx int) {
+		r := reps[idx]
+		if r.unreachable.Load() {
+			sheds = append(sheds, shedVerdict{req: q, retryAfterMS: unreachableRetry})
+			rs.shedUnreachable.Add(1)
+			return
+		}
+		r.enqueue(q)
+		routed++
+	}
 	for _, q := range reqs {
-		reps[routeIndex(q.key, len(reps))].enqueue(q)
+		deliver(q, routeIndex(q.key, len(reps)))
 	}
 	if adm != nil && len(dispatched) > 0 {
 		// Hot-key routing works off a depth snapshot taken after the
@@ -902,15 +1009,17 @@ func (rs *ReplicaSet) Step() (StepStats, error) {
 		}
 		rs.mu.Lock()
 		for _, q := range dispatched {
-			reps[adm.routeFor(q.key, len(reps), depths)].enqueue(q)
+			deliver(q, adm.routeFor(q.key, len(reps), depths))
 		}
 		rs.mu.Unlock()
 	} else {
 		for _, q := range dispatched {
-			reps[routeIndex(q.key, len(reps))].enqueue(q)
+			deliver(q, routeIndex(q.key, len(reps)))
 		}
 	}
-	st.Routed = len(reqs) + len(dispatched)
+	st.Routed = routed
+	st.Shed = len(sheds)
+	rs.lastShed.Store(uint64(len(sheds)))
 
 	workers := rs.cfg.Workers
 	if workers <= 0 {

@@ -10,6 +10,8 @@ import (
 	"strings"
 
 	"securecloud/internal/attest"
+	"securecloud/internal/cluster"
+	"securecloud/internal/container"
 	"securecloud/internal/cryptbox"
 	"securecloud/internal/eventbus"
 	"securecloud/internal/genpack"
@@ -65,9 +67,18 @@ type FaultSpec struct {
 	// (the KeyBroker revokes the service — replacement replicas are denied
 	// keys and fail closed) or "reinstate" (re-registers the service,
 	// letting replacements re-attest).
+	//
+	// Cluster scenarios (spec.Cluster set) add the node-level kinds:
+	// "node-crash" (node Node goes down, its replicas crash and are
+	// rescheduled to surviving nodes), "partition" (node Node is cut off —
+	// requests to its replicas shed deterministically until the
+	// orchestrator converges on the reachable side), "heal" (reverses a
+	// partition) and "byzantine" (the registry serves node Node tampered
+	// chunks — its pulls fail closed and the node isolates).
 	Kind    string
 	At      int // injection tick
 	Replica int // routing-order index at injection time
+	Node    int // cluster node index, for the node-level kinds
 	Extra   sim.Cycles
 }
 
@@ -129,6 +140,12 @@ type ScenarioSpec struct {
 	// Durability attaches a durable sealed store mirroring the request
 	// stream (see DurabilitySpec); required by "crash-state" faults.
 	Durability *DurabilitySpec
+
+	// Cluster places replicas on a simulated multi-node cluster (container
+	// boots through per-node links and caches, locality-aware placement);
+	// nil keeps the single-node direct-mode plane. Required by the
+	// node-level fault kinds.
+	Cluster *ClusterSpec
 
 	Tenants []TenantLoad
 	Faults  []FaultSpec
@@ -311,21 +328,11 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 	if err != nil {
 		return ScenarioResult{}, err
 	}
-	policy := attest.Policy{AllowedMRSigner: []cryptbox.Digest{ReplicaSigner(scenarioService)}}
-	kb.Register(scenarioService, policy, keys)
-
-	var durH *durabilityHarness
-	if spec.Durability != nil {
-		if durH, err = newDurabilityHarness(spec, svc, kb); err != nil {
-			return ScenarioResult{}, err
-		}
-	}
-
 	// The handler echoes a fixed-size ack; the modeled per-request compute
 	// comes from RequestCycles, charged inside the replica's span.
 	handler := func(req []byte) ([]byte, error) { return []byte{byte(len(req))}, nil }
 
-	rs, err := NewReplicaSet(bus, svc, kb, scenarioService, handler, ReplicaSetConfig{
+	rsCfg := ReplicaSetConfig{
 		Replicas:      spec.Replicas,
 		Workers:       spec.Workers,
 		InTopic:       inTopic,
@@ -334,9 +341,40 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 		TickBudget:    sim.MillisToCycles(spec.TickMillis),
 		RequestCycles: spec.RequestCycles,
 		Admission:     spec.Admission,
-	})
-	if err != nil {
-		return ScenarioResult{}, err
+	}
+	var (
+		rs     *ReplicaSet
+		cs     *ClusterSet
+		policy attest.Policy
+		durH   *durabilityHarness
+	)
+	if spec.Cluster != nil {
+		// Cluster mode: container boots placed on simulated nodes; the
+		// key-release policy pins the image's expected measurement (the
+		// durability harness is registered first, below, like always).
+		var durErr error
+		if spec.Durability != nil {
+			if durH, durErr = newDurabilityHarness(spec, svc, kb); durErr != nil {
+				return ScenarioResult{}, durErr
+			}
+		}
+		cs, policy, err = buildClusterPlane(spec, bus, svc, kb, keys, handler, rsCfg)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		rs = cs.ReplicaSet
+	} else {
+		policy = attest.Policy{AllowedMRSigner: []cryptbox.Digest{ReplicaSigner(scenarioService)}}
+		kb.Register(scenarioService, policy, keys)
+		if spec.Durability != nil {
+			if durH, err = newDurabilityHarness(spec, svc, kb); err != nil {
+				return ScenarioResult{}, err
+			}
+		}
+		rs, err = NewReplicaSet(bus, svc, kb, scenarioService, handler, rsCfg)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
 	}
 	defer rs.Stop()
 	o, err := orchestrator.New(spec.Target, rs, rs.ReplicaHandles()...)
@@ -371,6 +409,14 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 	shedByPhase := [3]int{}
 	servedByPhase := [3]int{}
 	launchDenied := 0
+	launchFailed := 0
+	if cs != nil {
+		// The construction-time placements (front-end gateway + initial
+		// replicas) open the trace at tick zero.
+		for _, ev := range cs.DrainEvents() {
+			res.Trace = append(res.Trace, "t0000 "+ev)
+		}
+	}
 	phaseOf := func(t int) int {
 		if spec.WarmupTicks <= 0 {
 			return 1
@@ -417,6 +463,24 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 			case "reinstate":
 				kb.Register(scenarioService, policy, keys)
 				res.Trace = append(res.Trace, fmt.Sprintf("t%04d reinstate %s", t, scenarioService))
+			case "node-crash", "partition", "heal", "byzantine":
+				if cs == nil {
+					return res, fmt.Errorf("microsvc: scenario %q has %s fault but no Cluster", spec.Name, f.Kind)
+				}
+				switch f.Kind {
+				case "node-crash":
+					name, ids := cs.CrashNode(f.Node)
+					res.Trace = append(res.Trace, fmt.Sprintf("t%04d inject node-crash %s (%d replicas)", t, name, len(ids)))
+				case "partition":
+					name, ids := cs.PartitionNode(f.Node)
+					res.Trace = append(res.Trace, fmt.Sprintf("t%04d inject partition %s (%d replicas)", t, name, len(ids)))
+				case "heal":
+					name := cs.HealNode(f.Node)
+					res.Trace = append(res.Trace, fmt.Sprintf("t%04d heal %s", t, name))
+				case "byzantine":
+					name := cs.SetByzantineNode(f.Node)
+					res.Trace = append(res.Trace, fmt.Sprintf("t%04d inject byzantine registry for %s", t, name))
+				}
 			}
 		}
 		if spec.Retry != nil {
@@ -470,12 +534,32 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 			// A revoked service denies keys to replacement replicas: the
 			// orchestrator's launch fails closed, the dead replica stays
 			// down, and the retry next tick either re-attests (after a
-			// reinstate) or is denied again. Any other error is fatal.
-			if !errors.Is(err, attest.ErrServiceRevoked) {
+			// reinstate) or is denied again. Cluster mode adds two more
+			// fail-closed launch outcomes the loop must survive: a pull
+			// rejecting tampered chunks (the node isolates and placement
+			// routes around it next tick) and no node being eligible for
+			// placement. Any other error is fatal.
+			switch {
+			case errors.Is(err, attest.ErrServiceRevoked):
+				launchDenied++
+				res.Trace = append(res.Trace, fmt.Sprintf("t%04d launch denied (revoked)", t))
+			case cs != nil && errors.Is(err, container.ErrChunkVerify):
+				launchFailed++
+				res.Trace = append(res.Trace, fmt.Sprintf("t%04d launch failed (chunk verify)", t))
+			case cs != nil && errors.Is(err, orchestrator.ErrNoEligibleNode):
+				launchFailed++
+				res.Trace = append(res.Trace, fmt.Sprintf("t%04d launch failed (no eligible node)", t))
+			case cs != nil && errors.Is(err, cluster.ErrNodeUnreachable):
+				launchFailed++
+				res.Trace = append(res.Trace, fmt.Sprintf("t%04d launch failed (node unreachable)", t))
+			default:
 				return res, err
 			}
-			launchDenied++
-			res.Trace = append(res.Trace, fmt.Sprintf("t%04d launch denied (revoked)", t))
+		}
+		if cs != nil {
+			for _, ev := range cs.DrainEvents() {
+				res.Trace = append(res.Trace, fmt.Sprintf("t%04d %s", t, ev))
+			}
 		}
 		if len(actions) > 0 && res.FirstReactionTick < 0 &&
 			(res.InjectTick < 0 || t >= res.InjectTick) {
@@ -565,6 +649,10 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 		m["served_phase_recover"] = float64(servedByPhase[2])
 	}
 	m["launch_denied"] = float64(launchDenied)
+	if cs != nil {
+		m["launch_failed"] = float64(launchFailed)
+		cs.foldMetrics(m)
+	}
 	if durH != nil {
 		durH.metrics(m)
 	}

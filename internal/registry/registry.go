@@ -183,6 +183,21 @@ func (r *Registry) Stats() Stats {
 	}
 }
 
+// StatsName implements stats.Source.
+func (r *Registry) StatsName() string { return "registry" }
+
+// Snapshot implements stats.Source.
+func (r *Registry) Snapshot() map[string]float64 {
+	s := r.Stats()
+	return map[string]float64{
+		"manifests":  float64(s.Manifests),
+		"layers":     float64(s.Layers),
+		"blobs":      float64(s.Blobs),
+		"blob_bytes": float64(s.BlobBytes),
+		"dedup_hits": float64(s.DedupHits),
+	}
+}
+
 // layerSnapshot is one layer's manifest plus its chunk slices, captured
 // under the lock. Stored blobs are replaced, never mutated in place, so
 // the slices stay valid (and immutable) after the lock is released.

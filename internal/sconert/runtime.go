@@ -205,10 +205,31 @@ func (s *Scheduler) Run() error {
 	return firstErr
 }
 
-// Stats returns (tasks executed, enclave entries used) so far. The gap
-// between the two is the number of world switches the M:N design avoided.
-func (s *Scheduler) Stats() (tasks, entries uint64) {
+// SchedulerStats is the scheduler's counter snapshot. The gap between
+// Tasks and Entries is the number of world switches the M:N design
+// avoided.
+type SchedulerStats struct {
+	// Tasks counts user-level tasks executed.
+	Tasks uint64
+	// Entries counts enclave entries (EENTERs) used to run them.
+	Entries uint64
+}
+
+// Stats returns the scheduler's counters so far.
+func (s *Scheduler) Stats() SchedulerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tasksRun, s.entriesUsed
+	return SchedulerStats{Tasks: s.tasksRun, Entries: s.entriesUsed}
+}
+
+// StatsName implements stats.Source.
+func (s *Scheduler) StatsName() string { return "sconert" }
+
+// Snapshot implements stats.Source.
+func (s *Scheduler) Snapshot() map[string]float64 {
+	st := s.Stats()
+	return map[string]float64{
+		"tasks":   float64(st.Tasks),
+		"entries": float64(st.Entries),
+	}
 }

@@ -270,12 +270,12 @@ func TestSchedulerRunsAllTasks(t *testing.T) {
 	if n.Load() != 100 {
 		t.Fatalf("ran %d tasks, want 100", n.Load())
 	}
-	tasks, entries := s.Stats()
-	if tasks != 100 {
-		t.Fatalf("Stats tasks = %d", tasks)
+	st := s.Stats()
+	if st.Tasks != 100 {
+		t.Fatalf("Stats tasks = %d", st.Tasks)
 	}
-	if entries > 4 {
-		t.Fatalf("used %d enclave entries for 100 tasks with 4 TCS", entries)
+	if st.Entries > 4 {
+		t.Fatalf("used %d enclave entries for 100 tasks with 4 TCS", st.Entries)
 	}
 }
 

@@ -1,0 +1,18 @@
+package stats
+
+import (
+	"securecloud/internal/cluster"
+	"securecloud/internal/container"
+	"securecloud/internal/microsvc"
+	"securecloud/internal/registry"
+	"securecloud/internal/sconert"
+)
+
+// Compile-time pins: the repo's snapshot-bearing components satisfy Source.
+var (
+	_ Source = (*registry.Registry)(nil)
+	_ Source = (*container.BlobCache)(nil)
+	_ Source = (*sconert.Scheduler)(nil)
+	_ Source = (*microsvc.ReplicaSet)(nil)
+	_ Source = (*cluster.Cluster)(nil)
+)

@@ -1,0 +1,52 @@
+// Package stats defines the repo-wide snapshot surface: a Source is
+// anything that can report its deterministic counters as a flat
+// name → float64 map. The registry, the blob cache, the replica set, the
+// SCONE scheduler and the simulated cluster all implement it, so bench
+// drivers (and a future /metrics endpoint) enumerate snapshots uniformly
+// instead of growing one bespoke Stats() shape per package.
+//
+// Snapshot values are simulated figures (cycles, counts, bytes) — pure
+// functions of config and workload, never of host timing — so a collected
+// map is directly gateable by the bench baseline.
+package stats
+
+import "sort"
+
+// Source exposes one component's counters as a flat metric map.
+type Source interface {
+	// StatsName is the component's stable snapshot prefix (e.g. "registry",
+	// "cluster"). It must not contain '.'.
+	StatsName() string
+	// Snapshot returns the current counters. Keys are flat metric names;
+	// values are deterministic simulated figures. The returned map is a
+	// copy the caller may mutate.
+	Snapshot() map[string]float64
+}
+
+// Collect merges the snapshots of several sources into one flat map, each
+// key prefixed "<name>.". Later sources win on (pathological) duplicate
+// names.
+func Collect(sources ...Source) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range sources {
+		if s == nil {
+			continue
+		}
+		name := s.StatsName()
+		for k, v := range s.Snapshot() {
+			out[name+"."+k] = v
+		}
+	}
+	return out
+}
+
+// Keys returns the sorted key set of a snapshot — the deterministic
+// iteration order for emitting or gating a collected map.
+func Keys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+type fakeSource struct {
+	name string
+	m    map[string]float64
+}
+
+func (f fakeSource) StatsName() string            { return f.name }
+func (f fakeSource) Snapshot() map[string]float64 { return f.m }
+
+func TestCollectPrefixesAndSkipsNil(t *testing.T) {
+	got := Collect(
+		fakeSource{"a", map[string]float64{"x": 1, "y": 2}},
+		nil,
+		fakeSource{"b", map[string]float64{"x": 3}},
+	)
+	want := map[string]float64{"a.x": 1, "a.y": 2, "b.x": 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Collect = %v, want %v", got, want)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	got := Keys(map[string]float64{"b": 1, "a": 2, "c": 3})
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+// TestRepoSourcesCompile is in the implementing packages' own tests; here
+// we only pin that the interface stays satisfiable by a value type.
+var _ Source = fakeSource{}

@@ -1,0 +1,26 @@
+package transfer
+
+import "securecloud/internal/sim"
+
+// LinkCost is the analytic cost model of one simulated network link: a
+// fixed per-chunk latency plus a size-proportional transfer charge. It is
+// deliberately a pure function of the chunk's byte length — never of link
+// state — so concurrent fetchers can sum link charges through commutative
+// atomic counters and the totals stay bit-identical across worker counts
+// and chunk arrival orders (the topology-vs-execution discipline).
+type LinkCost struct {
+	// LatencyCycles is charged once per chunk crossing the link.
+	LatencyCycles sim.Cycles
+	// CyclesPerKiB is charged per started KiB of chunk payload.
+	CyclesPerKiB sim.Cycles
+}
+
+// ChunkCycles returns the simulated cycles one n-byte chunk costs to cross
+// the link.
+func (lc LinkCost) ChunkCycles(n int) sim.Cycles {
+	if n < 0 {
+		n = 0
+	}
+	kib := sim.Cycles((n + 1023) / 1024)
+	return lc.LatencyCycles + kib*lc.CyclesPerKiB
+}

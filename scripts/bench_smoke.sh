@@ -37,13 +37,16 @@ go run ./cmd/kv-bench -json >"$TMP/kv.json"
 # Application plane: the four closed-loop fault-injection scenarios
 # (crash, load spike, hot-key skew, slow replica) plus the declarative
 # admission lab (overload, noisy-neighbor, cascade, slow-network,
-# recovery) and the overload admission-on/off contrast arm, each swept
-# across worker counts 1,2,4,8. The driver itself asserts that adaptation
-# traces, cycle totals and every lab metric are bit-identical across the
-# sweep and that each lab spec's assertion table passes; the deterministic
-# metrics, assertion verdicts and the contrast flag are gated by
-# scripts/bench_check.sh.
-echo "bench-smoke: app-bench (orchestrated replica-set scenarios + admission lab, workers 1,2,4,8)" >&2
+# recovery, crash-state, key-revocation), the simulated multi-node
+# cluster lab (node-crash, node-partition, byzantine-registry — placement
+# locality, partition fail-closed and cache-poisoning tripwires) and the
+# overload admission-on/off contrast arm, each swept across worker counts
+# 1,2,4,8. The driver itself asserts that adaptation traces, cycle totals
+# and every lab metric — including the per-node cluster figures — are
+# bit-identical across the sweep and that each lab spec's assertion table
+# passes; the deterministic metrics, assertion verdicts and the contrast
+# flag are gated by scripts/bench_check.sh.
+echo "bench-smoke: app-bench (orchestrated replica-set scenarios + admission & cluster labs, workers 1,2,4,8)" >&2
 go run ./cmd/app-bench -json >"$TMP/app.json"
 
 # Content-addressed data plane: chunk-granular registry push with dedup,

@@ -54,6 +54,7 @@ RACE_PKGS=(
     ./internal/mapreduce
     ./internal/attest
     ./internal/microsvc
+    ./internal/cluster
     ./internal/orchestrator
     ./internal/transfer
     ./internal/registry

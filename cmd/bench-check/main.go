@@ -303,6 +303,33 @@ func extract(doc map[string]any) (map[string]float64, []string) {
 		}
 	}
 
+	if wb, ok := doc["wire_bench"].(map[string]any); ok {
+		if det, ok := wb["deterministic"].(map[string]any); ok {
+			for name, v := range det {
+				if f, ok := num(v); ok {
+					metrics["wire."+name] = f
+				}
+			}
+		}
+		// The driver's own back-to-back determinism verdict: the same
+		// seeded workload replayed over a freshly built HTTP stack must
+		// reproduce every deterministic counter bit-for-bit.
+		if eq, ok := wb["runs_equal"].(bool); ok && !eq {
+			problems = append(problems,
+				"wire_bench: deterministic counters differed across back-to-back runs (nondeterministic)")
+		}
+		if det, ok := wb["deterministic"].(map[string]any); ok {
+			if lost, ok := num(det["plane_lost"]); ok && lost != 0 {
+				problems = append(problems, fmt.Sprintf(
+					"wire_bench: %v requests never answered within the run, want 0 (reply loss over HTTP)", lost))
+			}
+			if rej, ok := num(det["gw_rejected"]); ok && rej != 0 {
+				problems = append(problems, fmt.Sprintf(
+					"wire_bench: gateway rejected %v well-formed frames, want 0", rej))
+			}
+		}
+	}
+
 	return metrics, problems
 }
 

@@ -1,0 +1,335 @@
+// Command wire-bench measures the HTTP front end (internal/wire) with the
+// closed-loop load harness (internal/loadgen): a seeded client population
+// drives an admission-controlled ReplicaSet through warmup/inject/recover
+// phases over real HTTP on a loopback listener, and an SCBR
+// subscribe/publish/poll workload runs through the same server. A second,
+// freshly built stack replays the identical workload; every deterministic
+// counter must match bit-for-bit (runs_equal), because the counters are
+// pure functions of the seed — HTTP moves the bytes but decides nothing.
+//
+// The JSON splits cleanly: "deterministic" (sent/served/shed, bytes,
+// payload-size histogram buckets, sim-cycle totals, SCBR delivery counts)
+// is gated by cmd/bench-check against the committed baseline; "wallclock"
+// (latency quantiles, throughput) measures the host and is informational.
+//
+// With -pprof the serving process exposes /debug/pprof on the same
+// listener for profiling a longer -ticks run.
+//
+// Usage:
+//
+//	wire-bench [-json] [-ticks N] [-pprof]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/eventbus"
+	"securecloud/internal/loadgen"
+	"securecloud/internal/microsvc"
+	"securecloud/internal/scbr"
+	"securecloud/internal/stats"
+	"securecloud/internal/wire"
+)
+
+const serviceName = "plane/wire-bench"
+
+// planeDriver adapts the HTTP plane clients to the loadgen Driver.
+type planeDriver struct {
+	rs      *microsvc.ReplicaSet
+	clients []*microsvc.PlaneClient
+}
+
+func (d *planeDriver) Send(client int, tenant string, reqs []loadgen.Request) ([]uint64, error) {
+	pr := make([]microsvc.PlaneRequest, len(reqs))
+	for i, r := range reqs {
+		pr[i] = microsvc.PlaneRequest{Key: r.Key, Body: r.Body}
+	}
+	return d.clients[client].SendTenantIDs(tenant, pr)
+}
+
+func (d *planeDriver) Poll(client int) ([]loadgen.Reply, error) {
+	reps, err := d.clients[client].Poll(0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]loadgen.Reply, len(reps))
+	for i, r := range reps {
+		out[i] = loadgen.Reply{ID: r.ID, Shed: r.Shed}
+	}
+	return out, nil
+}
+
+func (d *planeDriver) Step() error {
+	_, err := d.rs.Step()
+	return err
+}
+
+// stack is one fully built serving stack: attested plane + broker behind
+// one wire server on a loopback listener.
+type stack struct {
+	rs     *microsvc.ReplicaSet
+	gw     *wire.PlaneGateway
+	broker *scbr.Broker
+	keys   attest.ServiceKeys
+	srv    *http.Server
+	url    string
+}
+
+func buildStack(inject int, pprofOn bool) (*stack, error) {
+	bus := eventbus.New()
+	svc := attest.NewService()
+	kb := attest.NewKeyBroker(svc)
+	var root cryptbox.Key
+	root[0] = 0x9E
+	keys, err := microsvc.NewServiceKeys(root, serviceName, "wire/req", "wire/resp")
+	if err != nil {
+		return nil, err
+	}
+	kb.Register(serviceName, attest.Policy{AllowedMRSigner: []cryptbox.Digest{microsvc.ReplicaSigner(serviceName)}}, keys)
+	rs, err := microsvc.NewReplicaSet(bus, svc, kb, serviceName,
+		func(req []byte) ([]byte, error) { return append([]byte("ok:"), req...), nil },
+		microsvc.ReplicaSetConfig{
+			Replicas: 2, InTopic: "wire/req", OutTopic: "wire/resp",
+			Admission: &microsvc.AdmissionConfig{
+				// Rate 2/tick with a 4-deep queue per tenant: the warmup
+				// and recover phases (1 req/tick) sail through, the inject
+				// phase (4 req/tick) saturates the bucket and sheds — the
+				// deterministic overload the histogram should show.
+				Default:         microsvc.TenantPolicy{Weight: 1, Rate: 2, Burst: 2, MaxQueue: 4},
+				DispatchPerStep: inject,
+			},
+		})
+	if err != nil {
+		return nil, err
+	}
+	gw, err := wire.NewPlaneGateway(bus, serviceName, keys, "wire/req", "wire/resp")
+	if err != nil {
+		rs.Stop()
+		return nil, err
+	}
+
+	p := enclave.NewPlatform(enclave.Config{})
+	var signer cryptbox.Digest
+	signer[0] = 0x5C
+	e, err := p.ECreate(64<<20, signer)
+	if err != nil {
+		rs.Stop()
+		return nil, err
+	}
+	if _, err := e.EAdd([]byte("scbr-broker-v1")); err != nil {
+		rs.Stop()
+		return nil, err
+	}
+	if err := e.EInit(); err != nil {
+		rs.Stop()
+		return nil, err
+	}
+	broker, err := scbr.NewBroker(e, scbr.DefaultBrokerConfig())
+	if err != nil {
+		rs.Stop()
+		return nil, err
+	}
+
+	ws := wire.NewServer(wire.Config{Broker: broker, Sources: []stats.Source{rs}, Pprof: pprofOn})
+	ws.RegisterPlane(serviceName, gw)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rs.Stop()
+		return nil, err
+	}
+	srv := &http.Server{Handler: ws.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &stack{rs: rs, gw: gw, broker: broker, keys: keys, srv: srv, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (s *stack) close() {
+	_ = s.srv.Close()
+	s.gw.Close()
+	s.rs.Stop()
+}
+
+// runOnce builds a fresh stack, replays the whole workload over HTTP, and
+// returns the deterministic counter map plus the informational wall-clock
+// figures.
+func runOnce(ticks int, pprofOn bool) (map[string]float64, map[string]float64, error) {
+	s, err := buildStack(64, pprofOn)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer s.close()
+
+	const clients = 4
+	spec := loadgen.Spec{
+		Clients:    clients,
+		Seed:       1109,
+		Keys:       32,
+		Tenants:    []string{"t0", "t1", "t2", "t3"},
+		PayloadMin: 48,
+		PayloadMax: 768,
+		Phases: []loadgen.Phase{
+			{Name: "warmup", Ticks: ticks, PerClient: 1},
+			{Name: "inject", Ticks: 2 * ticks, PerClient: 4},
+			{Name: "recover", Ticks: ticks, PerClient: 1},
+		},
+		DrainTicks: 3 * ticks,
+	}
+	drv := &planeDriver{rs: s.rs}
+	for c := 0; c < clients; c++ {
+		tr := wire.NewPlaneTransport(s.url, serviceName, http.DefaultClient)
+		pc, err := microsvc.NewPlaneClientTransport(serviceName, s.keys.Request, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer pc.Close()
+		drv.clients = append(drv.clients, pc)
+	}
+	res, err := loadgen.Run(spec, drv)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// SCBR over the same server: six subscribers on adjacent price bands,
+	// one publisher sweeping the range — every delivery count is a pure
+	// function of the band layout.
+	sub := make([]*wire.SCBRClient, 6)
+	var delivered, polled int
+	for i := range sub {
+		sc, err := wire.DialSCBR(s.url, fmt.Sprintf("sub-%d", i), http.DefaultClient)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := sc.Subscribe(scbr.Subscription{Preds: []scbr.Predicate{
+			{Attr: "price", Interval: scbr.Interval{Lo: float64(i * 10), Hi: float64(i*10 + 14)}},
+		}}); err != nil {
+			return nil, nil, err
+		}
+		sub[i] = sc
+	}
+	pubc, err := wire.DialSCBR(s.url, "pub-0", http.DefaultClient)
+	if err != nil {
+		return nil, nil, err
+	}
+	for v := 0; v < 60; v += 3 {
+		n, err := pubc.Publish(scbr.Event{Attrs: map[string]float64{"price": float64(v)}, Payload: []byte{byte(v)}})
+		if err != nil {
+			return nil, nil, err
+		}
+		delivered += n
+	}
+	for _, sc := range sub {
+		evs, err := sc.Poll()
+		if err != nil {
+			return nil, nil, err
+		}
+		polled += len(evs)
+	}
+
+	det := map[string]float64{
+		"plane_sent":       float64(res.Sent),
+		"plane_served":     float64(res.Served),
+		"plane_shed":       float64(res.Shed),
+		"plane_lost":       float64(res.Lost),
+		"bytes_sent":       float64(res.BytesSent),
+		"phase_warmup":     float64(res.PhaseSent["warmup"]),
+		"phase_inject":     float64(res.PhaseSent["inject"]),
+		"phase_recover":    float64(res.PhaseSent["recover"]),
+		"scbr_delivered":   float64(delivered),
+		"scbr_polled":      float64(polled),
+		"scbr_subscribers": float64(len(sub)),
+	}
+	for i, c := range res.Sizes.BucketCounts() {
+		det[fmt.Sprintf("sizehist_b%02d", i)] = float64(c)
+	}
+	for k, v := range s.rs.Snapshot() {
+		det["sim_"+k] = v
+	}
+	for k, v := range s.gw.Snapshot() {
+		det["gw_"+k] = v
+	}
+
+	lat := res.Latency
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	wall := map[string]float64{
+		"p50_us":     us(lat.Quantile(0.50)),
+		"p95_us":     us(lat.Quantile(0.95)),
+		"p99_us":     us(lat.Quantile(0.99)),
+		"max_us":     us(lat.Max()),
+		"mean_us":    lat.Mean() / 1e3,
+		"elapsed_ms": float64(res.Elapsed.Milliseconds()),
+		"rps":        float64(res.Sent) / res.Elapsed.Seconds(),
+	}
+	return det, wall, nil
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit JSON")
+	ticks := flag.Int("ticks", 8, "warmup phase ticks (inject is 2x, drain 3x)")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof on the bench server")
+	flag.Parse()
+
+	start := time.Now()
+	det1, wall, err := runOnce(*ticks, *pprofOn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wire-bench:", err)
+		os.Exit(1)
+	}
+	det2, _, err := runOnce(*ticks, *pprofOn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wire-bench:", err)
+		os.Exit(1)
+	}
+	runsEqual := len(det1) == len(det2)
+	if runsEqual {
+		for k, v := range det1 {
+			if det2[k] != v {
+				fmt.Fprintf(os.Stderr, "wire-bench: %s differs across runs: %v vs %v\n", k, v, det2[k])
+				runsEqual = false
+			}
+		}
+	}
+
+	out := struct {
+		Ticks         int                `json:"ticks"`
+		Deterministic map[string]float64 `json:"deterministic"`
+		RunsEqual     bool               `json:"runs_equal"`
+		Wallclock     map[string]float64 `json:"wallclock"`
+		TotalWallMS   int64              `json:"total_wall_ms"`
+	}{*ticks, det1, runsEqual, wall, time.Since(start).Milliseconds()}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "wire-bench:", err)
+			os.Exit(1)
+		}
+		if !runsEqual {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("wire-bench: %d ticks, runs_equal=%v\n", *ticks, runsEqual)
+	keys := make([]string, 0, len(det1))
+	for k := range det1 {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-24s %g\n", k, det1[k])
+	}
+	fmt.Printf("  wallclock: p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus rps=%.0f\n",
+		wall["p50_us"], wall["p95_us"], wall["p99_us"], wall["max_us"], wall["rps"])
+	if !runsEqual {
+		os.Exit(1)
+	}
+}

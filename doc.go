@@ -408,4 +408,39 @@
 // workers 1,2,4,8, asserts exactly that plus the zero-fetch warm boot,
 // and its deterministic metrics land in BENCH_N.json where
 // scripts/bench_check.sh gates them like every other simulated figure.
+//
+// # Wire front end & wall-clock benchmarking
+//
+// internal/wire puts real HTTP in front of the attested plane without
+// moving any trust there: SCBR subscribe/publish/poll and ReplicaSet
+// send/poll-reply endpoints carry the existing sealed envelopes verbatim
+// as request and response bodies, so the front end relays bytes it cannot
+// open — a compromised server degrades availability, never
+// confidentiality. The plane gateway validates ingress frames
+// structurally (microsvc.CheckFrame) and routes reply frames to
+// per-tenant mailboxes by their cleartext tenant header; the frame-batch
+// codec clamps claimed counts by the physical minimum before allocating
+// (the forged-count guard again) and rejects trailing garbage; bodies are
+// bounded via internal/httpx, the plumbing shared with the registry's
+// front end. A PlaneClient built over wire.PlaneTransport is
+// byte-for-byte the in-process client — the wire tests prove the sealed
+// replies identical because the bus fans the same frames to both.
+//
+// This is where the repo's two kinds of performance measurement meet.
+// Sim-cycle figures are modeled costs: deterministic, bit-identical
+// across hosts, gated by scripts/bench_check.sh. Wall-clock figures
+// measure the host and are informational only. internal/loadgen keeps
+// the two cleanly apart: its closed-loop harness (fixed client
+// population, seeded key/tenant/payload mix, warmup/inject/recover
+// phases in lockstep ticks) produces counters and payload-size histogram
+// buckets that are pure functions of the spec — gated — while its
+// fixed-bucket latency histogram (p50/p95/p99/max) times real HTTP round
+// trips — informational. cmd/wire-bench runs the whole stack twice on
+// fresh loopback servers and asserts every deterministic counter matches
+// bit-for-bit (runs_equal, gated); `wire-bench -pprof` additionally
+// mounts net/http/pprof on the bench listener, which is how the hot-path
+// work is found: profile, fold allocations out of the frame/seal paths
+// (exact-capacity contiguous seal buffers, precomputed AADs, slice-based
+// admission histograms), and prove the wins with go test -benchmem
+// before/after while bench-check pins every sim metric unchanged.
 package securecloud

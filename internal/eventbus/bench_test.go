@@ -1,0 +1,92 @@
+package eventbus
+
+import (
+	"fmt"
+	"testing"
+
+	"securecloud/internal/cryptbox"
+)
+
+// benchEndpoints builds a publisher and nsubs subscribers on one topic.
+func benchEndpoints(b *testing.B, bus *Bus, nsubs int) (*Publisher, []*Subscriber) {
+	b.Helper()
+	var root cryptbox.Key
+	root[0] = 0xBE
+	key, err := TopicKey(root, "bench/topic")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := OpenPublisher(EndpointConfig{Bus: bus, Topic: "bench/topic", Key: key})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := make([]*Subscriber, nsubs)
+	for i := range subs {
+		subs[i], err = OpenSubscriber(EndpointConfig{Bus: bus, Topic: "bench/topic", Key: key})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return pub, subs
+}
+
+// BenchmarkPublishBatch measures the frame fast path: seal a batch of
+// bodies and enqueue them onto every subscriber queue under one bus lock.
+// Run with -benchmem: the per-publish allocation count is the figure the
+// wire front end exposed as a hot path.
+func BenchmarkPublishBatch(b *testing.B) {
+	for _, nsubs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("subs=%d", nsubs), func(b *testing.B) {
+			bus := New()
+			pub, subs := benchEndpoints(b, bus, nsubs)
+			const batch = 64
+			bodies := make([][]byte, batch)
+			for i := range bodies {
+				bodies[i] = make([]byte, 1024)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pub.PublishBatch(bodies); err != nil {
+					b.Fatal(err)
+				}
+				// Keep queues bounded: drain without leaving the timer.
+				for _, s := range subs {
+					if _, err := s.PollBatch(0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.SetBytes(int64(batch * 1024))
+		})
+	}
+}
+
+// BenchmarkPollBatch measures the drain fast path alone: open a batch of
+// sealed frames off one subscriber queue.
+func BenchmarkPollBatch(b *testing.B) {
+	bus := New()
+	pub, subs := benchEndpoints(b, bus, 1)
+	const batch = 64
+	bodies := make([][]byte, batch)
+	for i := range bodies {
+		bodies[i] = make([]byte, 1024)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := pub.PublishBatch(bodies); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		out, err := subs[0].PollBatch(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != batch {
+			b.Fatalf("polled %d, want %d", len(out), batch)
+		}
+	}
+	b.SetBytes(int64(batch * 1024))
+}

@@ -128,19 +128,26 @@ func (b *Bus) publishBatch(topic string, sealed [][]byte) ([]uint64, error) {
 		return nil, ErrClosed
 	}
 	lim := b.queueLimit(topic)
-	for id, q := range b.queues[topic] {
+	qs := b.queues[topic]
+	for id, q := range qs {
 		if len(q)+len(sealed) > lim {
 			return nil, fmt.Errorf("%w: topic %s subscriber %d", ErrBackPres, topic, id)
 		}
 	}
+	// Build the message batch once, then append it whole per subscriber:
+	// the per-message topic-map lookups (seq bump + queue fetch × fan-out)
+	// collapse to one lookup per batch.
+	seq := b.seqs[topic]
 	seqs := make([]uint64, len(sealed))
+	msgs := make([]Message, len(sealed))
 	for i, s := range sealed {
-		b.seqs[topic]++
-		seqs[i] = b.seqs[topic]
-		m := Message{Topic: topic, Seq: seqs[i], Sealed: s}
-		for id, q := range b.queues[topic] {
-			b.queues[topic][id] = append(q, m)
-		}
+		seq++
+		seqs[i] = seq
+		msgs[i] = Message{Topic: topic, Seq: seq, Sealed: s}
+	}
+	b.seqs[topic] = seq
+	for id, q := range qs {
+		qs[id] = append(q, msgs...)
 	}
 	return seqs, nil
 }
@@ -406,17 +413,28 @@ func (p *Publisher) PublishBatch(bodies [][]byte) ([]uint64, error) {
 	if len(bodies) == 0 {
 		return nil, nil
 	}
+	// Seal the whole batch into one contiguous buffer: the AEAD overhead is
+	// fixed per message, so the exact capacity is known up front and
+	// SealAppend never reallocates — two allocations per batch instead of
+	// one per message. Sub-slices are capacity-capped so they stay
+	// independent views of the shared backing array.
+	overhead := p.box.Overhead()
+	capTotal := 0
+	for _, body := range bodies {
+		capTotal += len(body) + overhead
+	}
+	buf := make([]byte, 0, capTotal)
 	sealed := make([][]byte, len(bodies))
-	total := 0
 	for i, body := range bodies {
-		s, err := p.box.Seal(body, p.aad)
+		start := len(buf)
+		var err error
+		buf, err = p.box.SealAppend(buf, body, p.aad)
 		if err != nil {
 			return nil, err
 		}
-		sealed[i] = s
-		total += len(s)
+		sealed[i] = buf[start:len(buf):len(buf)]
 	}
-	p.stage.chargeCopy(total, true)
+	p.stage.chargeCopy(len(buf), true)
 	return p.bus.publishBatch(p.topic, sealed)
 }
 

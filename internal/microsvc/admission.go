@@ -116,8 +116,11 @@ type admission struct {
 	// step numbers admission steps; each admitted request records the step
 	// it arrived in, and dispatch turns the difference into a queue-wait
 	// histogram (in steps — the caller scales by TickMillis for sim-ms).
+	// Indexed by whole steps waited (index 0 unused: one step is the
+	// floor), grown on demand — a dense slice instead of a map, so the
+	// per-dispatch increment on the hot path hashes nothing.
 	step      uint64
-	latCounts map[int]uint64
+	latCounts []uint64
 }
 
 // newAdmission normalizes the configuration and returns an empty
@@ -133,12 +136,20 @@ func newAdmission(cfg AdmissionConfig) *admission {
 		cfg.SplitDepth = 1
 	}
 	return &admission{
-		cfg:       cfg,
-		tenants:   make(map[string]*tenantState),
-		hotCount:  make(map[string]int),
-		hotSeq:    make(map[string]uint64),
-		latCounts: make(map[int]uint64),
+		cfg:      cfg,
+		tenants:  make(map[string]*tenantState),
+		hotCount: make(map[string]int),
+		hotSeq:   make(map[string]uint64),
 	}
+}
+
+// observeWait counts one dispatched request that waited the given whole
+// steps, growing the histogram as needed.
+func (a *admission) observeWait(steps int) {
+	for len(a.latCounts) <= steps {
+		a.latCounts = append(a.latCounts, 0)
+	}
+	a.latCounts[steps]++
 }
 
 // normalizePolicy fills a policy's defaults.
@@ -264,7 +275,7 @@ func (a *admission) dispatch() []request {
 				continue
 			}
 			for _, q := range ts.queue[:take] {
-				a.latCounts[int(a.step-q.admitStep+1)]++
+				a.observeWait(int(a.step - q.admitStep + 1))
 			}
 			out = append(out, ts.queue[:take]...)
 			ts.queue = append(ts.queue[:0], ts.queue[take:]...)
@@ -317,31 +328,32 @@ func (a *admission) depth() int { return a.queued }
 // sim-ms (waits are whole steps; one step of wait is the floor — a request
 // dispatched in its arrival step waited one step).
 func (a *admission) latencyPercentiles(tickMS float64) (p50, p95, max float64) {
-	steps := make([]int, 0, len(a.latCounts))
 	var total uint64
+	last := 0
 	for s, c := range a.latCounts {
-		steps = append(steps, s)
-		total += c
+		if c > 0 {
+			total += c
+			last = s
+		}
 	}
 	if total == 0 {
 		return 0, 0, 0
 	}
-	sort.Ints(steps)
 	pick := func(q float64) float64 {
 		want := uint64(math.Ceil(q * float64(total)))
 		if want < 1 {
 			want = 1
 		}
 		var seen uint64
-		for _, s := range steps {
-			seen += a.latCounts[s]
+		for s, c := range a.latCounts {
+			seen += c
 			if seen >= want {
 				return float64(s) * tickMS
 			}
 		}
-		return float64(steps[len(steps)-1]) * tickMS
+		return float64(last) * tickMS
 	}
-	return pick(0.50), pick(0.95), float64(steps[len(steps)-1]) * tickMS
+	return pick(0.50), pick(0.95), float64(last) * tickMS
 }
 
 // TenantSnapshot is one tenant's admission counters.

@@ -176,11 +176,12 @@ type retiredTotals struct {
 // request key, used only to seal shed replies (the front end never opens
 // request bodies — routing stays on cleartext metadata).
 type frontEnd struct {
-	enc  *enclave.Enclave
-	stop func()
-	sub  *eventbus.Subscriber
-	pub  *eventbus.Publisher
-	box  *cryptbox.Box
+	enc     *enclave.Enclave
+	stop    func()
+	sub     *eventbus.Subscriber
+	pub     *eventbus.Publisher
+	box     *cryptbox.Box
+	shedAAD []byte // "shed|<name>", precomputed once per set
 }
 
 // frameMeta is the tenant envelope of a v2 frame: the tenant ID the
@@ -356,7 +357,10 @@ func (rs *ReplicaSet) bootFront() (*frontEnd, error) {
 		br.stop()
 		return nil, err
 	}
-	return &frontEnd{enc: br.enc, stop: br.stop, sub: sub, pub: pub, box: box}, nil
+	return &frontEnd{
+		enc: br.enc, stop: br.stop, sub: sub, pub: pub, box: box,
+		shedAAD: shedAADFor(rs.name),
+	}, nil
 }
 
 // Replica is one enclave-per-replica worker of a ReplicaSet. All counters
@@ -368,6 +372,11 @@ type Replica struct {
 	box   *cryptbox.Box
 	stage uint64
 	stop  func()
+
+	// reqAAD / respAAD are the service-bound frame AADs, precomputed at
+	// launch so the serve loop never rebuilds the strings per request.
+	reqAAD  []byte
+	respAAD []byte
 
 	served      atomic.Uint64
 	failed      atomic.Uint64
@@ -400,8 +409,10 @@ func (rs *ReplicaSet) launchReplica(id string) (*Replica, error) {
 	}
 	return &Replica{
 		id: id, set: rs, enc: br.enc, box: box,
-		stage: br.arena.Alloc(replicaStageBytes),
-		stop:  br.stop,
+		stage:   br.arena.Alloc(replicaStageBytes),
+		stop:    br.stop,
+		reqAAD:  reqAADFor(rs.name),
+		respAAD: respAADFor(rs.name),
 	}, nil
 }
 
@@ -749,9 +760,11 @@ func (r *Replica) chargeStage(sp *enclave.Span, n int, write bool) {
 
 // serveOne processes one request inside the replica's enclave: charge the
 // sealed request through the staging window, open it with the request key,
-// run the handler, seal and charge the reply. Returns the sealed reply
-// frame body (nil for a dropped message) and whether the request counted
-// as served.
+// run the handler, seal and charge the reply. Returns the complete reply
+// frame (nil for a dropped or reply-less message) and whether the request
+// counted as served. The frame header is laid out first and the reply
+// sealed directly after it with SealAppend, so frame assembly costs one
+// exact-capacity allocation instead of seal-then-copy.
 func (r *Replica) serveOne(q request) ([]byte, bool) {
 	mem := r.enc.Memory()
 	sp := mem.BeginSpan()
@@ -762,7 +775,7 @@ func (r *Replica) serveOne(q request) ([]byte, bool) {
 	if rc := r.set.cfg.RequestCycles; rc > 0 {
 		sp.ChargeCPU(rc)
 	}
-	body, err := r.box.Open(q.sealed, reqAADFor(r.set.name))
+	body, err := r.box.Open(q.sealed, r.reqAAD)
 	if err != nil {
 		sp.End()
 		r.failed.Add(1)
@@ -774,19 +787,21 @@ func (r *Replica) serveOne(q request) ([]byte, bool) {
 		r.failed.Add(1)
 		return nil, false
 	}
-	var sealedResp []byte
+	var frame []byte
 	if len(resp) > 0 {
-		sealedResp, err = r.box.Seal(resp, respAADFor(r.set.name))
+		hdr := appendReplyHeader(make([]byte, 0, replyFrameCap(q, len(resp)+r.box.Overhead())), q)
+		sealedStart := len(hdr)
+		frame, err = r.box.SealAppend(hdr, resp, r.respAAD)
 		if err != nil {
 			sp.End()
 			r.failed.Add(1)
 			return nil, false
 		}
-		r.chargeStage(sp, len(sealedResp), true)
+		r.chargeStage(sp, len(frame)-sealedStart, true)
 	}
 	sp.End()
 	r.served.Add(1)
-	return sealedResp, true
+	return frame, true
 }
 
 // serveTick serves pending requests up to the set's tick budget (always at
@@ -830,12 +845,12 @@ func (r *Replica) serveTick() (replies [][]byte, served, failed int) {
 	budget := r.set.cfg.TickBudget
 	n := 0
 	for _, q := range pending {
-		sealedResp, ok := r.serveOne(q)
+		frame, ok := r.serveOne(q)
 		n++
 		if ok {
 			served++
-			if sealedResp != nil {
-				replies = append(replies, encodeReply(q, sealedResp))
+			if frame != nil {
+				replies = append(replies, frame)
 			}
 		} else {
 			failed++
@@ -1069,17 +1084,21 @@ func (rs *ReplicaSet) publishSheds(sheds []shedVerdict, st *StepStats) error {
 	}
 	frames := make([][]byte, 0, len(sheds))
 	var firstErr error
+	overhead := rs.front.box.Overhead()
 	for _, sv := range sheds {
-		body := make([]byte, 8)
-		binary.BigEndian.PutUint64(body, math.Float64bits(sv.retryAfterMS))
-		sealed, err := rs.front.box.Seal(body, shedAADFor(rs.name))
+		var body [8]byte
+		binary.BigEndian.PutUint64(body[:], math.Float64bits(sv.retryAfterMS))
+		hdr := appendFrameV2Header(
+			make([]byte, 0, frameV2HeaderLen(sv.req.key, sv.req.meta)+8+overhead),
+			sv.req.key, sv.req.meta, frameFlagShed)
+		frame, err := rs.front.box.SealAppend(hdr, body[:], rs.front.shedAAD)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		frames = append(frames, encodeFrameV2(sv.req.key, sealed, sv.req.meta, frameFlagShed))
+		frames = append(frames, frame)
 	}
 	if len(frames) > 0 {
 		if _, err := rs.front.pub.PublishBatch(frames); err != nil {
@@ -1111,15 +1130,21 @@ func reqAADFor(name string) []byte  { return []byte("req|" + name) }
 func respAADFor(name string) []byte { return []byte("resp|" + name) }
 func shedAADFor(name string) []byte { return []byte("shed|" + name) }
 
+// appendFrameHeader appends the legacy frame header (2-byte big-endian key
+// length, then the key) to b.
+func appendFrameHeader(b []byte, key string) []byte {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(key)))
+	b = append(b, l[:]...)
+	return append(b, key...)
+}
+
 // encodeFrame frames a routing key and a sealed body for the bus: 2-byte
 // big-endian key length, the key, the sealed body. The key is cleartext
 // routing metadata (like a topic name); the body stays sealed end to end.
 func encodeFrame(key string, sealed []byte) []byte {
-	b := make([]byte, 2+len(key)+len(sealed))
-	binary.BigEndian.PutUint16(b, uint16(len(key)))
-	copy(b[2:], key)
-	copy(b[2+len(key):], sealed)
-	return b
+	b := appendFrameHeader(make([]byte, 0, 2+len(key)+len(sealed)), key)
+	return append(b, sealed...)
 }
 
 // decodeFrame splits a frame into routing key and sealed body.
@@ -1148,22 +1173,48 @@ const (
 	frameFlagShed = 0x01
 )
 
+// appendFrameV2Header appends everything of a v2 frame before the sealed
+// body: magic, flags, tenant envelope, request ID and routing key.
+func appendFrameV2Header(b []byte, key string, meta frameMeta, flags byte) []byte {
+	var w [8]byte
+	binary.BigEndian.PutUint16(w[:2], frameMagic)
+	b = append(b, w[0], w[1], flags, byte(len(meta.tenant)))
+	b = append(b, meta.tenant...)
+	binary.BigEndian.PutUint64(w[:], meta.id)
+	b = append(b, w[:]...)
+	binary.BigEndian.PutUint16(w[:2], uint16(len(key)))
+	b = append(b, w[0], w[1])
+	return append(b, key...)
+}
+
+// frameV2HeaderLen is the byte length appendFrameV2Header emits.
+func frameV2HeaderLen(key string, meta frameMeta) int {
+	return 2 + 1 + 1 + len(meta.tenant) + 8 + 2 + len(key)
+}
+
 // encodeFrameV2 frames a request or reply with its tenant envelope.
 func encodeFrameV2(key string, sealed []byte, meta frameMeta, flags byte) []byte {
-	tn := len(meta.tenant)
-	b := make([]byte, 2+1+1+tn+8+2+len(key)+len(sealed))
-	binary.BigEndian.PutUint16(b, frameMagic)
-	b[2] = flags
-	b[3] = byte(tn)
-	copy(b[4:], meta.tenant)
-	off := 4 + tn
-	binary.BigEndian.PutUint64(b[off:], meta.id)
-	off += 8
-	binary.BigEndian.PutUint16(b[off:], uint16(len(key)))
-	off += 2
-	copy(b[off:], key)
-	copy(b[off+len(key):], sealed)
-	return b
+	b := appendFrameV2Header(make([]byte, 0, frameV2HeaderLen(key, meta)+len(sealed)), key, meta, flags)
+	return append(b, sealed...)
+}
+
+// replyFrameCap is the exact frame size of a reply to q whose sealed body
+// is sealedLen bytes — the capacity serveOne preallocates so SealAppend
+// never regrows the buffer.
+func replyFrameCap(q request, sealedLen int) int {
+	if q.meta.v2 {
+		return frameV2HeaderLen(q.key, q.meta) + sealedLen
+	}
+	return 2 + len(q.key) + sealedLen
+}
+
+// appendReplyHeader appends the header of a reply to q in the same frame
+// version as the request (see encodeReply).
+func appendReplyHeader(b []byte, q request) []byte {
+	if q.meta.v2 {
+		return appendFrameV2Header(b, q.key, q.meta, 0)
+	}
+	return appendFrameHeader(b, q.key)
 }
 
 // decodeFrameAny decodes either frame version into a request; the bool
@@ -1204,12 +1255,11 @@ func decodeFrameAny(b []byte) (request, bool, error) {
 
 // encodeReply frames a served reply in the same version as its request, so
 // tenant-tagged requests get their envelope (tenant, id) echoed back and
-// legacy clients see byte-identical legacy frames.
+// legacy clients see byte-identical legacy frames. The serve path fuses
+// framing into the seal (appendReplyHeader + SealAppend); this whole-frame
+// form remains for tests pinning the byte layout.
 func encodeReply(q request, sealed []byte) []byte {
-	if q.meta.v2 {
-		return encodeFrameV2(q.key, sealed, q.meta, 0)
-	}
-	return encodeFrame(q.key, sealed)
+	return append(appendReplyHeader(make([]byte, 0, replyFrameCap(q, len(sealed))), q), sealed...)
 }
 
 // PlaneRequest is one client request: a cleartext routing key and the
@@ -1251,15 +1301,47 @@ type inflightReq struct {
 	dueMS   float64
 }
 
+// Transport moves sealed plane frames between a client and a service's
+// topics. The default is the in-process bus transport; the wire package
+// provides an HTTP transport with identical semantics. SendFrames must
+// deliver a batch atomically in order; RecvFrames drains every frame
+// currently pending for this client.
+type Transport interface {
+	SendFrames(frames [][]byte) error
+	RecvFrames() ([][]byte, error)
+	Close()
+}
+
+// busTransport is the in-process Transport: a bus publisher/subscriber
+// pair on the service's in/out topics.
+type busTransport struct {
+	pub *eventbus.Publisher
+	sub *eventbus.Subscriber
+}
+
+func (t *busTransport) SendFrames(frames [][]byte) error {
+	_, err := t.pub.PublishBatch(frames)
+	return err
+}
+
+func (t *busTransport) RecvFrames() ([][]byte, error) { return t.sub.Receive() }
+
+func (t *busTransport) Close() { t.sub.Close() }
+
 // PlaneClient is the owner-side endpoint of a replica set: it holds the
-// service keys (the owner registered them with the KeyBroker in the first
-// place), seals requests onto the in topic and opens replies off the out
-// topic.
+// service request key (the owner registered the keys with the KeyBroker in
+// the first place), seals request bodies before they touch the transport
+// and opens replies coming back — so the transport, in-process bus or HTTP
+// wire alike, only ever carries sealed frames.
 type PlaneClient struct {
 	name string
 	box  *cryptbox.Box
-	pub  *eventbus.Publisher
-	sub  *eventbus.Subscriber
+	tr   Transport
+
+	// Frame AADs, precomputed once per client instead of per request.
+	reqAAD  []byte
+	respAAD []byte
+	shedAAD []byte
 
 	// Retry state (nil retry = fire-and-forget, the legacy behaviour).
 	// All of it is driven by the caller's sim-ms clock, never a host
@@ -1272,12 +1354,9 @@ type PlaneClient struct {
 	retriesAbandoned uint64
 }
 
-// NewPlaneClient builds a client for the named service from its key set.
+// NewPlaneClient builds a client for the named service from its key set,
+// wired to the in-process bus transport.
 func NewPlaneClient(bus *eventbus.Bus, name string, keys attest.ServiceKeys, inTopic, outTopic string) (*PlaneClient, error) {
-	box, err := cryptbox.NewBox(keys.Request)
-	if err != nil {
-		return nil, err
-	}
 	inKey, ok := keys.Topic(inTopic)
 	if !ok {
 		return nil, fmt.Errorf("microsvc: client has no stream key for %s", inTopic)
@@ -1294,7 +1373,27 @@ func NewPlaneClient(bus *eventbus.Bus, name string, keys attest.ServiceKeys, inT
 	if err != nil {
 		return nil, err
 	}
-	return &PlaneClient{name: name, box: box, pub: pub, sub: sub}, nil
+	return NewPlaneClientTransport(name, keys.Request, &busTransport{pub: pub, sub: sub})
+}
+
+// NewPlaneClientTransport builds a client that reaches the service through
+// an arbitrary Transport (e.g. the wire package's HTTP transport). The
+// request key stays client-side: bodies are sealed before SendFrames ever
+// sees them.
+func NewPlaneClientTransport(name string, requestKey cryptbox.Key, tr Transport) (*PlaneClient, error) {
+	if tr == nil {
+		return nil, errors.New("microsvc: nil transport")
+	}
+	box, err := cryptbox.NewBox(requestKey)
+	if err != nil {
+		return nil, err
+	}
+	return &PlaneClient{
+		name: name, box: box, tr: tr,
+		reqAAD:  reqAADFor(name),
+		respAAD: respAADFor(name),
+		shedAAD: shedAADFor(name),
+	}, nil
 }
 
 // SendBatch seals a batch of requests and publishes it in one bus
@@ -1309,14 +1408,14 @@ func (c *PlaneClient) SendBatch(reqs []PlaneRequest) error {
 			// 0xFFFF is the v2 frame magic, reserved.
 			return fmt.Errorf("%w: routing key longer than 64 KiB-2", ErrBadFrame)
 		}
-		sealed, err := c.box.Seal(q.Body, reqAADFor(c.name))
+		hdr := appendFrameHeader(make([]byte, 0, 2+len(q.Key)+len(q.Body)+c.box.Overhead()), q.Key)
+		frame, err := c.box.SealAppend(hdr, q.Body, c.reqAAD)
 		if err != nil {
 			return err
 		}
-		frames[i] = encodeFrame(q.Key, sealed)
+		frames[i] = frame
 	}
-	_, err := c.pub.PublishBatch(frames)
-	return err
+	return c.tr.SendFrames(frames)
 }
 
 // SendTenant seals and publishes a batch of requests tagged with the given
@@ -1324,28 +1423,41 @@ func (c *PlaneClient) SendBatch(reqs []PlaneRequest) error {
 // increasing ID, echoed in its reply; with retry enabled the client keeps
 // the request re-sendable until it is served or abandoned.
 func (c *PlaneClient) SendTenant(tenant string, reqs []PlaneRequest) error {
+	_, err := c.SendTenantIDs(tenant, reqs)
+	return err
+}
+
+// SendTenantIDs is SendTenant returning the request IDs it assigned, in
+// request order — what a load generator needs to correlate replies (served
+// and shed alike) back to send timestamps.
+func (c *PlaneClient) SendTenantIDs(tenant string, reqs []PlaneRequest) ([]uint64, error) {
 	if len(reqs) == 0 {
-		return nil
+		return nil, nil
 	}
 	if len(tenant) > 0xFF {
-		return fmt.Errorf("%w: tenant ID longer than 255 bytes", ErrBadFrame)
+		return nil, fmt.Errorf("%w: tenant ID longer than 255 bytes", ErrBadFrame)
 	}
 	frames := make([][]byte, len(reqs))
 	metas := make([]frameMeta, len(reqs))
+	ids := make([]uint64, len(reqs))
 	for i, q := range reqs {
 		if len(q.Key) >= 0xFFFF {
-			return fmt.Errorf("%w: routing key longer than 64 KiB-2", ErrBadFrame)
-		}
-		sealed, err := c.box.Seal(q.Body, reqAADFor(c.name))
-		if err != nil {
-			return err
+			return nil, fmt.Errorf("%w: routing key longer than 64 KiB-2", ErrBadFrame)
 		}
 		c.nextID++
 		metas[i] = frameMeta{v2: true, tenant: tenant, id: c.nextID}
-		frames[i] = encodeFrameV2(q.Key, sealed, metas[i], 0)
+		ids[i] = c.nextID
+		hdr := appendFrameV2Header(
+			make([]byte, 0, frameV2HeaderLen(q.Key, metas[i])+len(q.Body)+c.box.Overhead()),
+			q.Key, metas[i], 0)
+		frame, err := c.box.SealAppend(hdr, q.Body, c.reqAAD)
+		if err != nil {
+			return nil, err
+		}
+		frames[i] = frame
 	}
-	if _, err := c.pub.PublishBatch(frames); err != nil {
-		return err
+	if err := c.tr.SendFrames(frames); err != nil {
+		return nil, err
 	}
 	if c.retry != nil {
 		for i, q := range reqs {
@@ -1354,7 +1466,7 @@ func (c *PlaneClient) SendTenant(tenant string, reqs []PlaneRequest) error {
 			}
 		}
 	}
-	return nil
+	return ids, nil
 }
 
 // Send seals and publishes one request.
@@ -1393,7 +1505,7 @@ func (c *PlaneClient) Replies() ([]PlaneReply, error) {
 // MaxAttempts is exhausted). The caller re-sends due retries with
 // DueRetries.
 func (c *PlaneClient) Poll(nowMS float64) ([]PlaneReply, error) {
-	frames, err := c.sub.Receive()
+	frames, err := c.tr.RecvFrames()
 	if err != nil {
 		return nil, err
 	}
@@ -1404,7 +1516,7 @@ func (c *PlaneClient) Poll(nowMS float64) ([]PlaneReply, error) {
 			return nil, err
 		}
 		if shedFlag {
-			raw, err := c.box.Open(q.sealed, shedAADFor(c.name))
+			raw, err := c.box.Open(q.sealed, c.shedAAD)
 			if err != nil || len(raw) != 8 {
 				return nil, ErrSealedRequest
 			}
@@ -1427,7 +1539,7 @@ func (c *PlaneClient) Poll(nowMS float64) ([]PlaneReply, error) {
 			out = append(out, rep)
 			continue
 		}
-		body, err := c.box.Open(q.sealed, respAADFor(c.name))
+		body, err := c.box.Open(q.sealed, c.respAAD)
 		if err != nil {
 			return nil, ErrSealedRequest
 		}
@@ -1467,19 +1579,63 @@ func (c *PlaneClient) DueRetries(nowMS float64) (int, error) {
 	})
 	frames := make([][]byte, len(due))
 	for i, fl := range due {
-		sealed, err := c.box.Seal(fl.body, reqAADFor(c.name))
+		hdr := appendFrameV2Header(
+			make([]byte, 0, frameV2HeaderLen(fl.key, fl.meta)+len(fl.body)+c.box.Overhead()),
+			fl.key, fl.meta, 0)
+		frame, err := c.box.SealAppend(hdr, fl.body, c.reqAAD)
 		if err != nil {
 			return 0, err
 		}
 		fl.attempt++
-		frames[i] = encodeFrameV2(fl.key, sealed, fl.meta, 0)
+		frames[i] = frame
 	}
-	if _, err := c.pub.PublishBatch(frames); err != nil {
+	if err := c.tr.SendFrames(frames); err != nil {
 		return 0, err
 	}
 	c.retriesSent += uint64(len(frames))
 	return len(frames), nil
 }
 
-// Close releases the client's bus subscription.
-func (c *PlaneClient) Close() { c.sub.Close() }
+// Close releases the client's transport (for the bus transport, its
+// subscription).
+func (c *PlaneClient) Close() { c.tr.Close() }
+
+// CheckFrame validates a sealed plane frame without decrypting anything:
+// it must decode as either frame version and must not carry the shed flag
+// (sheds are server→client only). Gateways use it to reject malformed
+// ingress before a frame reaches a topic.
+func CheckFrame(b []byte) error {
+	_, shed, err := decodeFrameAny(b)
+	if err != nil {
+		return err
+	}
+	if shed {
+		return fmt.Errorf("%w: shed flag on a request frame", ErrBadFrame)
+	}
+	return nil
+}
+
+// PeekFrameTenant reads a frame's cleartext tenant envelope and shed flag
+// without materializing the rest (legacy frames map to the default tenant
+// "") — the lean form gateways route reply mailboxes with.
+func PeekFrameTenant(b []byte) (tenant string, shed bool, err error) {
+	if len(b) < 2 || binary.BigEndian.Uint16(b) != frameMagic {
+		if _, _, err := decodeFrame(b); err != nil {
+			return "", false, err
+		}
+		return "", false, nil
+	}
+	if len(b) < 4 {
+		return "", false, ErrBadFrame
+	}
+	tn := int(b[3])
+	off := 4 + tn
+	if len(b) < off+8+2 {
+		return "", false, ErrBadFrame
+	}
+	kn := int(binary.BigEndian.Uint16(b[off+8:]))
+	if len(b) < off+8+2+kn {
+		return "", false, ErrBadFrame
+	}
+	return string(b[4:off]), b[2]&frameFlagShed != 0, nil
+}

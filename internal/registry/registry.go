@@ -25,7 +25,6 @@ package registry
 
 import (
 	"bytes"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,6 +34,7 @@ import (
 	"sync"
 
 	"securecloud/internal/cryptbox"
+	"securecloud/internal/httpx"
 	"securecloud/internal/image"
 	"securecloud/internal/transfer"
 )
@@ -370,34 +370,16 @@ func (r *Registry) TamperManifest(ref string, mutate func(*image.Manifest)) bool
 // ---- HTTP front end ----
 
 // parseDigest parses a digest in the "sha256:<hex>" rendering (the bare
-// hex form is accepted too).
+// hex form is accepted too). Shared plumbing lives in httpx; this wrapper
+// pins the registry's historic error scope.
 func parseDigest(s string) (cryptbox.Digest, error) {
-	var d cryptbox.Digest
-	b, err := hex.DecodeString(strings.TrimPrefix(s, "sha256:"))
-	if err != nil || len(b) != len(d) {
-		return d, fmt.Errorf("registry: bad digest %q", s)
-	}
-	copy(d[:], b)
-	return d, nil
+	return httpx.ParseDigest("registry", s)
 }
 
-// writeConditional serves a content-addressed response: the ETag is the
-// digest, and a matching If-None-Match short-circuits to 304 with no body
-// — the digest IS the content, so a client that has it needs nothing else.
+// writeConditional serves a content-addressed response with the shared
+// digest-conditional helper (ETag = digest, If-None-Match → 304).
 func writeConditional(w http.ResponseWriter, req *http.Request, d cryptbox.Digest, contentType string, body func() ([]byte, error)) {
-	etag := `"` + d.String() + `"`
-	w.Header().Set("ETag", etag)
-	if match := req.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
-		w.WriteHeader(http.StatusNotModified)
-		return
-	}
-	b, err := body()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
-	}
-	w.Header().Set("Content-Type", contentType)
-	_, _ = w.Write(b)
+	httpx.WriteConditional(w, req, d, contentType, body)
 }
 
 // Handler returns an http.Handler exposing the registry:
@@ -454,17 +436,14 @@ func (r *Registry) Handler() http.Handler {
 				http.Error(w, err.Error(), http.StatusNotFound)
 				return
 			}
-			w.Header().Set("Content-Type", "application/json")
-			if err := json.NewEncoder(w).Encode(img); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
+			httpx.WriteJSON(w, img)
 		default:
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			httpx.MethodNotAllowed(w)
 		}
 	})
 	mux.HandleFunc("/v2/manifests/", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			httpx.MethodNotAllowed(w)
 			return
 		}
 		name, tag, ok := splitRef(w, req, "/v2/manifests/")
@@ -476,14 +455,11 @@ func (r *Registry) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(m); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		httpx.WriteJSON(w, m)
 	})
 	mux.HandleFunc("/v2/layers/", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			httpx.MethodNotAllowed(w)
 			return
 		}
 		d, err := parseDigest(strings.TrimPrefix(req.URL.Path, "/v2/layers/"))
@@ -501,7 +477,7 @@ func (r *Registry) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v2/blobs/", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			httpx.MethodNotAllowed(w)
 			return
 		}
 		d, err := parseDigest(strings.TrimPrefix(req.URL.Path, "/v2/blobs/"))
@@ -515,10 +491,7 @@ func (r *Registry) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v2/snapshots/", r.snapshotHandler)
 	mux.HandleFunc("/v2/list", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(r.List()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		httpx.WriteJSON(w, r.List())
 	})
 	return mux
 }

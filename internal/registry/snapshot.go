@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"strings"
 
+	"securecloud/internal/httpx"
 	"securecloud/internal/transfer"
 )
 
@@ -81,7 +82,7 @@ func (r *Registry) Snapshots() int {
 // slashes) as a JSON snapshot record.
 func (r *Registry) snapshotHandler(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		httpx.MethodNotAllowed(w)
 		return
 	}
 	name := strings.TrimPrefix(req.URL.Path, "/v2/snapshots/")
@@ -94,10 +95,7 @@ func (r *Registry) snapshotHandler(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, fmt.Sprintf("%v: snapshot %s", ErrNotFound, name), http.StatusNotFound)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(snapshotRecord{Seq: seq, Sealed: sealed}); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	httpx.WriteJSON(w, snapshotRecord{Seq: seq, Sealed: sealed})
 }
 
 // LatestSnapshot mirrors Registry.LatestSnapshot over HTTP.

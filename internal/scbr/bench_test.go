@@ -1,6 +1,7 @@
 package scbr
 
 import (
+	"math"
 	"sync/atomic"
 	"testing"
 
@@ -196,6 +197,105 @@ func BenchmarkBrokerPublishParallel(b *testing.B) {
 	b.ReportMetric(float64(critical)/nEvents, "sim-critical-cycles/match")
 	b.ReportMetric(float64(serial)/float64(critical), "sim-speedup")
 	b.ReportMetric(float64(faults)/nEvents, "faults/match")
+}
+
+// BenchmarkBrokerDeliverySeal isolates the broker's delivery seal path:
+// one publication matching many subscribers, so each Publish re-seals the
+// plaintext once per recipient session and enqueues the batch. Run with
+// -benchmem — the per-delivery allocation count is the profile-identified
+// hot path the wire front end optimizes.
+func BenchmarkBrokerDeliverySeal(b *testing.B) {
+	const nSubscribers = 16
+	p := enclave.NewPlatform(enclave.Config{})
+	var signer cryptbox.Digest
+	enc, err := p.ECreate(64<<20, signer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := enc.EAdd([]byte("scbr-bench-seal")); err != nil {
+		b.Fatal(err)
+	}
+	if err := enc.EInit(); err != nil {
+		b.Fatal(err)
+	}
+	bk, err := NewBroker(enc, BrokerConfig{PayloadBytes: 600, CheckCost: 450, Shards: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Every subscriber registers the same broad filter so one event fans
+	// out to all of them — the seal loop dominates.
+	w := NewWorkload(DefaultWorkload(7))
+	s := w.NextSubscription()
+	subscribers := make([]*Client, nSubscribers)
+	for i := range subscribers {
+		c, err := Connect(bk, "seal-sub-"+itoa(i), nil, nil, attest.Policy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		subscribers[i] = c
+		if _, err := c.Subscribe(bk, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pub, err := Connect(bk, "seal-pub", nil, nil, attest.Policy{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// An event matching the shared subscription: publish it once to learn
+	// the delivered count, then time the steady state.
+	e := eventCovering(s)
+	raw, err := appendEventBinary(nil, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := sealWith(pub.box, pub.ID, KindPublication, raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := bk.Publish(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n != nSubscribers {
+		b.Fatalf("delivered %d, want %d", n, nSubscribers)
+	}
+	for _, c := range subscribers {
+		bk.Drain(c.ID)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bk.Publish(env); err != nil {
+			b.Fatal(err)
+		}
+		if i%16 == 15 {
+			b.StopTimer()
+			for _, c := range subscribers {
+				bk.Drain(c.ID)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// eventCovering builds an event that satisfies every predicate of s, so a
+// broker holding only s always matches it.
+func eventCovering(s Subscription) Event {
+	e := Event{Attrs: map[string]float64{}, Payload: []byte("bench-payload")}
+	for _, p := range s.Preds {
+		v := 0.0
+		switch {
+		case math.IsInf(p.Interval.Lo, -1) && math.IsInf(p.Interval.Hi, 1):
+		case math.IsInf(p.Interval.Lo, -1):
+			v = p.Interval.Hi
+		case math.IsInf(p.Interval.Hi, 1):
+			v = p.Interval.Lo
+		default:
+			v = (p.Interval.Lo + p.Interval.Hi) / 2
+		}
+		e.Attrs[p.Attr] = v
+	}
+	return e
 }
 
 func BenchmarkSealPublication(b *testing.B) {

@@ -264,13 +264,24 @@ func (b *Broker) Publish(env Envelope) (delivered int, err error) {
 
 	// Seal outside any lock; the AEAD context and AAD are per-session
 	// precomputed, the payload is the already-decrypted raw plaintext.
+	// All per-recipient deliveries seal into one contiguous buffer of
+	// exact capacity (the AEAD overhead is fixed), so the fan-out costs
+	// two allocations instead of one per recipient; capacity-capped
+	// sub-slices keep the Delivery views independent.
 	dels := make([]Delivery, len(recipients))
+	capTotal := 0
+	for _, cs := range recipients {
+		capTotal += len(raw) + cs.box.Overhead()
+	}
+	buf := make([]byte, 0, capTotal)
 	for i, cs := range recipients {
-		sealed, err := cs.box.Seal(raw, cs.aad)
+		start := len(buf)
+		var err error
+		buf, err = cs.box.SealAppend(buf, raw, cs.aad)
 		if err != nil {
 			return 0, err
 		}
-		dels[i] = Delivery{SubscriberID: cs.id, Sealed: sealed}
+		dels[i] = Delivery{SubscriberID: cs.id, Sealed: buf[start:len(buf):len(buf)]}
 	}
 
 	b.qmu.Lock()
@@ -296,6 +307,52 @@ type Client struct {
 	ID  string
 	key cryptbox.Key
 	box *cryptbox.Box
+	aad []byte // "delivery|<clientID>", precomputed once
+}
+
+// ClientHello is the client half of the session handshake, split in two so
+// the broker's Handshake can be reached over any transport — in-process or
+// the wire package's HTTP endpoint. BeginHandshake mints the ephemeral
+// X25519 key; the caller carries Public() to the broker and feeds the
+// broker's public key to Finish.
+type ClientHello struct {
+	clientID string
+	priv     *ecdh.PrivateKey
+}
+
+// BeginHandshake starts a session establishment for clientID.
+func BeginHandshake(clientID string) (*ClientHello, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientHello{clientID: clientID, priv: priv}, nil
+}
+
+// Public returns the client's X25519 public key — what the broker's
+// Handshake takes.
+func (h *ClientHello) Public() []byte { return h.priv.PublicKey().Bytes() }
+
+// Finish derives the session from the broker's public key and returns the
+// established client.
+func (h *ClientHello) Finish(brokerPub []byte) (*Client, error) {
+	bp, err := ecdh.X25519().NewPublicKey(brokerPub)
+	if err != nil {
+		return nil, fmt.Errorf("scbr: broker key: %w", err)
+	}
+	shared, err := h.priv.ECDH(bp)
+	if err != nil {
+		return nil, err
+	}
+	key, err := sessionKeyFrom(shared, h.clientID)
+	if err != nil {
+		return nil, err
+	}
+	box, err := cryptbox.NewBox(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{ID: h.clientID, key: key, box: box, aad: []byte("delivery|" + h.clientID)}, nil
 }
 
 // Connect establishes a session with the broker. When svc and quoter are
@@ -307,31 +364,15 @@ func Connect(b *Broker, clientID string, svc *attest.Service, quoter *attest.Quo
 			return nil, fmt.Errorf("scbr: broker attestation failed: %w", err)
 		}
 	}
-	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	h, err := BeginHandshake(clientID)
 	if err != nil {
 		return nil, err
 	}
-	brokerPub, err := b.Handshake(clientID, priv.PublicKey().Bytes())
+	brokerPub, err := b.Handshake(clientID, h.Public())
 	if err != nil {
 		return nil, err
 	}
-	bp, err := ecdh.X25519().NewPublicKey(brokerPub)
-	if err != nil {
-		return nil, err
-	}
-	shared, err := priv.ECDH(bp)
-	if err != nil {
-		return nil, err
-	}
-	key, err := sessionKeyFrom(shared, clientID)
-	if err != nil {
-		return nil, err
-	}
-	box, err := cryptbox.NewBox(key)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{ID: clientID, key: key, box: box}, nil
+	return h.Finish(brokerPub)
 }
 
 // Subscribe seals and registers a subscription using the compact binary
@@ -369,17 +410,49 @@ func (c *Client) Publish(b *Broker, e Event) (int, error) {
 // AEAD context.
 func (c *Client) Receive(b *Broker) ([]Event, error) {
 	var out []Event
-	aad := []byte("delivery|" + c.ID)
 	for _, d := range b.Drain(c.ID) {
-		raw, err := c.box.Open(d.Sealed, aad)
-		if err != nil {
-			return nil, ErrBadEnvelope
-		}
-		e, err := decodeEvent(raw)
+		e, err := c.OpenDeliverySealed(d.Sealed)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, e)
 	}
 	return out, nil
+}
+
+// SealSubscriptionBytes seals s into the envelope body the broker's
+// Subscribe expects — the compact binary wire form under the session key,
+// AAD-bound to KindSubscription and the client ID. The bytes are exactly
+// what Subscribe puts in Envelope.Sealed, so a remote transport (the wire
+// package) carries the already-tested envelope form with no new crypto.
+func (c *Client) SealSubscriptionBytes(s Subscription) ([]byte, error) {
+	buf := cryptbox.GetScratch()
+	defer func() { cryptbox.PutScratch(buf) }() // closure: buf may be regrown below
+	buf, err := appendSubscriptionBinary(buf, s)
+	if err != nil {
+		return nil, err
+	}
+	return c.box.Seal(buf, []byte(KindSubscription+"|"+c.ID))
+}
+
+// SealEventBytes seals e into the envelope body the broker's Publish
+// expects (see SealSubscriptionBytes).
+func (c *Client) SealEventBytes(e Event) ([]byte, error) {
+	buf := cryptbox.GetScratch()
+	defer func() { cryptbox.PutScratch(buf) }() // closure: buf may be regrown below
+	buf, err := appendEventBinary(buf, e)
+	if err != nil {
+		return nil, err
+	}
+	return c.box.Seal(buf, []byte(KindPublication+"|"+c.ID))
+}
+
+// OpenDeliverySealed authenticates and decodes one sealed delivery payload
+// (a Delivery.Sealed, however it was transported).
+func (c *Client) OpenDeliverySealed(sealed []byte) (Event, error) {
+	raw, err := c.box.Open(sealed, c.aad)
+	if err != nil {
+		return Event{}, ErrBadEnvelope
+	}
+	return decodeEvent(raw)
 }

@@ -1,0 +1,69 @@
+// Package wire is the HTTP front end over the attested plane: SCBR
+// publish/subscribe-poll and ReplicaSet send/poll-reply endpoints that
+// carry the existing sealed envelopes verbatim as request and response
+// bodies. The transport is untrusted by construction — every byte crossing
+// it is already sealed to keys the front end never holds, so HTTP adds
+// reach, not trust. The package also exports a Prometheus-style /metrics
+// endpoint over the shared stats.Source surface and optional pprof wiring
+// for wall-clock profiling.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBadBatch flags a malformed frame batch body.
+var ErrBadBatch = errors.New("wire: bad frame batch")
+
+// Batch wire form: u32 frame count, then per frame u32 length + bytes,
+// all big-endian. Frames are opaque sealed envelopes; the codec moves
+// bytes and validates structure only.
+
+// EncodeBatch renders frames into the batch wire form.
+func EncodeBatch(frames [][]byte) []byte {
+	n := 4
+	for _, f := range frames {
+		n += 4 + len(f)
+	}
+	b := make([]byte, 0, n)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(frames)))
+	for _, f := range frames {
+		b = binary.BigEndian.AppendUint32(b, uint32(len(f)))
+		b = append(b, f...)
+	}
+	return b
+}
+
+// DecodeBatch parses the batch wire form. The claimed count is clamped by
+// the physical minimum (4 bytes of length prefix per frame) before any
+// allocation, so a forged count cannot pre-size a huge slice; short frames
+// and trailing garbage are rejected outright.
+func DecodeBatch(b []byte) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadBatch, len(b))
+	}
+	count := int(binary.BigEndian.Uint32(b))
+	rest := b[4:]
+	if count > len(rest)/4 {
+		return nil, fmt.Errorf("%w: count %d exceeds body capacity", ErrBadBatch, count)
+	}
+	frames := make([][]byte, count)
+	for i := range frames {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: truncated at frame %d", ErrBadBatch, i)
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if n > len(rest) {
+			return nil, fmt.Errorf("%w: frame %d claims %d of %d bytes", ErrBadBatch, i, n, len(rest))
+		}
+		frames[i] = rest[:n:n]
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBatch, len(rest))
+	}
+	return frames, nil
+}

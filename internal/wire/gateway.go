@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/eventbus"
+	"securecloud/internal/microsvc"
+)
+
+// PlaneGateway bridges HTTP clients to one ReplicaSet's request/reply
+// topics. It owns a publisher on the request topic and a subscriber on the
+// reply topic, and routes reply frames into per-tenant mailboxes by their
+// cleartext tenant header — it never opens a sealed body. Ingress frames
+// are structurally validated (and shed-flag frames rejected) before they
+// touch the bus, so a hostile HTTP client cannot inject what an in-process
+// client could not.
+type PlaneGateway struct {
+	name string
+	pub  *eventbus.Publisher
+	sub  *eventbus.Subscriber
+
+	mu        sync.Mutex
+	mail      map[string][][]byte
+	framesIn  uint64
+	bytesIn   uint64
+	rejected  uint64
+	framesOut uint64
+	bytesOut  uint64
+	polls     uint64
+}
+
+// NewPlaneGateway opens the gateway endpoints for the named service from
+// its released key set.
+func NewPlaneGateway(bus *eventbus.Bus, name string, keys attest.ServiceKeys, inTopic, outTopic string) (*PlaneGateway, error) {
+	inKey, ok := keys.Topic(inTopic)
+	if !ok {
+		return nil, fmt.Errorf("wire: gateway has no stream key for %s", inTopic)
+	}
+	outKey, ok := keys.Topic(outTopic)
+	if !ok {
+		return nil, fmt.Errorf("wire: gateway has no stream key for %s", outTopic)
+	}
+	pub, err := eventbus.NewPublisher(bus, inTopic, inKey)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := eventbus.NewSubscriber(bus, outTopic, outKey)
+	if err != nil {
+		return nil, err
+	}
+	return &PlaneGateway{name: name, pub: pub, sub: sub, mail: make(map[string][][]byte)}, nil
+}
+
+// SendFrames validates and publishes a batch of sealed request frames. The
+// batch is all-or-nothing: one malformed or shed-flagged frame rejects the
+// whole request, so partial batches never reach the plane.
+func (g *PlaneGateway) SendFrames(frames [][]byte) (int, error) {
+	for i, f := range frames {
+		if err := microsvc.CheckFrame(f); err != nil {
+			g.mu.Lock()
+			g.rejected++
+			g.mu.Unlock()
+			return 0, fmt.Errorf("wire: frame %d: %w", i, err)
+		}
+	}
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	if _, err := g.pub.PublishBatch(frames); err != nil {
+		return 0, err
+	}
+	g.mu.Lock()
+	g.framesIn += uint64(len(frames))
+	for _, f := range frames {
+		g.bytesIn += uint64(len(f))
+	}
+	g.mu.Unlock()
+	return len(frames), nil
+}
+
+// PollTenant drains the reply frames routed to one tenant (the empty
+// tenant collects legacy, untenanted frames). Freshly arrived bus frames
+// are sorted into mailboxes first, so interleaved tenants never see each
+// other's replies.
+func (g *PlaneGateway) PollTenant(tenant string) ([][]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Receive is serialized under the gateway lock: the subscriber tracks
+	// its replay horizon unlocked, counting on a single-consumer caller.
+	batch, err := g.sub.Receive()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range batch {
+		t, _, err := microsvc.PeekFrameTenant(f)
+		if err != nil {
+			// An unparseable reply frame cannot be routed; count and drop.
+			g.rejected++
+			continue
+		}
+		g.mail[t] = append(g.mail[t], f)
+	}
+	out := g.mail[tenant]
+	delete(g.mail, tenant)
+	g.polls++
+	g.framesOut += uint64(len(out))
+	for _, f := range out {
+		g.bytesOut += uint64(len(f))
+	}
+	return out, nil
+}
+
+// Close tears down the gateway's bus endpoints.
+func (g *PlaneGateway) Close() { g.sub.Close() }
+
+// StatsName implements stats.Source.
+func (g *PlaneGateway) StatsName() string { return "wire_" + g.name }
+
+// Snapshot implements stats.Source.
+func (g *PlaneGateway) Snapshot() map[string]float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pending := 0
+	for _, q := range g.mail {
+		pending += len(q)
+	}
+	return map[string]float64{
+		"frames_in":     float64(g.framesIn),
+		"bytes_in":      float64(g.bytesIn),
+		"frames_out":    float64(g.framesOut),
+		"bytes_out":     float64(g.bytesOut),
+		"rejected":      float64(g.rejected),
+		"polls":         float64(g.polls),
+		"mailbox_depth": float64(pending),
+	}
+}

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"securecloud/internal/scbr"
+)
+
+// SCBRClient is an SCBR endpoint reached over the wire server. The
+// handshake and every envelope are the same bytes the in-process client
+// exchanges — the server relays them to the broker without opening
+// anything, so a compromised front end degrades availability, never
+// confidentiality.
+type SCBRClient struct {
+	base string
+	id   string
+	hc   *http.Client
+	c    *scbr.Client
+}
+
+// DialSCBR performs the X25519 handshake over HTTP and returns a
+// session-keyed client.
+func DialSCBR(baseURL, clientID string, hc *http.Client) (*SCBRClient, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	h, err := scbr.BeginHandshake(clientID)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Post(baseURL+"/scbr/handshake/"+clientID, "application/octet-stream", bytes.NewReader(h.Public()))
+	if err != nil {
+		return nil, err
+	}
+	brokerPub, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("wire: scbr handshake: %s: %s", resp.Status, bytes.TrimSpace(brokerPub))
+	}
+	if readErr != nil {
+		return nil, readErr
+	}
+	c, err := h.Finish(brokerPub)
+	if err != nil {
+		return nil, err
+	}
+	return &SCBRClient{base: baseURL, id: clientID, hc: hc, c: c}, nil
+}
+
+func (s *SCBRClient) postSealed(path string, sealed []byte, out any) error {
+	resp, err := s.hc.Post(s.base+path+"/"+s.id, "application/octet-stream", bytes.NewReader(sealed))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("wire: %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	if readErr != nil {
+		return readErr
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Subscribe registers a subscription and returns its broker-assigned ID.
+func (s *SCBRClient) Subscribe(sub scbr.Subscription) (uint64, error) {
+	sealed, err := s.c.SealSubscriptionBytes(sub)
+	if err != nil {
+		return 0, err
+	}
+	var res struct {
+		ID uint64 `json:"id"`
+	}
+	if err := s.postSealed("/scbr/subscribe", sealed, &res); err != nil {
+		return 0, err
+	}
+	return res.ID, nil
+}
+
+// Publish routes an event through the broker and returns how many
+// subscribers it was delivered to.
+func (s *SCBRClient) Publish(e scbr.Event) (int, error) {
+	sealed, err := s.c.SealEventBytes(e)
+	if err != nil {
+		return 0, err
+	}
+	var res struct {
+		Delivered int `json:"delivered"`
+	}
+	if err := s.postSealed("/scbr/publish", sealed, &res); err != nil {
+		return 0, err
+	}
+	return res.Delivered, nil
+}
+
+// Poll drains and opens this client's pending deliveries.
+func (s *SCBRClient) Poll() ([]scbr.Event, error) {
+	resp, err := s.hc.Get(s.base + "/scbr/poll/" + s.id)
+	if err != nil {
+		return nil, err
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("wire: scbr poll: %s", resp.Status)
+	}
+	if readErr != nil {
+		return nil, readErr
+	}
+	frames, err := DecodeBatch(body)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]scbr.Event, 0, len(frames))
+	for _, f := range frames {
+		e, err := s.c.OpenDeliverySealed(f)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}

@@ -1,0 +1,206 @@
+package wire
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"securecloud/internal/httpx"
+	"securecloud/internal/scbr"
+	"securecloud/internal/stats"
+)
+
+// DefaultMaxBody bounds request bodies when Config.MaxBody is unset.
+const DefaultMaxBody = 1 << 20
+
+// Config shapes a wire server. All fields are optional: a zero config
+// serves only /metrics (over no sources).
+type Config struct {
+	// Broker enables the SCBR endpoints.
+	Broker *scbr.Broker
+	// Sources feed /metrics (gateways registered via RegisterPlane are
+	// added automatically).
+	Sources []stats.Source
+	// Pprof mounts net/http/pprof under /debug/pprof/ for wall-clock
+	// profiling of the serving path. Off by default: profiles leak timing
+	// detail, so exposure is an explicit choice.
+	Pprof bool
+	// MaxBody bounds any request body in bytes (default DefaultMaxBody).
+	MaxBody int64
+}
+
+// Server is the HTTP front end. Build with NewServer, attach plane
+// gateways with RegisterPlane, then mount Handler().
+type Server struct {
+	cfg      Config
+	maxBody  int64
+	gateways map[string]*PlaneGateway
+}
+
+// NewServer builds a wire server from cfg.
+func NewServer(cfg Config) *Server {
+	maxBody := cfg.MaxBody
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBody
+	}
+	return &Server{cfg: cfg, maxBody: maxBody, gateways: make(map[string]*PlaneGateway)}
+}
+
+// RegisterPlane mounts a gateway under /plane/{service}/. Call before
+// Handler.
+func (s *Server) RegisterPlane(service string, gw *PlaneGateway) {
+	s.gateways[service] = gw
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	if s.cfg.Broker != nil {
+		mux.HandleFunc("POST /scbr/handshake/{client}", s.scbrHandshake)
+		mux.HandleFunc("POST /scbr/subscribe/{client}", s.scbrEnvelope(scbr.KindSubscription))
+		mux.HandleFunc("POST /scbr/publish/{client}", s.scbrEnvelope(scbr.KindPublication))
+		mux.HandleFunc("GET /scbr/poll/{client}", s.scbrPoll)
+	}
+	mux.HandleFunc("POST /plane/{service}/send", s.planeSend)
+	mux.HandleFunc("GET /plane/{service}/poll", s.planePoll)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// scbrHandshake relays the X25519 handshake: the body is the client's raw
+// public key, the response the broker's. Session secrets never cross here
+// — both sides derive them.
+func (s *Server) scbrHandshake(w http.ResponseWriter, req *http.Request) {
+	body, ok := httpx.ReadBody(w, req, s.maxBody)
+	if !ok {
+		return
+	}
+	brokerPub, err := s.cfg.Broker.Handshake(req.PathValue("client"), body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(brokerPub)
+}
+
+// scbrEnvelope serves subscribe and publish: the body is the sealed
+// envelope payload, the response a JSON result. The envelope kind and
+// client ID come from the route, so a client cannot smuggle one kind's
+// payload through the other's endpoint — the sealed AAD binds both.
+func (s *Server) scbrEnvelope(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		body, ok := httpx.ReadBody(w, req, s.maxBody)
+		if !ok {
+			return
+		}
+		env := scbr.Envelope{ClientID: req.PathValue("client"), Kind: kind, Sealed: body}
+		switch kind {
+		case scbr.KindSubscription:
+			id, err := s.cfg.Broker.Subscribe(env)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			httpx.WriteJSON(w, map[string]uint64{"id": id})
+		default:
+			delivered, err := s.cfg.Broker.Publish(env)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			httpx.WriteJSON(w, map[string]int{"delivered": delivered})
+		}
+	}
+}
+
+// scbrPoll drains a client's pending deliveries as a batch of sealed
+// delivery bodies.
+func (s *Server) scbrPoll(w http.ResponseWriter, req *http.Request) {
+	dels := s.cfg.Broker.Drain(req.PathValue("client"))
+	frames := make([][]byte, len(dels))
+	for i, d := range dels {
+		frames[i] = d.Sealed
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(EncodeBatch(frames))
+}
+
+func (s *Server) gateway(w http.ResponseWriter, req *http.Request) (*PlaneGateway, bool) {
+	gw, ok := s.gateways[req.PathValue("service")]
+	if !ok {
+		http.Error(w, fmt.Sprintf("wire: unknown service %q", req.PathValue("service")), http.StatusNotFound)
+		return nil, false
+	}
+	return gw, true
+}
+
+// planeSend accepts a batch of sealed request frames for one service.
+func (s *Server) planeSend(w http.ResponseWriter, req *http.Request) {
+	gw, ok := s.gateway(w, req)
+	if !ok {
+		return
+	}
+	body, ok := httpx.ReadBody(w, req, s.maxBody)
+	if !ok {
+		return
+	}
+	frames, err := DecodeBatch(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n, err := gw.SendFrames(frames)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	httpx.WriteJSON(w, map[string]int{"accepted": n})
+}
+
+// planePoll drains one tenant's reply frames (?tenant=, default the empty
+// tenant) as a frame batch.
+func (s *Server) planePoll(w http.ResponseWriter, req *http.Request) {
+	gw, ok := s.gateway(w, req)
+	if !ok {
+		return
+	}
+	frames, err := gw.PollTenant(req.URL.Query().Get("tenant"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(EncodeBatch(frames))
+}
+
+// metrics renders every source snapshot in the Prometheus text exposition
+// format: securecloud_<source>_<key> value, one line each, sorted — dots
+// in stat keys become underscores.
+func (s *Server) metrics(w http.ResponseWriter, req *http.Request) {
+	sources := make([]stats.Source, 0, len(s.cfg.Sources)+len(s.gateways))
+	sources = append(sources, s.cfg.Sources...)
+	for _, gw := range s.gateways {
+		sources = append(sources, gw)
+	}
+	flat := stats.Collect(sources...)
+	lines := make([]string, 0, len(flat))
+	for k, v := range flat {
+		name := "securecloud_" + strings.NewReplacer(".", "_", "-", "_", "/", "_").Replace(k)
+		lines = append(lines, fmt.Sprintf("%s %g\n", name, v))
+	}
+	sort.Strings(lines)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, l := range lines {
+		_, _ = fmt.Fprint(w, l)
+	}
+}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"securecloud/internal/microsvc"
+)
+
+// PlaneTransport carries sealed plane frames over the wire server's
+// /plane/{service} endpoints. It implements microsvc.Transport, so a
+// PlaneClient built on it is byte-for-byte the same client as the
+// in-process one — only the hop differs. The transport remembers which
+// tenants it has sent for and polls each of their mailboxes on receive.
+type PlaneTransport struct {
+	base    string // e.g. http://127.0.0.1:8080/plane/checkout
+	hc      *http.Client
+	tenants []string
+	seen    map[string]bool
+}
+
+var _ microsvc.Transport = (*PlaneTransport)(nil)
+
+// NewPlaneTransport builds a transport for one service behind baseURL.
+func NewPlaneTransport(baseURL, service string, hc *http.Client) *PlaneTransport {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &PlaneTransport{
+		base: baseURL + "/plane/" + url.PathEscape(service),
+		hc:   hc,
+		seen: make(map[string]bool),
+	}
+}
+
+func (t *PlaneTransport) post(url string, body []byte) error {
+	resp, err := t.hc.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("wire: %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// SendFrames implements microsvc.Transport.
+func (t *PlaneTransport) SendFrames(frames [][]byte) error {
+	for _, f := range frames {
+		tenant, _, err := microsvc.PeekFrameTenant(f)
+		if err != nil {
+			return err
+		}
+		if !t.seen[tenant] {
+			t.seen[tenant] = true
+			t.tenants = append(t.tenants, tenant)
+		}
+	}
+	return t.post(t.base+"/send", EncodeBatch(frames))
+}
+
+// RecvFrames implements microsvc.Transport: it polls the mailbox of every
+// tenant this transport has sent for, in first-send order, and returns the
+// concatenated reply frames.
+func (t *PlaneTransport) RecvFrames() ([][]byte, error) {
+	var out [][]byte
+	for _, tenant := range t.tenants {
+		resp, err := t.hc.Get(t.base + "/poll?tenant=" + url.QueryEscape(tenant))
+		if err != nil {
+			return nil, err
+		}
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("wire: poll %s: %s", tenant, resp.Status)
+		}
+		if readErr != nil {
+			return nil, readErr
+		}
+		frames, err := DecodeBatch(body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frames...)
+	}
+	return out, nil
+}
+
+// Close implements microsvc.Transport.
+func (t *PlaneTransport) Close() {}

@@ -1,0 +1,392 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"securecloud/internal/attest"
+	"securecloud/internal/cryptbox"
+	"securecloud/internal/enclave"
+	"securecloud/internal/eventbus"
+	"securecloud/internal/microsvc"
+	"securecloud/internal/scbr"
+)
+
+// planeFixture boots a bus + attestation stack + one replica set with a
+// wire server in front, and returns the running test server.
+type planeFixture struct {
+	bus    *eventbus.Bus
+	keys   attest.ServiceKeys
+	rs     *microsvc.ReplicaSet
+	gw     *PlaneGateway
+	server *Server
+	ts     *httptest.Server
+}
+
+func newPlaneFixture(t *testing.T, name string, cfg microsvc.ReplicaSetConfig, wcfg Config) *planeFixture {
+	t.Helper()
+	bus := eventbus.New()
+	svc := attest.NewService()
+	kb := attest.NewKeyBroker(svc)
+	var root cryptbox.Key
+	root[0] = 0x5E
+	keys, err := microsvc.NewServiceKeys(root, name, cfg.InTopic, cfg.OutTopic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb.Register(name, attest.Policy{AllowedMRSigner: []cryptbox.Digest{microsvc.ReplicaSigner(name)}}, keys)
+	rs, err := microsvc.NewReplicaSet(bus, svc, kb, name,
+		func(req []byte) ([]byte, error) { return bytes.ToUpper(req), nil }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rs.Stop)
+	gw, err := NewPlaneGateway(bus, name, keys, cfg.InTopic, cfg.OutTopic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	wcfg.Sources = append(wcfg.Sources, rs)
+	server := NewServer(wcfg)
+	server.RegisterPlane(name, gw)
+	ts := httptest.NewServer(server.Handler())
+	t.Cleanup(ts.Close)
+	return &planeFixture{bus: bus, keys: keys, rs: rs, gw: gw, server: server, ts: ts}
+}
+
+func httpPlaneClient(t *testing.T, fx *planeFixture, name string) *microsvc.PlaneClient {
+	t.Helper()
+	tr := NewPlaneTransport(fx.ts.URL, name, fx.ts.Client())
+	client, err := microsvc.NewPlaneClientTransport(name, fx.keys.Request, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	return client
+}
+
+func TestPlaneOverHTTP(t *testing.T) {
+	fx := newPlaneFixture(t, "plane/upper",
+		microsvc.ReplicaSetConfig{Replicas: 2, InTopic: "up/req", OutTopic: "up/resp"}, Config{})
+	client := httpPlaneClient(t, fx, "plane/upper")
+
+	reqs := make([]microsvc.PlaneRequest, 12)
+	for i := range reqs {
+		reqs[i] = microsvc.PlaneRequest{Key: fmt.Sprintf("k%02d", i), Body: []byte(fmt.Sprintf("body %d", i))}
+	}
+	if _, err := client.SendTenantIDs("acme", reqs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.rs.Step(); err != nil {
+		t.Fatal(err)
+	}
+	replies, err := client.Poll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != len(reqs) {
+		t.Fatalf("got %d replies, want %d", len(replies), len(reqs))
+	}
+	for _, rep := range replies {
+		if rep.Shed {
+			t.Fatalf("unexpected shed reply id %d", rep.ID)
+		}
+		if rep.Tenant != "acme" {
+			t.Fatalf("reply tenant %q, want acme", rep.Tenant)
+		}
+		if !bytes.HasPrefix(rep.Body, []byte("BODY ")) {
+			t.Fatalf("reply body %q not uppercased", rep.Body)
+		}
+	}
+}
+
+// TestHTTPRepliesByteIdenticalToInProcess is the property test: the bus
+// fans the same sealed reply frames to every reply-topic subscriber, so
+// the frames the HTTP gateway hands out must be byte-identical to what an
+// in-process subscriber of the same plane sees — HTTP adds a hop, not a
+// re-encryption.
+func TestHTTPRepliesByteIdenticalToInProcess(t *testing.T) {
+	fx := newPlaneFixture(t, "plane/echo",
+		microsvc.ReplicaSetConfig{Replicas: 1, InTopic: "echo/req", OutTopic: "echo/resp"}, Config{})
+
+	outKey, _ := fx.keys.Topic("echo/resp")
+	inproc, err := eventbus.NewSubscriber(fx.bus, "echo/resp", outKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inproc.Close()
+
+	client := httpPlaneClient(t, fx, "plane/echo")
+	reqs := []microsvc.PlaneRequest{
+		{Key: "a", Body: []byte("one")},
+		{Key: "b", Body: []byte("two")},
+		{Key: "c", Body: []byte("three")},
+	}
+	if _, err := client.SendTenantIDs("t1", reqs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.rs.Step(); err != nil {
+		t.Fatal(err)
+	}
+
+	inprocFrames, err := inproc.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := fx.ts.Client().Get(fx.ts.URL + "/plane/plane%2Fecho/poll?tenant=t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	httpFrames, err := DecodeBatch(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(httpFrames) != len(inprocFrames) || len(httpFrames) != len(reqs) {
+		t.Fatalf("frame counts differ: http=%d inproc=%d want=%d", len(httpFrames), len(inprocFrames), len(reqs))
+	}
+	for i := range httpFrames {
+		if !bytes.Equal(httpFrames[i], inprocFrames[i]) {
+			t.Fatalf("frame %d differs between HTTP and in-process delivery", i)
+		}
+	}
+}
+
+func TestConcurrentHTTPClients(t *testing.T) {
+	fx := newPlaneFixture(t, "plane/conc",
+		microsvc.ReplicaSetConfig{Replicas: 4, InTopic: "conc/req", OutTopic: "conc/resp"}, Config{})
+
+	const clients = 8
+	const perClient = 10
+	var wg sync.WaitGroup
+	pcs := make([]*microsvc.PlaneClient, clients)
+	for c := range pcs {
+		pcs[c] = httpPlaneClient(t, fx, "plane/conc")
+	}
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			reqs := make([]microsvc.PlaneRequest, perClient)
+			for i := range reqs {
+				reqs[i] = microsvc.PlaneRequest{Key: fmt.Sprintf("c%d-k%d", c, i), Body: []byte("x")}
+			}
+			if _, err := pcs[c].SendTenantIDs(fmt.Sprintf("tenant-%d", c), reqs); err != nil {
+				errs <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := fx.rs.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]int, clients)
+	var mu sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			replies, err := pcs[c].Poll(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			got[c] = len(replies)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	for c, n := range got {
+		if n != perClient {
+			t.Fatalf("client %d got %d replies, want %d", c, n, perClient)
+		}
+	}
+}
+
+func TestRejectsMalformedAndOversized(t *testing.T) {
+	fx := newPlaneFixture(t, "plane/guard",
+		microsvc.ReplicaSetConfig{Replicas: 1, InTopic: "g/req", OutTopic: "g/resp"},
+		Config{MaxBody: 4096})
+	post := func(path string, body []byte) *http.Response {
+		t.Helper()
+		resp, err := fx.ts.Client().Post(fx.ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post("/plane/plane%2Fguard/send", []byte{1, 2}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated batch: got %d, want 400", resp.StatusCode)
+	}
+	forged := binary.BigEndian.AppendUint32(nil, 1<<30)
+	if resp := post("/plane/plane%2Fguard/send", forged); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("forged count: got %d, want 400", resp.StatusCode)
+	}
+	garbage := EncodeBatch([][]byte{{0, 1, 2}})
+	garbage = append(garbage, 0xFF)
+	if resp := post("/plane/plane%2Fguard/send", garbage); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trailing garbage: got %d, want 400", resp.StatusCode)
+	}
+	// A structurally valid batch holding a frame that fails CheckFrame.
+	if resp := post("/plane/plane%2Fguard/send", EncodeBatch([][]byte{{9, 9, 9}})); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad frame: got %d, want 400", resp.StatusCode)
+	}
+	if resp := post("/plane/plane%2Fguard/send", make([]byte, 8192)); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %d, want 413", resp.StatusCode)
+	}
+	if resp := post("/plane/nope/send", EncodeBatch(nil)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown service: got %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	fx := newPlaneFixture(t, "plane/met",
+		microsvc.ReplicaSetConfig{Replicas: 1, InTopic: "m/req", OutTopic: "m/resp"}, Config{})
+	client := httpPlaneClient(t, fx, "plane/met")
+	if _, err := client.SendTenantIDs("", []microsvc.PlaneRequest{{Key: "k", Body: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := fx.ts.Client().Get(fx.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"securecloud_wire_plane_met_frames_in 1", "securecloud_plane_served "} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	off := httptest.NewServer(NewServer(Config{}).Handler())
+	defer off.Close()
+	resp, err := off.Client().Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off: got %d, want 404", resp.StatusCode)
+	}
+	on := httptest.NewServer(NewServer(Config{Pprof: true}).Handler())
+	defer on.Close()
+	resp, err = on.Client().Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof on: got %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSCBROverHTTP(t *testing.T) {
+	p := enclave.NewPlatform(enclave.Config{})
+	var signer cryptbox.Digest
+	signer[0] = 0x5C
+	e, err := p.ECreate(64<<20, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EAdd([]byte("scbr-broker-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EInit(); err != nil {
+		t.Fatal(err)
+	}
+	broker, err := scbr.NewBroker(e, scbr.DefaultBrokerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(Config{Broker: broker}).Handler())
+	defer ts.Close()
+
+	sub, err := DialSCBR(ts.URL, "wire-sub", ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := DialSCBR(ts.URL, "wire-pub", ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subID, err := sub.Subscribe(scbr.Subscription{Preds: []scbr.Predicate{
+		{Attr: "price", Interval: scbr.Interval{Lo: 10, Hi: 20}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subID == 0 {
+		t.Fatal("subscribe returned id 0")
+	}
+	delivered, err := pub.Publish(scbr.Event{Attrs: map[string]float64{"price": 15}, Payload: []byte("in range")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1", delivered)
+	}
+	if _, err := pub.Publish(scbr.Event{Attrs: map[string]float64{"price": 99}, Payload: []byte("out of range")}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := sub.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || string(events[0].Payload) != "in range" {
+		t.Fatalf("poll got %v, want one in-range event", events)
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{{}},
+		{{1}, {2, 3}, make([]byte, 1000)},
+	}
+	for _, frames := range cases {
+		got, err := DecodeBatch(EncodeBatch(frames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(frames) {
+			t.Fatalf("round trip %d frames -> %d", len(frames), len(got))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], frames[i]) {
+				t.Fatalf("frame %d differs", i)
+			}
+		}
+	}
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Fatal("empty body should fail")
+	}
+	if _, err := DecodeBatch(binary.BigEndian.AppendUint32(nil, 1<<31)); err == nil {
+		t.Fatal("forged count should fail")
+	}
+}

@@ -58,6 +58,14 @@ go run ./cmd/app-bench -json >"$TMP/app.json"
 echo "bench-smoke: pull-bench (chunk registry + parallel verified pulls, workers 1,2,4,8)" >&2
 go run ./cmd/pull-bench -json >"$TMP/pull.json"
 
+# Wire front end: the seeded closed-loop HTTP workload (warmup / inject /
+# recover through an admission-controlled plane, plus SCBR over HTTP) run
+# twice on fresh stacks. All counters in its "deterministic" object —
+# including runs_equal — are gated by scripts/bench_check.sh; the latency
+# quantiles in "wallclock" measure the host and are informational.
+echo "bench-smoke: wire-bench (HTTP plane + SCBR closed-loop load, run twice)" >&2
+go run ./cmd/wire-bench -json >"$TMP/wire.json"
+
 echo "bench-smoke: go test -bench=CacheMissVsSwap -benchtime=1x" >&2
 go test -run '^$' -bench 'CacheMissVsSwap' -benchtime=1x . >"$TMP/bench.txt" 2>&1 \
     || { cat "$TMP/bench.txt" >&2; exit 1; }
@@ -121,6 +129,7 @@ SEED_BASELINE="scripts/seed_baseline.json"
     echo "  \"kv_bench\": $(cat "$TMP/kv.json"),"
     echo "  \"app_bench\": $(cat "$TMP/app.json"),"
     echo "  \"pull_bench\": $(cat "$TMP/pull.json"),"
+    echo "  \"wire_bench\": $(cat "$TMP/wire.json"),"
     echo "  \"cache_miss_vs_swap\": $(cat "$TMP/cachemiss.json"),"
     echo "  \"broker_publish_parallel\": $(cat "$TMP/par.json"),"
     echo "  \"figure3_reduced_sweep\": $(cat "$TMP/sweep.json"),"

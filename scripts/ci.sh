@@ -62,6 +62,9 @@ RACE_PKGS=(
     ./internal/fsshield
     ./internal/shield
     ./internal/sconert
+    ./internal/httpx
+    ./internal/wire
+    ./internal/loadgen
 )
 echo "ci: go test -race ${RACE_PKGS[*]}" >&2
 go test -race "${RACE_PKGS[@]}"

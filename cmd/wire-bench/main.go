@@ -43,6 +43,10 @@ import (
 
 const serviceName = "plane/wire-bench"
 
+// authToken gates the bench server's /scbr/* and /plane/* surface so the
+// measured path is the secured one (bearer check on every request).
+const authToken = "wire-bench-token"
+
 // planeDriver adapts the HTTP plane clients to the loadgen Driver.
 type planeDriver struct {
 	rs      *microsvc.ReplicaSet
@@ -81,6 +85,8 @@ type stack struct {
 	gw     *wire.PlaneGateway
 	broker *scbr.Broker
 	keys   attest.ServiceKeys
+	svc    *attest.Service
+	policy attest.Policy
 	srv    *http.Server
 	url    string
 }
@@ -139,8 +145,16 @@ func buildStack(inject int, pprofOn bool) (*stack, error) {
 		rs.Stop()
 		return nil, err
 	}
+	quoter, err := svc.Provision(p, "wire-bench-platform")
+	if err != nil {
+		rs.Stop()
+		return nil, err
+	}
 
-	ws := wire.NewServer(wire.Config{Broker: broker, Sources: []stats.Source{rs}, Pprof: pprofOn})
+	ws := wire.NewServer(wire.Config{
+		Broker: broker, Quoter: quoter, AuthToken: authToken,
+		Sources: []stats.Source{rs}, Pprof: pprofOn,
+	})
 	ws.RegisterPlane(serviceName, gw)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -149,7 +163,11 @@ func buildStack(inject int, pprofOn bool) (*stack, error) {
 	}
 	srv := &http.Server{Handler: ws.Handler()}
 	go func() { _ = srv.Serve(ln) }()
-	return &stack{rs: rs, gw: gw, broker: broker, keys: keys, srv: srv, url: "http://" + ln.Addr().String()}, nil
+	return &stack{
+		rs: rs, gw: gw, broker: broker, keys: keys, svc: svc,
+		policy: attest.Policy{AllowedMRSigner: []cryptbox.Digest{signer}},
+		srv:    srv, url: "http://" + ln.Addr().String(),
+	}, nil
 }
 
 func (s *stack) close() {
@@ -185,7 +203,7 @@ func runOnce(ticks int, pprofOn bool) (map[string]float64, map[string]float64, e
 	}
 	drv := &planeDriver{rs: s.rs}
 	for c := 0; c < clients; c++ {
-		tr := wire.NewPlaneTransport(s.url, serviceName, http.DefaultClient)
+		tr := wire.NewPlaneTransport(s.url, serviceName, http.DefaultClient).WithAuth(authToken)
 		pc, err := microsvc.NewPlaneClientTransport(serviceName, s.keys.Request, tr)
 		if err != nil {
 			return nil, nil, err
@@ -200,11 +218,14 @@ func runOnce(ticks int, pprofOn bool) (map[string]float64, map[string]float64, e
 
 	// SCBR over the same server: six subscribers on adjacent price bands,
 	// one publisher sweeping the range — every delivery count is a pure
-	// function of the band layout.
+	// function of the band layout. Every dial attests the broker enclave
+	// against the bench's signer policy before handing over its filters,
+	// so the measured path includes the wire attestation round trip.
+	dialOpts := wire.SCBRDialOpts{Auth: authToken, Service: s.svc, Policy: s.policy}
 	sub := make([]*wire.SCBRClient, 6)
 	var delivered, polled int
 	for i := range sub {
-		sc, err := wire.DialSCBR(s.url, fmt.Sprintf("sub-%d", i), http.DefaultClient)
+		sc, err := wire.DialSCBROpts(s.url, fmt.Sprintf("sub-%d", i), http.DefaultClient, dialOpts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -215,7 +236,7 @@ func runOnce(ticks int, pprofOn bool) (map[string]float64, map[string]float64, e
 		}
 		sub[i] = sc
 	}
-	pubc, err := wire.DialSCBR(s.url, "pub-0", http.DefaultClient)
+	pubc, err := wire.DialSCBROpts(s.url, "pub-0", http.DefaultClient, dialOpts)
 	if err != nil {
 		return nil, nil, err
 	}

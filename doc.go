@@ -416,13 +416,27 @@
 // send/poll-reply endpoints carry the existing sealed envelopes verbatim
 // as request and response bodies, so the front end relays bytes it cannot
 // open — a compromised server degrades availability, never
-// confidentiality. The plane gateway validates ingress frames
-// structurally (microsvc.CheckFrame) and routes reply frames to
-// per-tenant mailboxes by their cleartext tenant header; the frame-batch
-// codec clamps claimed counts by the physical minimum before allocating
-// (the forged-count guard again) and rejects trailing garbage; bodies are
-// bounded via internal/httpx, the plumbing shared with the registry's
-// front end. A PlaneClient built over wire.PlaneTransport is
+// confidentiality. Confidentiality alone does not close the control
+// surface, though, so the wire locks it down explicitly: an SCBR
+// handshake never displaces a live session (rotating a client ID's key
+// requires Rehandshake, a proof sealed under the current session key —
+// without this, any network peer could re-key a victim's ID and have its
+// future deliveries sealed to the attacker), SCBR polls are destructive
+// drains and therefore demand a sealed single-use token with a monotonic
+// anti-replay counter, wire clients can attest the broker enclave through
+// nonce-bound quotes (/scbr/quote + DialSCBROpts) before handing over
+// filters just like in-process scbr.Connect, and Config.AuthToken
+// optionally gates the whole /scbr/* + /plane/* surface behind a bearer
+// token for deployments beyond a trusted loopback. The plane gateway
+// validates ingress frames structurally (microsvc.CheckFrame) and routes
+// reply frames to per-tenant mailboxes by their cleartext tenant header —
+// one polling client per tenant, each mailbox capped (drop-oldest, the
+// mail_dropped counter) so forged tenant IDs cannot grow memory without
+// bound; the frame-batch codec clamps claimed counts by the physical
+// minimum before allocating (the forged-count guard again) and rejects
+// trailing garbage; bodies are bounded via internal/httpx, the plumbing
+// shared with the registry's front end, and client-side reads are capped
+// symmetrically. A PlaneClient built over wire.PlaneTransport is
 // byte-for-byte the in-process client — the wire tests prove the sealed
 // replies identical because the bus fans the same frames to both.
 //

@@ -3,14 +3,27 @@ package scbr
 import (
 	"crypto/ecdh"
 	"crypto/rand"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"securecloud/internal/attest"
 	"securecloud/internal/cryptbox"
 	"securecloud/internal/enclave"
 	"securecloud/internal/sim"
 )
+
+// ErrSessionExists rejects a handshake that would displace a live session.
+// Re-keying a live client ID requires proof of the current session key
+// (Rehandshake) — otherwise any peer that can reach the broker could take
+// over a client ID and have future deliveries sealed to its own key.
+var ErrSessionExists = errors.New("scbr: session already established")
+
+// ErrReplayedToken rejects a poll token whose counter is not strictly
+// greater than the last one the session accepted.
+var ErrReplayedToken = errors.New("scbr: poll token replayed")
 
 // Broker is the SCBR routing engine. Its matching state (the containment
 // index) lives inside enclaves; clients talk to it in encrypted envelopes
@@ -40,13 +53,18 @@ type Broker struct {
 	queues map[string][]Delivery
 }
 
-// session is one client's established state: its AEAD context and the
-// precomputed delivery AAD.
+// session is one client's established state: its AEAD context, the
+// precomputed delivery AAD, and the highest poll-token counter accepted
+// (the replay horizon for DrainSealed).
 type session struct {
-	id  string
-	box *cryptbox.Box
-	aad []byte // "delivery|<clientID>"
+	id      string
+	box     *cryptbox.Box
+	aad     []byte // "delivery|<clientID>"
+	pollSeq atomic.Uint64
 }
+
+func aadPoll(clientID string) []byte        { return []byte("poll|" + clientID) }
+func aadRehandshake(clientID string) []byte { return []byte("rehandshake|" + clientID) }
 
 // BrokerConfig sizes the broker.
 type BrokerConfig struct {
@@ -107,8 +125,35 @@ func (b *Broker) Enclave() *enclave.Enclave { return b.enc }
 
 // Handshake is the broker half of the session establishment: it receives
 // the client's X25519 public key and returns the broker's. The session key
-// is derived inside the enclave.
+// is derived inside the enclave. A handshake never displaces a live
+// session (ErrSessionExists): otherwise any peer that can name a client ID
+// would have the victim's future deliveries sealed to its own key. Rotate
+// a live session with Rehandshake, which proves possession of the old key.
 func (b *Broker) Handshake(clientID string, clientPub []byte) ([]byte, error) {
+	return b.establish(clientID, clientPub, false)
+}
+
+// Rehandshake rotates an established session: sealedPub is the client's
+// NEW X25519 public key sealed under the CURRENT session key with AAD
+// "rehandshake|<clientID>" (Client.SealRehandshake). Possession of the old
+// key is what authorizes replacement, so a hostile front end or network
+// peer cannot take over a live client ID.
+func (b *Broker) Rehandshake(clientID string, sealedPub []byte) ([]byte, error) {
+	sess, err := b.session(clientID)
+	if err != nil {
+		return nil, err
+	}
+	newPub, err := sess.box.Open(sealedPub, aadRehandshake(clientID))
+	if err != nil {
+		return nil, ErrBadEnvelope
+	}
+	return b.establish(clientID, newPub, true)
+}
+
+// establish derives a session from a client public key and installs it.
+// The ECDH work runs before the lock; the liveness check and the map write
+// are one critical section, so two racing fresh handshakes cannot both win.
+func (b *Broker) establish(clientID string, clientPub []byte, replace bool) ([]byte, error) {
 	pub, err := ecdh.X25519().NewPublicKey(clientPub)
 	if err != nil {
 		return nil, fmt.Errorf("scbr: client key: %w", err)
@@ -133,6 +178,10 @@ func (b *Broker) Handshake(clientID string, clientPub []byte) ([]byte, error) {
 		return nil, err
 	}
 	b.mu.Lock()
+	if _, live := b.sessions[clientID]; live && !replace {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (rotate it with Rehandshake)", ErrSessionExists, clientID)
+	}
 	b.sessions[clientID] = &session{id: clientID, box: box, aad: []byte("delivery|" + clientID)}
 	b.mu.Unlock()
 	return priv.PublicKey().Bytes(), nil
@@ -293,7 +342,10 @@ func (b *Broker) Publish(env Envelope) (delivered int, err error) {
 }
 
 // Drain returns and clears a client's pending deliveries (what the
-// untrusted transport would push to the subscriber).
+// untrusted transport would push to the subscriber). Draining is
+// destructive, so only callers trusted with the *Broker itself (in-process
+// code) should use it directly — a remote front end must use DrainSealed,
+// which demands proof of the session key.
 func (b *Broker) Drain(clientID string) []Delivery {
 	b.qmu.Lock()
 	defer b.qmu.Unlock()
@@ -302,12 +354,44 @@ func (b *Broker) Drain(clientID string) []Delivery {
 	return out
 }
 
+// DrainSealed is Drain behind proof of session: token is an 8-byte
+// big-endian counter sealed under the session key with AAD
+// "poll|<clientID>" (Client.SealPollToken), strictly greater than any
+// counter this session has accepted. An unauthenticated peer cannot drain
+// (and thereby destroy) another client's queue, and a captured token
+// cannot be replayed.
+func (b *Broker) DrainSealed(clientID string, token []byte) ([]Delivery, error) {
+	sess, err := b.session(clientID)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := sess.box.Open(token, aadPoll(clientID))
+	if err != nil {
+		return nil, ErrBadEnvelope
+	}
+	if len(raw) != 8 {
+		return nil, fmt.Errorf("scbr: poll token is %d bytes, want 8", len(raw))
+	}
+	seq := binary.BigEndian.Uint64(raw)
+	for {
+		cur := sess.pollSeq.Load()
+		if seq <= cur {
+			return nil, fmt.Errorf("%w: counter %d, horizon %d", ErrReplayedToken, seq, cur)
+		}
+		if sess.pollSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	return b.Drain(clientID), nil
+}
+
 // Client is an SCBR publisher/subscriber endpoint holding its session key.
 type Client struct {
-	ID  string
-	key cryptbox.Key
-	box *cryptbox.Box
-	aad []byte // "delivery|<clientID>", precomputed once
+	ID      string
+	key     cryptbox.Key
+	box     *cryptbox.Box
+	aad     []byte // "delivery|<clientID>", precomputed once
+	pollSeq atomic.Uint64
 }
 
 // ClientHello is the client half of the session handshake, split in two so
@@ -445,6 +529,23 @@ func (c *Client) SealEventBytes(e Event) ([]byte, error) {
 		return nil, err
 	}
 	return c.box.Seal(buf, []byte(KindPublication+"|"+c.ID))
+}
+
+// SealPollToken mints the next poll authorization for DrainSealed: the
+// client's own monotonically increasing counter, sealed under the session
+// key. Each token is single-use (the broker advances its replay horizon to
+// the token's counter), so mint a fresh one per poll.
+func (c *Client) SealPollToken() ([]byte, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], c.pollSeq.Add(1))
+	return c.box.Seal(buf[:], aadPoll(c.ID))
+}
+
+// SealRehandshake seals the new handshake's public key under the current
+// session key — the possession proof Broker.Rehandshake demands before it
+// lets a live session be re-keyed.
+func (c *Client) SealRehandshake(h *ClientHello) ([]byte, error) {
+	return c.box.Seal(h.Public(), aadRehandshake(c.ID))
 }
 
 // OpenDeliverySealed authenticates and decodes one sealed delivery payload

@@ -248,3 +248,156 @@ func TestBrokerChargesEnclaveTransitions(t *testing.T) {
 		t.Fatal("subscription request did not charge an enclave entry")
 	}
 }
+
+func TestHandshakeCannotDisplaceLiveSession(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	victim, err := Connect(b, "c1", nil, nil, attest.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSubscription(0, map[string]Interval{"a": iv(0, 10)})
+	if _, err := victim.Subscribe(b, s); err != nil {
+		t.Fatal(err)
+	}
+
+	// An attacker who knows only the client ID tries a fresh handshake.
+	h, err := BeginHandshake("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Handshake("c1", h.Public()); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("takeover handshake: err = %v, want ErrSessionExists", err)
+	}
+
+	// The victim's session is intact: deliveries still seal to its key.
+	pub, _ := Connect(b, "pub", nil, nil, attest.Policy{})
+	if _, err := pub.Publish(b, Event{Attrs: map[string]float64{"a": 5}, Payload: []byte("p")}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := victim.Receive(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("victim received %d events, want 1", len(events))
+	}
+}
+
+func TestRehandshakeRotatesSessionWithProof(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	cli, err := Connect(b, "c1", nil, nil, attest.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSubscription(0, map[string]Interval{"a": iv(0, 10)})
+	if _, err := cli.Subscribe(b, s); err != nil {
+		t.Fatal(err)
+	}
+
+	// A proof sealed under the wrong key is rejected.
+	forged, err := BeginHandshake("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongBox, _ := cryptbox.NewBox(cryptbox.Key{0xFF})
+	badProof, _ := wrongBox.Seal(forged.Public(), aadRehandshake("c1"))
+	if _, err := b.Rehandshake("c1", badProof); !errors.Is(err, ErrBadEnvelope) {
+		t.Fatalf("forged proof: err = %v, want ErrBadEnvelope", err)
+	}
+
+	// The legitimate holder rotates and keeps receiving.
+	h, err := BeginHandshake("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := cli.SealRehandshake(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokerPub, err := b.Rehandshake("c1", proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := h.Finish(brokerPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, _ := Connect(b, "pub", nil, nil, attest.Policy{})
+	if _, err := pub.Publish(b, Event{Attrs: map[string]float64{"a": 3}, Payload: []byte("post-rotate")}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := rotated.Receive(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || string(events[0].Payload) != "post-rotate" {
+		t.Fatalf("rotated client received %v", events)
+	}
+	// The pre-rotation key no longer opens new deliveries.
+	if _, err := pub.Publish(b, Event{Attrs: map[string]float64{"a": 3}, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range b.Drain("c1") {
+		if _, err := cli.OpenDeliverySealed(d.Sealed); err == nil {
+			t.Fatal("old session key still opens post-rotation deliveries")
+		}
+	}
+}
+
+func TestDrainSealedRejectsReplayAndForgery(t *testing.T) {
+	_, enc := brokerEnclave(t)
+	b, _ := NewBroker(enc, DefaultBrokerConfig())
+	cli, err := Connect(b, "c1", nil, nil, attest.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSubscription(0, map[string]Interval{"a": iv(0, 10)})
+	if _, err := cli.Subscribe(b, s); err != nil {
+		t.Fatal(err)
+	}
+	pub, _ := Connect(b, "pub", nil, nil, attest.Policy{})
+	if _, err := pub.Publish(b, Event{Attrs: map[string]float64{"a": 1}, Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// No proof at all.
+	if _, err := b.DrainSealed("c1", []byte("junk")); !errors.Is(err, ErrBadEnvelope) {
+		t.Fatalf("garbage token: err = %v, want ErrBadEnvelope", err)
+	}
+	// A valid token drains once...
+	token, err := cli.SealPollToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dels, err := b.DrainSealed("c1", token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dels) != 1 {
+		t.Fatalf("drained %d deliveries, want 1", len(dels))
+	}
+	// ...and a replay of the same bytes is rejected even with new mail.
+	if _, err := pub.Publish(b, Event{Attrs: map[string]float64{"a": 2}, Payload: []byte("two")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.DrainSealed("c1", token); !errors.Is(err, ErrReplayedToken) {
+		t.Fatalf("replayed token: err = %v, want ErrReplayedToken", err)
+	}
+	// A fresh token still works; the pending delivery survived the replay.
+	token2, err := cli.SealPollToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dels, err = b.DrainSealed("c1", token2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dels) != 1 {
+		t.Fatalf("post-replay drain got %d deliveries, want 1", len(dels))
+	}
+	if _, err := b.DrainSealed("unknown", token2); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("unknown client: err = %v, want ErrUnknownClient", err)
+	}
+}

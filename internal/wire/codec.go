@@ -6,6 +6,23 @@
 // reach, not trust. The package also exports a Prometheus-style /metrics
 // endpoint over the shared stats.Source surface and optional pprof wiring
 // for wall-clock profiling.
+//
+// Exposing the plane to the network also exposes its control surface, and
+// confidentiality alone is not enough there. Three guards close the holes
+// an anonymous peer would otherwise have: a handshake never displaces a
+// live SCBR session (re-keying requires Rehandshake's proof of the old
+// session key, so client IDs cannot be taken over); SCBR polls are
+// destructive drains and therefore demand a sealed single-use token under
+// the session key (replay-protected by a monotonic counter); and
+// per-tenant plane mailboxes are capped (DefaultMailboxCap, drop-oldest)
+// so forged cleartext tenant IDs cannot grow memory without bound.
+// Config.AuthToken optionally gates the whole /scbr/* + /plane/* surface
+// behind a bearer token; without it, anonymous peers still cannot read or
+// forge sealed traffic or hijack sessions, but they CAN poll plane reply
+// mailboxes by tenant ID and submit structurally valid frames — run
+// tokenless only on trusted (loopback) networks. Config.Quoter serves
+// nonce-bound broker quotes so DialSCBROpts can attest the broker before
+// handing over subscription filters, like in-process scbr.Connect.
 package wire
 
 import (

@@ -9,6 +9,13 @@ import (
 	"securecloud/internal/microsvc"
 )
 
+// DefaultMailboxCap bounds each tenant's reply mailbox in frames. Tenant
+// IDs on ingress frames are cleartext and unverified (the gateway cannot
+// open seals), so an attacker can manufacture reply traffic for tenants
+// nobody polls; the cap turns that from unbounded memory growth into a
+// bounded window with drop-oldest accounting (the mail_dropped counter).
+const DefaultMailboxCap = 1024
+
 // PlaneGateway bridges HTTP clients to one ReplicaSet's request/reply
 // topics. It owns a publisher on the request topic and a subscriber on the
 // reply topic, and routes reply frames into per-tenant mailboxes by their
@@ -16,19 +23,25 @@ import (
 // are structurally validated (and shed-flag frames rejected) before they
 // touch the bus, so a hostile HTTP client cannot inject what an in-process
 // client could not.
+//
+// Mailboxes are keyed by tenant, so at most one polling client per tenant
+// may be live at a time (see PlaneTransport); each mailbox holds at most
+// MailboxCap frames, oldest dropped first.
 type PlaneGateway struct {
 	name string
 	pub  *eventbus.Publisher
 	sub  *eventbus.Subscriber
 
-	mu        sync.Mutex
-	mail      map[string][][]byte
-	framesIn  uint64
-	bytesIn   uint64
-	rejected  uint64
-	framesOut uint64
-	bytesOut  uint64
-	polls     uint64
+	mu          sync.Mutex
+	mail        map[string][][]byte
+	mailCap     int
+	framesIn    uint64
+	bytesIn     uint64
+	rejected    uint64
+	framesOut   uint64
+	bytesOut    uint64
+	polls       uint64
+	mailDropped uint64
 }
 
 // NewPlaneGateway opens the gateway endpoints for the named service from
@@ -50,7 +63,18 @@ func NewPlaneGateway(bus *eventbus.Bus, name string, keys attest.ServiceKeys, in
 	if err != nil {
 		return nil, err
 	}
-	return &PlaneGateway{name: name, pub: pub, sub: sub, mail: make(map[string][][]byte)}, nil
+	return &PlaneGateway{name: name, pub: pub, sub: sub, mail: make(map[string][][]byte), mailCap: DefaultMailboxCap}, nil
+}
+
+// SetMailboxCap overrides the per-tenant mailbox bound (frames); n < 1
+// restores DefaultMailboxCap. Call before serving traffic.
+func (g *PlaneGateway) SetMailboxCap(n int) {
+	if n < 1 {
+		n = DefaultMailboxCap
+	}
+	g.mu.Lock()
+	g.mailCap = n
+	g.mu.Unlock()
 }
 
 // SendFrames validates and publishes a batch of sealed request frames. The
@@ -100,7 +124,15 @@ func (g *PlaneGateway) PollTenant(tenant string) ([][]byte, error) {
 			g.rejected++
 			continue
 		}
-		g.mail[t] = append(g.mail[t], f)
+		q := g.mail[t]
+		if len(q) >= g.mailCap {
+			// Full mailbox: drop oldest, compacting in place so a
+			// never-polled tenant's backing array stays bounded too.
+			drop := len(q) - g.mailCap + 1
+			g.mailDropped += uint64(drop)
+			q = append(q[:0], q[drop:]...)
+		}
+		g.mail[t] = append(q, f)
 	}
 	out := g.mail[tenant]
 	delete(g.mail, tenant)
@@ -134,5 +166,6 @@ func (g *PlaneGateway) Snapshot() map[string]float64 {
 		"rejected":      float64(g.rejected),
 		"polls":         float64(g.polls),
 		"mailbox_depth": float64(pending),
+		"mail_dropped":  float64(g.mailDropped),
 	}
 }

@@ -1,12 +1,17 @@
 package wire
 
 import (
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"strings"
 
+	"securecloud/internal/attest"
+	"securecloud/internal/enclave"
 	"securecloud/internal/httpx"
 	"securecloud/internal/scbr"
 	"securecloud/internal/stats"
@@ -29,6 +34,21 @@ type Config struct {
 	Pprof bool
 	// MaxBody bounds any request body in bytes (default DefaultMaxBody).
 	MaxBody int64
+	// AuthToken, when set, gates every /scbr/*, /plane/* and pprof
+	// endpoint behind `Authorization: Bearer <token>` (constant-time
+	// compare). The sealed envelopes already protect confidentiality and
+	// integrity end to end; the token closes the remaining availability
+	// surface — unauthenticated peers draining mailboxes, filling tenant
+	// queues, or burning broker CPU. /metrics stays open: it exposes
+	// counters only. Leave empty only on trusted networks (loopback
+	// benches) — the package doc spells out what an anonymous peer can
+	// then do.
+	AuthToken string
+	// Quoter, with Broker set, enables GET /scbr/quote?nonce=<hex>: a
+	// fresh nonce-bound quote of the broker enclave, so wire clients can
+	// attest the broker before handing over subscription filters
+	// (DialSCBROpts), matching the in-process scbr.Connect flow.
+	Quoter *attest.Quoter
 }
 
 // Server is the HTTP front end. Build with NewServer, attach plane
@@ -58,27 +78,67 @@ func (s *Server) RegisterPlane(service string, gw *PlaneGateway) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	if s.cfg.Broker != nil {
-		mux.HandleFunc("POST /scbr/handshake/{client}", s.scbrHandshake)
-		mux.HandleFunc("POST /scbr/subscribe/{client}", s.scbrEnvelope(scbr.KindSubscription))
-		mux.HandleFunc("POST /scbr/publish/{client}", s.scbrEnvelope(scbr.KindPublication))
-		mux.HandleFunc("GET /scbr/poll/{client}", s.scbrPoll)
+		mux.HandleFunc("POST /scbr/handshake/{client}", s.auth(s.scbrHandshake))
+		mux.HandleFunc("POST /scbr/rehandshake/{client}", s.auth(s.scbrRehandshake))
+		mux.HandleFunc("POST /scbr/subscribe/{client}", s.auth(s.scbrEnvelope(scbr.KindSubscription)))
+		mux.HandleFunc("POST /scbr/publish/{client}", s.auth(s.scbrEnvelope(scbr.KindPublication)))
+		mux.HandleFunc("POST /scbr/poll/{client}", s.auth(s.scbrPoll))
+		if s.cfg.Quoter != nil {
+			mux.HandleFunc("GET /scbr/quote", s.auth(s.scbrQuote))
+		}
 	}
-	mux.HandleFunc("POST /plane/{service}/send", s.planeSend)
-	mux.HandleFunc("GET /plane/{service}/poll", s.planePoll)
+	mux.HandleFunc("POST /plane/{service}/send", s.auth(s.planeSend))
+	mux.HandleFunc("GET /plane/{service}/poll", s.auth(s.planePoll))
 	mux.HandleFunc("GET /metrics", s.metrics)
 	if s.cfg.Pprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/debug/pprof/", s.auth(pprof.Index))
+		mux.HandleFunc("/debug/pprof/cmdline", s.auth(pprof.Cmdline))
+		mux.HandleFunc("/debug/pprof/profile", s.auth(pprof.Profile))
+		mux.HandleFunc("/debug/pprof/symbol", s.auth(pprof.Symbol))
+		mux.HandleFunc("/debug/pprof/trace", s.auth(pprof.Trace))
 	}
 	return mux
 }
 
+// auth wraps h behind the bearer-token gate when Config.AuthToken is set
+// (a no-op otherwise). The comparison is constant-time; only token length
+// can leak.
+func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.AuthToken == "" {
+		return h
+	}
+	want := []byte("Bearer " + s.cfg.AuthToken)
+	return func(w http.ResponseWriter, req *http.Request) {
+		got := []byte(req.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			http.Error(w, "wire: missing or invalid bearer token", http.StatusUnauthorized)
+			return
+		}
+		h(w, req)
+	}
+}
+
+// scbrErrCode maps broker errors onto HTTP statuses: a displaced-session
+// attempt is a conflict, a failed possession proof or replayed token is
+// forbidden, an unknown client is not found, anything else a bad request.
+func scbrErrCode(err error) int {
+	switch {
+	case errors.Is(err, scbr.ErrSessionExists):
+		return http.StatusConflict
+	case errors.Is(err, scbr.ErrBadEnvelope), errors.Is(err, scbr.ErrReplayedToken):
+		return http.StatusForbidden
+	case errors.Is(err, scbr.ErrUnknownClient):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 // scbrHandshake relays the X25519 handshake: the body is the client's raw
 // public key, the response the broker's. Session secrets never cross here
-// — both sides derive them.
+// — both sides derive them. The broker refuses to displace a live session
+// (409): without that, any network peer could re-handshake a victim's
+// client ID and have its future deliveries sealed to the attacker's key.
 func (s *Server) scbrHandshake(w http.ResponseWriter, req *http.Request) {
 	body, ok := httpx.ReadBody(w, req, s.maxBody)
 	if !ok {
@@ -86,11 +146,50 @@ func (s *Server) scbrHandshake(w http.ResponseWriter, req *http.Request) {
 	}
 	brokerPub, err := s.cfg.Broker.Handshake(req.PathValue("client"), body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), scbrErrCode(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(brokerPub)
+}
+
+// scbrRehandshake rotates a live session: the body is the client's new
+// public key sealed under the current session key — proof of possession,
+// the only path that may replace an established session.
+func (s *Server) scbrRehandshake(w http.ResponseWriter, req *http.Request) {
+	body, ok := httpx.ReadBody(w, req, s.maxBody)
+	if !ok {
+		return
+	}
+	brokerPub, err := s.cfg.Broker.Rehandshake(req.PathValue("client"), body)
+	if err != nil {
+		http.Error(w, err.Error(), scbrErrCode(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(brokerPub)
+}
+
+// scbrQuote serves a fresh quote of the broker enclave bound to the
+// caller's nonce (hex, at most enclave.ReportDataSize bytes) — the
+// attestation evidence DialSCBROpts verifies before the handshake.
+func (s *Server) scbrQuote(w http.ResponseWriter, req *http.Request) {
+	nonce, err := hex.DecodeString(req.URL.Query().Get("nonce"))
+	if err != nil || len(nonce) > enclave.ReportDataSize {
+		http.Error(w, fmt.Sprintf("wire: nonce must be hex, at most %d bytes", enclave.ReportDataSize), http.StatusBadRequest)
+		return
+	}
+	r, err := s.cfg.Broker.Enclave().CreateReport(nonce)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	q, err := s.cfg.Quoter.Quote(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	httpx.WriteJSON(w, wireQuote{PlatformID: q.PlatformID, Report: q.Report.Marshal(), Signature: q.Signature})
 }
 
 // scbrEnvelope serves subscribe and publish: the body is the sealed
@@ -108,14 +207,14 @@ func (s *Server) scbrEnvelope(kind string) http.HandlerFunc {
 		case scbr.KindSubscription:
 			id, err := s.cfg.Broker.Subscribe(env)
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				http.Error(w, err.Error(), scbrErrCode(err))
 				return
 			}
 			httpx.WriteJSON(w, map[string]uint64{"id": id})
 		default:
 			delivered, err := s.cfg.Broker.Publish(env)
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				http.Error(w, err.Error(), scbrErrCode(err))
 				return
 			}
 			httpx.WriteJSON(w, map[string]int{"delivered": delivered})
@@ -124,9 +223,19 @@ func (s *Server) scbrEnvelope(kind string) http.HandlerFunc {
 }
 
 // scbrPoll drains a client's pending deliveries as a batch of sealed
-// delivery bodies.
+// delivery bodies. Draining is destructive, so the request body must be a
+// sealed single-use poll token (scbr.Client.SealPollToken): without it,
+// any peer that could name a client ID could silently destroy its queue.
 func (s *Server) scbrPoll(w http.ResponseWriter, req *http.Request) {
-	dels := s.cfg.Broker.Drain(req.PathValue("client"))
+	body, ok := httpx.ReadBody(w, req, s.maxBody)
+	if !ok {
+		return
+	}
+	dels, err := s.cfg.Broker.DrainSealed(req.PathValue("client"), body)
+	if err != nil {
+		http.Error(w, err.Error(), scbrErrCode(err))
+		return
+	}
 	frames := make([][]byte, len(dels))
 	for i, d := range dels {
 		frames[i] = d.Sealed

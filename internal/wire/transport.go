@@ -1,9 +1,7 @@
 package wire
 
 import (
-	"bytes"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 
@@ -15,9 +13,17 @@ import (
 // PlaneClient built on it is byte-for-byte the same client as the
 // in-process one — only the hop differs. The transport remembers which
 // tenants it has sent for and polls each of their mailboxes on receive.
+//
+// Mailboxes are keyed by tenant, not by client: run at most ONE transport
+// per tenant against a given gateway. Two clients polling the same tenant
+// would steal each other's reply frames — whichever polls first drains
+// the shared mailbox, and replies whose request IDs the other client does
+// not recognize are dropped. cmd/wire-bench assigns each client its own
+// tenant for exactly this reason.
 type PlaneTransport struct {
 	base    string // e.g. http://127.0.0.1:8080/plane/checkout
 	hc      *http.Client
+	auth    string
 	tenants []string
 	seen    map[string]bool
 }
@@ -25,6 +31,7 @@ type PlaneTransport struct {
 var _ microsvc.Transport = (*PlaneTransport)(nil)
 
 // NewPlaneTransport builds a transport for one service behind baseURL.
+// See the type comment: one transport per tenant.
 func NewPlaneTransport(baseURL, service string, hc *http.Client) *PlaneTransport {
 	if hc == nil {
 		hc = http.DefaultClient
@@ -36,17 +43,11 @@ func NewPlaneTransport(baseURL, service string, hc *http.Client) *PlaneTransport
 	}
 }
 
-func (t *PlaneTransport) post(url string, body []byte) error {
-	resp, err := t.hc.Post(url, "application/octet-stream", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("wire: %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
-	}
-	return nil
+// WithAuth sets the bearer token (the server's Config.AuthToken) sent on
+// every request, and returns the transport for chaining.
+func (t *PlaneTransport) WithAuth(token string) *PlaneTransport {
+	t.auth = token
+	return t
 }
 
 // SendFrames implements microsvc.Transport.
@@ -61,7 +62,8 @@ func (t *PlaneTransport) SendFrames(frames [][]byte) error {
 			t.tenants = append(t.tenants, tenant)
 		}
 	}
-	return t.post(t.base+"/send", EncodeBatch(frames))
+	_, err := doRequest(t.hc, http.MethodPost, t.base+"/send", t.auth, EncodeBatch(frames))
+	return err
 }
 
 // RecvFrames implements microsvc.Transport: it polls the mailbox of every
@@ -70,17 +72,9 @@ func (t *PlaneTransport) SendFrames(frames [][]byte) error {
 func (t *PlaneTransport) RecvFrames() ([][]byte, error) {
 	var out [][]byte
 	for _, tenant := range t.tenants {
-		resp, err := t.hc.Get(t.base + "/poll?tenant=" + url.QueryEscape(tenant))
+		body, err := doRequest(t.hc, http.MethodGet, t.base+"/poll?tenant="+url.QueryEscape(tenant), t.auth, nil)
 		if err != nil {
-			return nil, err
-		}
-		body, readErr := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("wire: poll %s: %s", tenant, resp.Status)
-		}
-		if readErr != nil {
-			return nil, readErr
+			return nil, fmt.Errorf("wire: poll %s: %w", tenant, err)
 		}
 		frames, err := DecodeBatch(body)
 		if err != nil {

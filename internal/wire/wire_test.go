@@ -390,3 +390,315 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 		t.Fatal("forged count should fail")
 	}
 }
+
+// scbrFixture boots a broker enclave with a provisioned quoting enclave
+// behind a wire server, for the session-security and attestation tests.
+type scbrFixture struct {
+	ts     *httptest.Server
+	broker *scbr.Broker
+	svc    *attest.Service
+	quoter *attest.Quoter
+	signer cryptbox.Digest
+}
+
+func newSCBRFixture(t *testing.T, mutate func(*Config)) *scbrFixture {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	var signer cryptbox.Digest
+	signer[0] = 0x5C
+	e, err := p.ECreate(64<<20, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EAdd([]byte("scbr-broker-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EInit(); err != nil {
+		t.Fatal(err)
+	}
+	broker, err := scbr.NewBroker(e, scbr.DefaultBrokerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := attest.NewService()
+	quoter, err := svc.Provision(p, "wire-test-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Broker: broker, Quoter: quoter}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ts := httptest.NewServer(NewServer(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return &scbrFixture{ts: ts, broker: broker, svc: svc, quoter: quoter, signer: signer}
+}
+
+func TestSCBRSessionTakeoverRejected(t *testing.T) {
+	fx := newSCBRFixture(t, nil)
+	victim, err := DialSCBR(fx.ts.URL, "victim", fx.ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Subscribe(scbr.Subscription{Preds: []scbr.Predicate{
+		{Attr: "a", Interval: scbr.Interval{Lo: 0, Hi: 10}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second handshake for a live client ID must be refused: accepting
+	// it would seal the victim's future deliveries to the attacker's key.
+	if _, err := DialSCBR(fx.ts.URL, "victim", fx.ts.Client()); err == nil {
+		t.Fatal("re-handshake of a live session succeeded (session takeover)")
+	} else if !strings.Contains(err.Error(), "409") {
+		t.Fatalf("takeover dial error %v, want 409 conflict", err)
+	}
+
+	// The victim's session still works end to end.
+	pub, err := DialSCBR(fx.ts.URL, "pub", fx.ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := pub.Publish(scbr.Event{Attrs: map[string]float64{"a": 5}, Payload: []byte("v1")}); err != nil || n != 1 {
+		t.Fatalf("publish: n=%d err=%v", n, err)
+	}
+	if evs, err := victim.Poll(); err != nil || len(evs) != 1 {
+		t.Fatalf("victim poll: %v err=%v", evs, err)
+	}
+
+	// A rehandshake without proof of the session key is forbidden.
+	resp, err := fx.ts.Client().Post(fx.ts.URL+"/scbr/rehandshake/victim", "application/octet-stream", strings.NewReader("garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unproven rehandshake: got %d, want 403", resp.StatusCode)
+	}
+
+	// The real holder rotates its key and keeps receiving.
+	if err := victim.Rehandshake(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := pub.Publish(scbr.Event{Attrs: map[string]float64{"a": 6}, Payload: []byte("v2")}); err != nil || n != 1 {
+		t.Fatalf("post-rotate publish: n=%d err=%v", n, err)
+	}
+	evs, err := victim.Poll()
+	if err != nil || len(evs) != 1 || string(evs[0].Payload) != "v2" {
+		t.Fatalf("post-rotate poll: %v err=%v", evs, err)
+	}
+}
+
+func TestSCBRPollRequiresSealedToken(t *testing.T) {
+	fx := newSCBRFixture(t, nil)
+	sub, err := DialSCBR(fx.ts.URL, "sub", fx.ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(scbr.Subscription{Preds: []scbr.Predicate{
+		{Attr: "a", Interval: scbr.Interval{Lo: 0, Hi: 10}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := DialSCBR(fx.ts.URL, "pub", fx.ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(scbr.Event{Attrs: map[string]float64{"a": 1}, Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old unauthenticated GET drain is gone.
+	resp, err := fx.ts.Client().Get(fx.ts.URL + "/scbr/poll/sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET poll: got %d, want 405", resp.StatusCode)
+	}
+	// A tokenless POST cannot drain either.
+	resp, err = fx.ts.Client().Post(fx.ts.URL+"/scbr/poll/sub", "application/octet-stream", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("tokenless poll: got %d, want 403", resp.StatusCode)
+	}
+
+	// A captured token replays to a 403; the queue survives both attempts.
+	token, err := sub.c.SealPollToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = fx.ts.Client().Post(fx.ts.URL+"/scbr/poll/sub", "application/octet-stream", bytes.NewReader(token))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid token: got %d, want 200", resp.StatusCode)
+	}
+	frames, err := DecodeBatch(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("valid token drained %d frames, want 1", len(frames))
+	}
+	if _, err := pub.Publish(scbr.Event{Attrs: map[string]float64{"a": 2}, Payload: []byte("two")}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = fx.ts.Client().Post(fx.ts.URL+"/scbr/poll/sub", "application/octet-stream", bytes.NewReader(token))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("replayed token: got %d, want 403", resp.StatusCode)
+	}
+	// The client's own Poll (fresh token) still drains the pending event.
+	evs, err := sub.Poll()
+	if err != nil || len(evs) != 1 || string(evs[0].Payload) != "two" {
+		t.Fatalf("post-replay poll: %v err=%v", evs, err)
+	}
+}
+
+func TestDialSCBRAttestsBroker(t *testing.T) {
+	fx := newSCBRFixture(t, nil)
+	// Policy allowing the broker's signer: dial succeeds and works.
+	cli, err := DialSCBROpts(fx.ts.URL, "attested", fx.ts.Client(), SCBRDialOpts{
+		Service: fx.svc,
+		Policy:  attest.Policy{AllowedMRSigner: []cryptbox.Digest{fx.signer}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Subscribe(scbr.Subscription{Preds: []scbr.Predicate{
+		{Attr: "a", Interval: scbr.Interval{Lo: 0, Hi: 1}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// An empty policy allows nothing: the dial refuses before handing
+	// over any filter.
+	if _, err := DialSCBROpts(fx.ts.URL, "strict", fx.ts.Client(), SCBRDialOpts{
+		Service: fx.svc,
+		Policy:  attest.Policy{},
+	}); err == nil {
+		t.Fatal("dial succeeded against a policy that allows nothing")
+	}
+	// A verifier that never provisioned the platform rejects the quote.
+	if _, err := DialSCBROpts(fx.ts.URL, "foreign", fx.ts.Client(), SCBRDialOpts{
+		Service: attest.NewService(),
+		Policy:  attest.Policy{AllowedMRSigner: []cryptbox.Digest{fx.signer}},
+	}); err == nil {
+		t.Fatal("dial succeeded with a quote from an unknown platform")
+	}
+}
+
+func TestWireAuthTokenGate(t *testing.T) {
+	fx := newPlaneFixture(t, "plane/auth",
+		microsvc.ReplicaSetConfig{Replicas: 1, InTopic: "auth/req", OutTopic: "auth/resp"},
+		Config{AuthToken: "sekrit"})
+
+	// Anonymous and wrong-token requests bounce off every plane endpoint.
+	resp, err := fx.ts.Client().Get(fx.ts.URL + "/plane/plane%2Fauth/poll?tenant=acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("anonymous poll: got %d, want 401", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPost, fx.ts.URL+"/plane/plane%2Fauth/send", bytes.NewReader(EncodeBatch(nil)))
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp, err = fx.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong token send: got %d, want 401", resp.StatusCode)
+	}
+	// Metrics stay open: counters only, no control surface.
+	resp, err = fx.ts.Client().Get(fx.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics under auth: got %d, want 200", resp.StatusCode)
+	}
+
+	// A tokened transport works end to end.
+	tr := NewPlaneTransport(fx.ts.URL, "plane/auth", fx.ts.Client()).WithAuth("sekrit")
+	client, err := microsvc.NewPlaneClientTransport("plane/auth", fx.keys.Request, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	if _, err := client.SendTenantIDs("acme", []microsvc.PlaneRequest{{Key: "k", Body: []byte("hi")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.rs.Step(); err != nil {
+		t.Fatal(err)
+	}
+	replies, err := client.Poll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 1 || string(replies[0].Body) != "HI" {
+		t.Fatalf("tokened round trip got %v", replies)
+	}
+}
+
+func TestMailboxCapDropsOldest(t *testing.T) {
+	fx := newPlaneFixture(t, "plane/cap",
+		microsvc.ReplicaSetConfig{Replicas: 1, InTopic: "cap/req", OutTopic: "cap/resp"}, Config{})
+	fx.gw.SetMailboxCap(4)
+	client := httpPlaneClient(t, fx, "plane/cap")
+
+	reqs := make([]microsvc.PlaneRequest, 12)
+	for i := range reqs {
+		reqs[i] = microsvc.PlaneRequest{Key: fmt.Sprintf("k%02d", i), Body: []byte("x")}
+	}
+	if _, err := client.SendTenantIDs("hoarder", reqs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.rs.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Poll a DIFFERENT tenant: the gateway routes the 12 replies into
+	// hoarder's mailbox, which must cap at 4 with 8 dropped — an attacker
+	// stuffing tenants nobody polls cannot grow memory without bound.
+	resp, err := fx.ts.Client().Get(fx.ts.URL + "/plane/plane%2Fcap/poll?tenant=nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	snap := fx.gw.Snapshot()
+	if snap["mailbox_depth"] != 4 || snap["mail_dropped"] != 8 {
+		t.Fatalf("after cap: depth=%v dropped=%v, want 4/8", snap["mailbox_depth"], snap["mail_dropped"])
+	}
+	resp, err = fx.ts.Client().Get(fx.ts.URL + "/plane/plane%2Fcap/poll?tenant=hoarder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	frames, err := DecodeBatch(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("capped mailbox drained %d frames, want 4", len(frames))
+	}
+}

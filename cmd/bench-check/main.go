@@ -303,6 +303,50 @@ func extract(doc map[string]any) (map[string]float64, []string) {
 		}
 	}
 
+	if db, ok := doc["durability_bench"].(map[string]any); ok {
+		if det, ok := db["deterministic"].(map[string]any); ok {
+			for name, v := range det {
+				if f, ok := num(v); ok {
+					metrics["durability."+name] = f
+				}
+			}
+		}
+		// The driver's own cross-worker-count determinism verdict, plus the
+		// delta-durability statements: a warm delta recovery must fetch
+		// strictly fewer chunks than its own cold recovery, the incremental
+		// snapshot must publish strictly fewer chunks (and charge strictly
+		// fewer cycles) than the full baseline of identical state, and the
+		// recovered store must land bit-identical to the never-crashed twin.
+		if eq, ok := db["workers_equal"].(bool); ok && !eq {
+			problems = append(problems,
+				"durability_bench: metrics differed across worker counts (nondeterministic)")
+		}
+		if det, ok := db["deterministic"].(map[string]any); ok {
+			delta, okD := num(det["delta_chunks_fetched"])
+			cold, okC := num(det["cold_chunks_fetched"])
+			if okD && okC && delta >= cold {
+				problems = append(problems, fmt.Sprintf(
+					"durability_bench: warm delta recovery fetched %v chunks, cold fetched %v (delta chain not saving traffic)", delta, cold))
+			}
+			dc, okDC := num(det["delta_snapshot_chunks"])
+			fc, okFC := num(det["full_snapshot_chunks"])
+			if okDC && okFC && dc >= fc {
+				problems = append(problems, fmt.Sprintf(
+					"durability_bench: delta snapshot published %v chunks, full published %v (incremental publish not saving chunks)", dc, fc))
+			}
+			dcy, okDY := num(det["delta_snapshot_cycles"])
+			fcy, okFY := num(det["full_snapshot_cycles"])
+			if okDY && okFY && dcy >= fcy {
+				problems = append(problems, fmt.Sprintf(
+					"durability_bench: delta snapshot charged %v cycles, full charged %v (incremental publish not saving work)", dcy, fcy))
+			}
+			if v, ok := num(det["recovered_state_equal"]); ok && v != 1 {
+				problems = append(problems,
+					"durability_bench: recovered state diverged from the never-crashed twin (recovered_state_equal != 1)")
+			}
+		}
+	}
+
 	if wb, ok := doc["wire_bench"].(map[string]any); ok {
 		if det, ok := wb["deterministic"].(map[string]any); ok {
 			for name, v := range det {

@@ -81,6 +81,7 @@ func (d *planeDriver) Step() error {
 // stack is one fully built serving stack: attested plane + broker behind
 // one wire server on a loopback listener.
 type stack struct {
+	bus    *eventbus.Bus
 	rs     *microsvc.ReplicaSet
 	gw     *wire.PlaneGateway
 	broker *scbr.Broker
@@ -164,7 +165,7 @@ func buildStack(inject int, pprofOn bool) (*stack, error) {
 	srv := &http.Server{Handler: ws.Handler()}
 	go func() { _ = srv.Serve(ln) }()
 	return &stack{
-		rs: rs, gw: gw, broker: broker, keys: keys, svc: svc,
+		bus: bus, rs: rs, gw: gw, broker: broker, keys: keys, svc: svc,
 		policy: attest.Policy{AllowedMRSigner: []cryptbox.Digest{signer}},
 		srv:    srv, url: "http://" + ln.Addr().String(),
 	}, nil
@@ -178,8 +179,10 @@ func (s *stack) close() {
 
 // runOnce builds a fresh stack, replays the whole workload over HTTP, and
 // returns the deterministic counter map plus the informational wall-clock
-// figures.
-func runOnce(ticks int, pprofOn bool) (map[string]float64, map[string]float64, error) {
+// figures. A nonzero rps switches the generator open-loop: requests arrive
+// at the target aggregate rate (inject at 4×) on the generator's clock
+// instead of one batch per closed-loop round trip.
+func runOnce(ticks int, rps float64, pprofOn bool) (map[string]float64, map[string]float64, error) {
 	s, err := buildStack(64, pprofOn)
 	if err != nil {
 		return nil, nil, err
@@ -200,6 +203,9 @@ func runOnce(ticks int, pprofOn bool) (map[string]float64, map[string]float64, e
 			{Name: "recover", Ticks: ticks, PerClient: 1},
 		},
 		DrainTicks: 3 * ticks,
+	}
+	if rps > 0 {
+		spec.OpenLoop = &loadgen.OpenLoopSpec{TargetRPS: rps}
 	}
 	drv := &planeDriver{rs: s.rs}
 	for c := 0; c < clients; c++ {
@@ -292,19 +298,143 @@ func runOnce(ticks int, pprofOn bool) (map[string]float64, map[string]float64, e
 	return det, wall, nil
 }
 
+// timingQuantiles summarizes one latency histogram for the timing report.
+func timingQuantiles(h *loadgen.Histogram) map[string]float64 {
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	return map[string]float64{
+		"p50_us":  us(h.Quantile(0.50)),
+		"p95_us":  us(h.Quantile(0.95)),
+		"max_us":  us(h.Max()),
+		"mean_us": h.Mean() / 1e3,
+	}
+}
+
+// runTiming measures per-request round-trip latency through two paths to
+// the same plane — the HTTP PlaneTransport on a loopback listener vs an
+// in-process PlaneClient on the event bus — across payload sizes, one
+// request per step so queueing never blurs the transport cost. Everything
+// it reports is wall-clock: informational only, never gated.
+func runTiming(requests int, sizes []int) (map[string]map[string]map[string]float64, error) {
+	s, err := buildStack(64, false)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+
+	httpTr := wire.NewPlaneTransport(s.url, serviceName, http.DefaultClient).WithAuth(authToken)
+	httpClient, err := microsvc.NewPlaneClientTransport(serviceName, s.keys.Request, httpTr)
+	if err != nil {
+		return nil, err
+	}
+	defer httpClient.Close()
+	busClient, err := microsvc.NewPlaneClient(s.bus, serviceName, s.keys, "wire/req", "wire/resp")
+	if err != nil {
+		return nil, err
+	}
+	defer busClient.Close()
+
+	out := map[string]map[string]map[string]float64{
+		"http":   make(map[string]map[string]float64),
+		"inproc": make(map[string]map[string]float64),
+	}
+	measure := func(c *microsvc.PlaneClient, size int) (*loadgen.Histogram, error) {
+		h := loadgen.NewHistogram(loadgen.LatencyBounds())
+		body := make([]byte, size)
+		for i := range body {
+			body[i] = byte(i)
+		}
+		for r := 0; r < requests; r++ {
+			t0 := time.Now()
+			// Tenant rotation keeps the admission bucket (rate 2/tick) from
+			// ever shedding the serial probe stream.
+			tenant := fmt.Sprintf("t%d", r%4)
+			if _, err := c.SendTenantIDs(tenant, []microsvc.PlaneRequest{{Key: "k0000", Body: body}}); err != nil {
+				return nil, err
+			}
+			var got int
+			for step := 0; got == 0 && step < 64; step++ {
+				if _, err := s.rs.Step(); err != nil {
+					return nil, err
+				}
+				reps, err := c.Poll(0)
+				if err != nil {
+					return nil, err
+				}
+				got = len(reps)
+			}
+			if got == 0 {
+				return nil, fmt.Errorf("timing: no reply after 64 steps (size %d)", size)
+			}
+			h.Observe(time.Since(t0).Nanoseconds())
+		}
+		return h, nil
+	}
+	for _, size := range sizes {
+		key := fmt.Sprintf("payload_%d", size)
+		hh, err := measure(httpClient, size)
+		if err != nil {
+			return nil, fmt.Errorf("http %s: %w", key, err)
+		}
+		out["http"][key] = timingQuantiles(hh)
+		hb, err := measure(busClient, size)
+		if err != nil {
+			return nil, fmt.Errorf("inproc %s: %w", key, err)
+		}
+		out["inproc"][key] = timingQuantiles(hb)
+	}
+	return out, nil
+}
+
 func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON")
 	ticks := flag.Int("ticks", 8, "warmup phase ticks (inject is 2x, drain 3x)")
+	rps := flag.Float64("rps", 0, "open-loop target RPS (0 = closed-loop, the gated default)")
+	timing := flag.Bool("timing", false, "measure HTTP-vs-in-process per-request latency instead of the load run")
+	timingReqs := flag.Int("timing-requests", 200, "requests per transport per payload size in -timing mode")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof on the bench server")
 	flag.Parse()
 
+	if *timing {
+		start := time.Now()
+		sizes := []int{64, 512, 4096}
+		res, err := runTiming(*timingReqs, sizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wire-bench:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			out := struct {
+				Mode        string                                   `json:"mode"`
+				Requests    int                                      `json:"requests"`
+				Sizes       []int                                    `json:"payload_sizes"`
+				Transports  map[string]map[string]map[string]float64 `json:"transports"`
+				TotalWallMS int64                                    `json:"total_wall_ms"`
+			}{"timing", *timingReqs, sizes, res, time.Since(start).Milliseconds()}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				fmt.Fprintln(os.Stderr, "wire-bench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		for _, tr := range []string{"http", "inproc"} {
+			for _, size := range sizes {
+				q := res[tr][fmt.Sprintf("payload_%d", size)]
+				fmt.Printf("%-7s payload=%-5d p50=%.0fus p95=%.0fus mean=%.0fus max=%.0fus\n",
+					tr, size, q["p50_us"], q["p95_us"], q["mean_us"], q["max_us"])
+			}
+		}
+		return
+	}
+
 	start := time.Now()
-	det1, wall, err := runOnce(*ticks, *pprofOn)
+	det1, wall, err := runOnce(*ticks, *rps, *pprofOn)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wire-bench:", err)
 		os.Exit(1)
 	}
-	det2, _, err := runOnce(*ticks, *pprofOn)
+	det2, _, err := runOnce(*ticks, *rps, *pprofOn)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wire-bench:", err)
 		os.Exit(1)

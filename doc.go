@@ -235,8 +235,9 @@
 // profiles (uniform, genpack batch-arrival, smartgrid streaming), a
 // fault table, an admission config and an assertion table over the
 // result's flat metric map — so a new scenario is ~20 lines.
-// microsvc.LabScenarios pins seven: overload, noisy-neighbor, cascade,
-// slow-network, recovery, crash-state and key-revocation; the legacy
+// microsvc.LabScenarios pins eight: overload, noisy-neighbor, cascade,
+// slow-network, recovery, crash-state, key-revocation and
+// delta-durability; the legacy
 // scenarios run through the same engine via Scenario.Spec, replaying the
 // exact pre-engine RNG stream.
 // cmd/app-bench sweeps the lab across worker counts, asserts every
@@ -294,31 +295,60 @@
 //     (FuzzDecodeWALRecord) pins that every input lands in exactly
 //     torn, corrupt or valid.
 //
-//   - Sealed snapshots. Snapshot serializes each shard's table, packs it
-//     convergently (transfer.PackConvergent) and publishes the blob set
-//     through internal/registry — chunk-granular, content-addressed, and
-//     deduped against every image layer and prior snapshot already
-//     stored. The snapshot manifest seals under a per-shard key derived
-//     from the service key the attest.KeyBroker released, with the
-//     sequence number in the AAD; the registry refuses sequence
-//     rollbacks, and each snapshot rolls its shard's WAL to a fresh
-//     epoch.
+//   - Incremental sealed snapshots. Snapshot tracks per-shard dirty
+//     state: a shard untouched since its last packed snapshot publishes a
+//     tiny reuse record chaining to its parent manifest instead of
+//     re-packing — the delta scales with what changed, not with the
+//     dataset. Dirty shards serialize their table, pack it convergently
+//     (transfer.PackConvergent) and publish the blob set through
+//     internal/registry — chunk-granular, content-addressed, and deduped
+//     against every image layer and prior snapshot already stored, so
+//     even a packed shard republishes only its changed chunks. Every
+//     snapshot record (packed or reuse) seals under a per-shard key
+//     derived from the service key the attest.KeyBroker released, with
+//     both the sequence number and the parent sequence bound into the
+//     AAD: a chain cannot be spliced, re-pointed or rolled back without
+//     failing authentication. The registry refuses sequence rollbacks and
+//     keeps the chain's history addressable (SnapshotAt); packed shards
+//     roll their WAL to a fresh epoch, reused shards keep their current
+//     (empty) one.
 //
-//   - Recovery. RecoverDurableStore bootstraps a replacement from the
-//     latest snapshot plus the WAL tail: snapshot chunks come through
-//     container.Engine.PullBlobSet — the same parallel verified pull as
-//     image boot, per-chunk digest verification, tamper isolation, warm
-//     BlobCache hits — and the tail replays inside accounting spans.
+//   - WAL-segment GC. Rolled epochs stay as sealed segments until
+//     DurableStore.GC retires the ones the newest durable snapshot has
+//     made redundant — strictly below the shard's replay epoch, minus a
+//     configurable retention margin of newest sealed epochs
+//     (GCRetainEpochs, default 1). GC never collects past the newest
+//     published snapshot: a shard that has never snapshotted retires
+//     nothing, so the byte set recovery needs is never narrowed.
+//
+//   - Recovery. RecoverDurableStore walks each shard's delta chain from
+//     the latest record back to its packed ancestor — verifying every
+//     link's parent binding, refusing missing links, spliced parents and
+//     non-monotonic epochs — then pulls only the chunks its node cache is
+//     missing via container.Engine.PullBlobSet (the same parallel
+//     verified pull as image boot: per-chunk digest verification, tamper
+//     isolation, warm BlobCache hits) and replays only the post-snapshot
+//     WAL tail inside accounting spans. A warm node recovering a delta
+//     chain therefore fetches the changed chunks, not the dataset.
 //     Snapshot-bootstrap and log-replay sim-cycles are topology
 //     (worker-invariant), so RecoveryStats is CI-gated like every other
-//     simulated figure.
+//     simulated figure. Two fuzz targets pin the adversarial floor:
+//     FuzzDecodeWALRecord (every WAL input lands torn, corrupt or valid)
+//     and FuzzRecoverSnapshotChain (every chain mutation — spliced
+//     parent, dropped link, bitflip, truncation, tampered chunk — either
+//     recovers the exact reference state or is refused).
 //
 // The crash-state lab scenario drives the whole loop closed: replicas
 // crash with total state loss mid-run, recover from snapshot + tail, and
 // must come back bit-identical to a never-crashed twin fed the same
-// request stream; key-revocation drives the fail-closed half, revoking
-// the service mid-run so replacement replicas are denied keys until a
-// reinstate lets them re-attest.
+// request stream; delta-durability narrows the working set so most shards
+// go cold, exercising reuse chains, chain-walking recovery and GC under
+// the same bit-identical pin; key-revocation drives the fail-closed half,
+// revoking the service mid-run so replacement replicas are denied keys
+// until a reinstate lets them re-attest. cmd/durability-bench measures
+// the delta against the full-snapshot baseline — publish chunks and
+// cycles, warm-vs-cold recovery fetches, GC retirements — swept across
+// worker counts and gated by cmd/bench-check.
 //
 // # Cluster & placement
 //

@@ -266,7 +266,7 @@ func blobSetFixture(t *testing.T) (*registry.Registry, *transfer.Manifest, []byt
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.PutBlobSet(lm, chunks); err != nil {
+	if _, err := reg.PutBlobSet(lm, chunks); err != nil {
 		t.Fatal(err)
 	}
 	return reg, lm, payload

@@ -4,7 +4,23 @@
 // content-addressed snapshot blob set to a registry. Crash recovery
 // bootstraps a fresh store from the latest snapshot — pulled through the
 // container engine's verified chunk path, so every chunk is digest-checked
-// and the node BlobCache warms — then replays the current epoch's WAL tail.
+// and the node BlobCache warms — then replays the post-snapshot WAL tail.
+//
+// Snapshots are incremental: the store tracks which shards changed since
+// the last snapshot, and a clean shard publishes a tiny *reuse* record
+// pointing at its parent sequence instead of re-packing its table. The
+// records form a delta chain seq → parent seq per shard; recovery walks
+// the chain down to the nearest packed manifest. Both seq and parent are
+// bound into the sealed record's AAD, so a chain cannot be spliced: a
+// record re-pointed at a different parent, or republished at a different
+// sequence, fails authentication. Changed shards pack convergently, so
+// unchanged chunks within a changed shard still dedup in the registry.
+//
+// WAL epochs are the retention unit. A packed shard rolls its WAL into the
+// next epoch (the sealed previous epoch stays on the durable medium); a
+// reused shard keeps its current — empty — epoch. GC retires sealed
+// segments strictly below the newest durable snapshot's epoch, behind a
+// configurable retention margin, so the crash window never widens.
 //
 // Key hierarchy: everything derives from one service seal key (in the
 // plane, itself derived from the attested KeyBroker release), so a replica
@@ -15,13 +31,15 @@
 //	        └ "snap|svc|i"   → shard i's snapshot manifest sealing
 //
 // Topology vs execution: shard count, WAL bytes, snapshot chunking and all
-// RecoveryStats are topology — shards are snapshotted and recovered in
-// shard order, and the engine pull's stats are worker-invariant — so
-// recovery figures are bit-identical across worker counts.
+// Snapshot/GC/Recovery stats are topology — shards are snapshotted and
+// recovered in shard order, and the engine pull's stats are
+// worker-invariant — so every figure is bit-identical across worker counts.
 package kvstore
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"securecloud/internal/container"
@@ -31,12 +49,20 @@ import (
 	"securecloud/internal/transfer"
 )
 
+// ErrSnapshotChain marks a delta chain that cannot be trusted: a spliced
+// or cyclic parent pointer, a missing link, or a record that fails
+// authentication. Recovery must fail loudly rather than restore from it.
+var ErrSnapshotChain = errors.New("kvstore: snapshot chain invalid")
+
 // SnapshotStore is the registry surface a durable store publishes to and
-// recovers from (implemented by registry.Registry).
+// recovers from (implemented by registry.Registry). PutBlobSet reports how
+// many chunks were newly stored (the rest dedup'd against existing blobs);
+// SnapshotAt serves historical records so recovery can walk delta chains.
 type SnapshotStore interface {
-	PutBlobSet(m *transfer.Manifest, chunks [][]byte) error
+	PutBlobSet(m *transfer.Manifest, chunks [][]byte) (stored int, err error)
 	PublishSnapshot(name string, seq uint64, sealed []byte) error
 	LatestSnapshot(name string) (seq uint64, sealed []byte, ok bool)
+	SnapshotAt(name string, seq uint64) (sealed []byte, ok bool)
 }
 
 // DurableConfig sizes a durable sharded store.
@@ -61,10 +87,15 @@ type DurableConfig struct {
 	// SnapChunkSize is the snapshot chunk granularity (default 4 KiB);
 	// smaller chunks dedup more across successive snapshots.
 	SnapChunkSize int
+	// GCRetainEpochs is GC's retention margin: the newest K sealed WAL
+	// epochs per shard survive collection even when a snapshot covers
+	// them (default 1; -1 keeps no margin). GC never touches epochs at
+	// or after the newest durable snapshot regardless.
+	GCRetainEpochs int
 }
 
-// DurableStore is a ShardedStore with a sealed WAL per shard and
-// content-addressed snapshots.
+// DurableStore is a ShardedStore with a sealed WAL per shard,
+// content-addressed incremental snapshots, and WAL-segment GC.
 type DurableStore struct {
 	*ShardedStore
 	cfg      DurableConfig
@@ -72,21 +103,53 @@ type DurableStore struct {
 	walKeys  []cryptbox.Key
 	snapKeys []cryptbox.Key
 	snapSeq  uint64
+	// dirty marks shards mutated since their last packed snapshot; a clean
+	// shard's next snapshot record reuses its parent manifest.
+	dirty []bool
+	// durableEpoch is, per shard, the first WAL epoch recovery would
+	// replay over the newest published snapshot — the GC floor. 0 means
+	// no snapshot covers the shard yet and nothing is collectible.
+	durableEpoch []uint64
 }
 
-// snapshotManifest is the sealed record published per shard snapshot: which
-// blob set holds the state, and which WAL epoch continues it.
+// snapshotManifest is the sealed record published per shard snapshot: a
+// delta-chain link. A packed record (Reuse false) carries the blob-set
+// manifest holding the shard's table; a reuse record (Reuse true) carries
+// no manifest and defers to Parent. WALEpoch is the first epoch recovery
+// replays on top — for a packed shard the fresh epoch the WAL rolled
+// into, for a reused shard its current (empty at publish time) epoch.
 type snapshotManifest struct {
-	Service  string            `json:"service"`
-	Shard    int               `json:"shard"`
-	Seq      uint64            `json:"seq"`
-	WALEpoch uint64            `json:"wal_epoch"`
-	Manifest transfer.Manifest `json:"manifest"`
+	Service  string             `json:"service"`
+	Shard    int                `json:"shard"`
+	Seq      uint64             `json:"seq"`
+	Parent   uint64             `json:"parent"`
+	WALEpoch uint64             `json:"wal_epoch"`
+	Reuse    bool               `json:"reuse,omitempty"`
+	Manifest *transfer.Manifest `json:"manifest,omitempty"`
 }
 
-// snapshotAAD binds a sealed snapshot manifest to its name and sequence.
-func snapshotAAD(name string, seq uint64) []byte {
-	return []byte(fmt.Sprintf("kv-snap|%s|%d", name, seq))
+// snapshotAAD binds a sealed snapshot record to its name, sequence AND
+// parent sequence — the anti-splice measure: re-pointing a record at a
+// different parent changes the AAD and fails authentication.
+func snapshotAAD(name string, seq, parent uint64) []byte {
+	return []byte(fmt.Sprintf("kv-snap|%s|%d|%d", name, seq, parent))
+}
+
+// sealSnapshotRecord frames a chain link for the registry: the parent
+// sequence in cleartext (8 bytes big-endian, so the opener can reconstruct
+// the AAD) followed by the sealed JSON record. The cleartext prefix is
+// untrusted input — authentication confirms it, because it feeds the AAD.
+func sealSnapshotRecord(key cryptbox.Key, man snapshotManifest, name string) ([]byte, error) {
+	raw, err := json.Marshal(man)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := sealDeterministic(key, raw, snapshotAAD(name, man.Seq, man.Parent))
+	if err != nil {
+		return nil, err
+	}
+	out := binary.BigEndian.AppendUint64(make([]byte, 0, 8+len(sealed)), man.Parent)
+	return append(out, sealed...), nil
 }
 
 func (cfg *DurableConfig) snapName(shard int) string {
@@ -107,6 +170,9 @@ func NewDurableStore(cfg DurableConfig) (*DurableStore, error) {
 	}
 	if cfg.SnapChunkSize == 0 {
 		cfg.SnapChunkSize = 4096
+	}
+	if cfg.GCRetainEpochs == 0 {
+		cfg.GCRetainEpochs = 1
 	}
 	storeKey, err := cryptbox.DeriveKey(cfg.SealKey, "store|"+cfg.Service)
 	if err != nil {
@@ -133,6 +199,8 @@ func NewDurableStore(cfg DurableConfig) (*DurableStore, error) {
 		ds.snapKeys = append(ds.snapKeys, sk)
 		ds.wals = append(ds.wals, NewWAL(wk, cfg.walName(i), 1))
 	}
+	ds.dirty = make([]bool, ss.Shards())
+	ds.durableEpoch = make([]uint64, ss.Shards())
 	return ds, nil
 }
 
@@ -150,9 +218,13 @@ func (ds *DurableStore) PutBatch(pairs []Pair) error {
 		groups[i] = append(groups[i], WALOp{Key: p.Key, Value: p.Value})
 	}
 	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
 		if err := ds.wals[i].Append(g); err != nil {
 			return fmt.Errorf("kvstore: wal shard %d: %w", i, err)
 		}
+		ds.dirty[i] = true
 	}
 	return ds.ShardedStore.PutBatch(pairs)
 }
@@ -163,11 +235,12 @@ func (ds *DurableStore) Delete(key string) (bool, error) {
 	if err := ds.wals[i].Append([]WALOp{{Key: key, Delete: true}}); err != nil {
 		return false, fmt.Errorf("kvstore: wal shard %d: %w", i, err)
 	}
+	ds.dirty[i] = true
 	return ds.ShardedStore.Delete(key), nil
 }
 
-// WALBytes returns each shard's durable log bytes — what survives a crash
-// alongside the registry's snapshots.
+// WALBytes returns each shard's live tail epoch bytes (see WALSegments for
+// the full durable medium).
 func (ds *DurableStore) WALBytes() [][]byte {
 	out := make([][]byte, len(ds.wals))
 	for i, w := range ds.wals {
@@ -176,24 +249,95 @@ func (ds *DurableStore) WALBytes() [][]byte {
 	return out
 }
 
+// WALSegments returns every shard's durable log segments — sealed epochs
+// plus the live tail, what survives a crash alongside the registry's
+// snapshots and what RecoverDurableStore consumes.
+func (ds *DurableStore) WALSegments() [][]WALSegment {
+	out := make([][]WALSegment, len(ds.wals))
+	for i, w := range ds.wals {
+		out[i] = w.Segments()
+	}
+	return out
+}
+
 // SnapshotSeq returns the sequence of the last published snapshot (0 =
 // never snapshotted).
 func (ds *DurableStore) SnapshotSeq() uint64 { return ds.snapSeq }
 
-// Snapshot publishes every shard's table as a content-addressed blob set
-// plus a sealed manifest record, then compacts each WAL into the next
-// epoch. Successive snapshots of mostly-unchanged state dedup
-// chunk-for-chunk in the registry (convergent chunks). Shards publish in
-// shard order — deterministic bytes, names and sequence for any worker
-// count.
-func (ds *DurableStore) Snapshot() (uint64, error) {
-	seq := ds.snapSeq + 1
+// SnapshotStats is what one Snapshot call published and cost. Every field
+// is topology: bit-identical across worker counts.
+type SnapshotStats struct {
+	// Seq is the sequence the snapshot published under.
+	Seq uint64
+	// ShardsPacked counts shards whose table was re-packed and published;
+	// ShardsReused counts clean shards that published a reuse record
+	// pointing at their parent manifest instead.
+	ShardsPacked int
+	ShardsReused int
+	// ChunksPublished counts chunks submitted for packed shards;
+	// ChunksDeduped is how many of those the registry already held
+	// (convergent chunks — unchanged content is bit-identical).
+	ChunksPublished int
+	ChunksDeduped   int
+	// BytesPublished sums the submitted chunk bytes.
+	BytesPublished int64
+	// PackCycles sums the sim-cycles charged reading packed shards'
+	// tables. Reused shards skip the read entirely — the delta saving.
+	PackCycles sim.Cycles
+}
+
+// Snapshot publishes an incremental snapshot: dirty shards pack their
+// table as a content-addressed blob set (unchanged chunks dedup), clean
+// shards publish a reuse record chaining to their previous manifest.
+// Packed shards roll their WAL into the next epoch; reused shards keep
+// their current (empty) epoch. Shards publish in shard order —
+// deterministic bytes, names and sequence for any worker count.
+func (ds *DurableStore) Snapshot() (SnapshotStats, error) {
+	return ds.snapshot(false)
+}
+
+// SnapshotFull packs and publishes every shard regardless of dirty state —
+// the non-incremental baseline (and the shape every first snapshot takes).
+func (ds *DurableStore) SnapshotFull() (SnapshotStats, error) {
+	return ds.snapshot(true)
+}
+
+func (ds *DurableStore) snapshot(full bool) (SnapshotStats, error) {
+	parent := ds.snapSeq
+	st := SnapshotStats{Seq: parent + 1}
 	for i, sh := range ds.shards {
+		name := ds.cfg.snapName(i)
+		if !full && !ds.dirty[i] && parent > 0 {
+			// Clean shard with a published parent: chain, don't pack. The
+			// current epoch is empty (nothing was appended since the shard
+			// was last clean), so recovery replays from it directly.
+			man := snapshotManifest{
+				Service: ds.cfg.Service, Shard: i, Seq: st.Seq, Parent: parent,
+				WALEpoch: ds.wals[i].Epoch(), Reuse: true,
+			}
+			rec, err := sealSnapshotRecord(ds.snapKeys[i], man, name)
+			if err != nil {
+				return st, err
+			}
+			if err := ds.cfg.Registry.PublishSnapshot(name, st.Seq, rec); err != nil {
+				return st, err
+			}
+			ds.durableEpoch[i] = man.WALEpoch
+			st.ShardsReused++
+			continue
+		}
+		var before sim.Cycles
+		if sh.mem != nil {
+			before = sh.mem.Cycles()
+		}
 		sh.mu.Lock()
 		pairs, err := sh.st.Range("", "")
 		sh.mu.Unlock()
 		if err != nil {
-			return 0, err
+			return st, err
+		}
+		if sh.mem != nil {
+			st.PackCycles += sh.mem.Cycles() - before
 		}
 		ops := make([]WALOp, len(pairs))
 		for j, p := range pairs {
@@ -201,34 +345,62 @@ func (ds *DurableStore) Snapshot() (uint64, error) {
 		}
 		payload, err := encodeWALOps(ops)
 		if err != nil {
-			return 0, err
+			return st, err
 		}
-		name := ds.cfg.snapName(i)
 		m, chunks, err := transfer.PackConvergent(name, payload, ds.cfg.SnapChunkSize)
 		if err != nil {
-			return 0, err
+			return st, err
 		}
-		if err := ds.cfg.Registry.PutBlobSet(m, chunks); err != nil {
-			return 0, err
-		}
-		man, err := json.Marshal(snapshotManifest{
-			Service: ds.cfg.Service, Shard: i, Seq: seq,
-			WALEpoch: ds.wals[i].Epoch() + 1, Manifest: *m,
-		})
+		stored, err := ds.cfg.Registry.PutBlobSet(m, chunks)
 		if err != nil {
-			return 0, err
+			return st, err
 		}
-		sealed, err := sealDeterministic(ds.snapKeys[i], man, snapshotAAD(name, seq))
+		st.ChunksPublished += len(chunks)
+		st.ChunksDeduped += len(chunks) - stored
+		for _, c := range chunks {
+			st.BytesPublished += int64(len(c))
+		}
+		nextEpoch := ds.wals[i].Epoch() + 1
+		man := snapshotManifest{
+			Service: ds.cfg.Service, Shard: i, Seq: st.Seq, Parent: parent,
+			WALEpoch: nextEpoch, Manifest: m,
+		}
+		rec, err := sealSnapshotRecord(ds.snapKeys[i], man, name)
 		if err != nil {
-			return 0, err
+			return st, err
 		}
-		if err := ds.cfg.Registry.PublishSnapshot(name, seq, sealed); err != nil {
-			return 0, err
+		if err := ds.cfg.Registry.PublishSnapshot(name, st.Seq, rec); err != nil {
+			return st, err
 		}
-		ds.wals[i].Reset(ds.wals[i].Epoch() + 1)
+		ds.wals[i].Roll(nextEpoch)
+		ds.dirty[i] = false
+		ds.durableEpoch[i] = nextEpoch
+		st.ShardsPacked++
 	}
-	ds.snapSeq = seq
-	return seq, nil
+	ds.snapSeq = st.Seq
+	return st, nil
+}
+
+// GCStats is what one GC pass retired.
+type GCStats struct {
+	SegmentsRetired int
+	BytesRetired    int64
+}
+
+// GC retires WAL segments a durable snapshot has made redundant: per
+// shard, sealed epochs strictly below the newest published snapshot's
+// replay epoch, keeping the configured retention margin of newest sealed
+// epochs. It refuses to collect past the newest durable snapshot — a
+// shard with no published snapshot retires nothing — so the set of bytes
+// recovery needs is never narrowed.
+func (ds *DurableStore) GC() GCStats {
+	var g GCStats
+	for i, w := range ds.wals {
+		retired, bytes := w.GC(ds.durableEpoch[i], ds.cfg.GCRetainEpochs)
+		g.SegmentsRetired += retired
+		g.BytesRetired += bytes
+	}
+	return g
 }
 
 // RecoveryStats is what a crash-recovery run cost. Every field is
@@ -244,9 +416,13 @@ type RecoveryStats struct {
 	// SnapshotPairs counts records restored from snapshots.
 	SnapshotPairs int
 	// ChunksFetched/CacheHits aggregate the snapshot pulls' chunk traffic —
-	// a second recovery on the same node hits the warm BlobCache.
+	// a warm recovery on the same node hits the BlobCache for every chunk
+	// the previous pull (or a prior snapshot) already verified.
 	ChunksFetched int
 	CacheHits     int
+	// ChainLinks counts delta-chain records resolved across shards (1 per
+	// shard when its head is packed, more when reuse records chain back).
+	ChainLinks int
 }
 
 // applyShardOps replays ops into one shard in order, returning the cycle
@@ -274,13 +450,89 @@ func (ds *DurableStore) applyShardOps(i int, ops []WALOp) (sim.Cycles, error) {
 	return 0, nil
 }
 
+// openSnapshotRecord authenticates and decodes one chain link. The
+// cleartext parent prefix feeds the AAD, so a record spliced to another
+// (name, seq, parent) position fails here; the decoded payload is then
+// cross-checked against every position field.
+func (ds *DurableStore) openSnapshotRecord(i int, name string, seq uint64, rec []byte) (*snapshotManifest, error) {
+	if len(rec) < 8 {
+		return nil, fmt.Errorf("%w: %s seq %d record truncated", ErrSnapshotChain, name, seq)
+	}
+	parent := binary.BigEndian.Uint64(rec)
+	box, err := cryptbox.NewBox(ds.snapKeys[i])
+	if err != nil {
+		return nil, err
+	}
+	raw, err := box.Open(rec[8:], snapshotAAD(name, seq, parent))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s seq %d failed authentication: %v", ErrSnapshotChain, name, seq, err)
+	}
+	var man snapshotManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("%w: %s seq %d: %v", ErrSnapshotChain, name, seq, err)
+	}
+	if man.Service != ds.cfg.Service || man.Shard != i || man.Seq != seq || man.Parent != parent {
+		return nil, fmt.Errorf("%w: %s seq %d record names %s/shard-%d seq %d parent %d",
+			ErrSnapshotChain, name, seq, man.Service, man.Shard, man.Seq, man.Parent)
+	}
+	if man.Reuse == (man.Manifest != nil) {
+		return nil, fmt.Errorf("%w: %s seq %d carries reuse=%v with manifest=%v",
+			ErrSnapshotChain, name, seq, man.Reuse, man.Manifest != nil)
+	}
+	return &man, nil
+}
+
+// resolveSnapshotChain walks shard i's delta chain from the registry head
+// down to the nearest packed manifest. Each link must authenticate at its
+// own (seq, parent) position, parents must strictly decrease and exist —
+// a missing link, cycle, or rollback past the root fails the walk.
+func (ds *DurableStore) resolveSnapshotChain(i int) (head *snapshotManifest, man *transfer.Manifest, links int, err error) {
+	name := ds.cfg.snapName(i)
+	seq, rec, ok := ds.cfg.Registry.LatestSnapshot(name)
+	if !ok {
+		return nil, nil, 0, nil
+	}
+	head, err = ds.openSnapshotRecord(i, name, seq, rec)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	links = 1
+	cur := head
+	for cur.Reuse {
+		if cur.Parent == 0 || cur.Parent >= cur.Seq {
+			return nil, nil, links, fmt.Errorf("%w: %s seq %d reuse points at parent %d",
+				ErrSnapshotChain, name, cur.Seq, cur.Parent)
+		}
+		prec, ok := ds.cfg.Registry.SnapshotAt(name, cur.Parent)
+		if !ok {
+			return nil, nil, links, fmt.Errorf("%w: %s seq %d parent record %d missing",
+				ErrSnapshotChain, name, cur.Seq, cur.Parent)
+		}
+		pman, err := ds.openSnapshotRecord(i, name, cur.Parent, prec)
+		if err != nil {
+			return nil, nil, links, err
+		}
+		if pman.WALEpoch > cur.WALEpoch {
+			return nil, nil, links, fmt.Errorf("%w: %s seq %d parent epoch %d after child epoch %d",
+				ErrSnapshotChain, name, cur.Seq, pman.WALEpoch, cur.WALEpoch)
+		}
+		links++
+		cur = pman
+	}
+	return head, cur.Manifest, links, nil
+}
+
 // RecoverDurableStore rebuilds a durable store after a crash from what
-// survives: the registry's snapshots plus each shard's WAL bytes (nil/short
-// entries mean that shard's log was lost entirely). Shards recover in
-// shard order; each bootstraps from its latest snapshot through the
-// engine's verified pull, then replays its WAL tail under the torn-tail
-// discipline. The returned store is ready for new appends.
-func RecoverDurableStore(cfg DurableConfig, walBytes [][]byte) (*DurableStore, RecoveryStats, error) {
+// survives: the registry's snapshot chains plus each shard's WAL segments
+// (nil/missing entries mean that shard's log was lost entirely). Shards
+// recover in shard order; each resolves its delta chain to the nearest
+// packed manifest — pulling only chunks absent from the engine's node
+// cache — then replays the segments at or after the head record's epoch
+// under the torn-tail discipline (only the final, live segment may be
+// torn; damage or epoch gaps anywhere earlier are hard errors). Sealed
+// segments recovery skipped stay attached, so a post-recovery GC can
+// still retire them. The returned store is ready for new appends.
+func RecoverDurableStore(cfg DurableConfig, segments [][]WALSegment) (*DurableStore, RecoveryStats, error) {
 	ds, err := NewDurableStore(cfg)
 	if err != nil {
 		return nil, RecoveryStats{}, err
@@ -288,25 +540,14 @@ func RecoverDurableStore(cfg DurableConfig, walBytes [][]byte) (*DurableStore, R
 	var rs RecoveryStats
 	for i := 0; i < ds.Shards(); i++ {
 		name := ds.cfg.snapName(i)
-		epoch := uint64(1)
-		seq, sealed, ok := ds.cfg.Registry.LatestSnapshot(name)
-		if ok {
-			box, err := cryptbox.NewBox(ds.snapKeys[i])
-			if err != nil {
-				return nil, rs, err
-			}
-			raw, err := box.Open(sealed, snapshotAAD(name, seq))
-			if err != nil {
-				return nil, rs, fmt.Errorf("kvstore: snapshot %s seq %d failed authentication: %w", name, seq, err)
-			}
-			var man snapshotManifest
-			if err := json.Unmarshal(raw, &man); err != nil {
-				return nil, rs, fmt.Errorf("kvstore: snapshot %s: %w", name, err)
-			}
-			if man.Service != cfg.Service || man.Shard != i || man.Seq != seq {
-				return nil, rs, fmt.Errorf("kvstore: snapshot %s names %s/shard-%d seq %d", name, man.Service, man.Shard, man.Seq)
-			}
-			payload, ps, err := cfg.Engine.PullBlobSet(&man.Manifest, name)
+		replayEpoch := uint64(1)
+		head, man, links, err := ds.resolveSnapshotChain(i)
+		if err != nil {
+			return nil, rs, err
+		}
+		rs.ChainLinks += links
+		if head != nil {
+			payload, ps, err := cfg.Engine.PullBlobSet(man, name)
 			if err != nil {
 				return nil, rs, fmt.Errorf("kvstore: snapshot %s: %w", name, err)
 			}
@@ -322,28 +563,77 @@ func RecoverDurableStore(cfg DurableConfig, walBytes [][]byte) (*DurableStore, R
 			rs.SnapshotPairs += len(ops)
 			rs.ChunksFetched += ps.ChunksFetch
 			rs.CacheHits += ps.CacheHits
-			epoch = man.WALEpoch
-			if ds.snapSeq < seq {
-				ds.snapSeq = seq
+			replayEpoch = head.WALEpoch
+			ds.durableEpoch[i] = replayEpoch
+			if ds.snapSeq < head.Seq {
+				ds.snapSeq = head.Seq
 			}
 		}
-		var buf []byte
-		if i < len(walBytes) {
-			buf = walBytes[i]
+		var shardSegs []WALSegment
+		if i < len(segments) {
+			shardSegs = segments[i]
 		}
-		w, batches, err := RecoverWAL(ds.walKeys[i], ds.cfg.walName(i), epoch, buf)
-		if err != nil {
-			return nil, rs, fmt.Errorf("kvstore: shard %d: %w", i, err)
+		var stale, replay []WALSegment
+		for j, s := range shardSegs {
+			if j > 0 && s.Epoch <= shardSegs[j-1].Epoch {
+				return nil, rs, fmt.Errorf("%w: shard %d segment epochs not ascending (%d after %d)",
+					ErrWALCorrupt, i, s.Epoch, shardSegs[j-1].Epoch)
+			}
+			if s.Epoch >= replayEpoch {
+				replay = append(replay, s)
+			} else {
+				stale = append(stale, s)
+			}
 		}
-		ds.wals[i] = w
-		for _, ops := range batches {
-			applied, err := ds.applyShardOps(i, ops)
+		for j, s := range replay {
+			want := replayEpoch + uint64(j)
+			if s.Epoch != want {
+				return nil, rs, fmt.Errorf("%w: shard %d missing wal epoch %d (found %d)",
+					ErrWALCorrupt, i, want, s.Epoch)
+			}
+		}
+		walName := ds.cfg.walName(i)
+		w := NewWAL(ds.walKeys[i], walName, replayEpoch)
+		shardReplayed := 0
+		for j, s := range replay {
+			batches, prefix, err := DecodeWAL(ds.walKeys[i], walName, s.Epoch, s.Bytes)
 			if err != nil {
-				return nil, rs, err
+				return nil, rs, fmt.Errorf("kvstore: shard %d epoch %d: %w", i, s.Epoch, err)
 			}
-			rs.LogReplayCycles += applied
+			final := j == len(replay)-1
+			if !final && prefix != len(s.Bytes) {
+				// A torn tail is only explicable in the segment being
+				// appended to when the process died — the live one.
+				return nil, rs, fmt.Errorf("%w: shard %d sealed epoch %d torn at byte %d",
+					ErrWALCorrupt, i, s.Epoch, prefix)
+			}
+			for _, ops := range batches {
+				applied, err := ds.applyShardOps(i, ops)
+				if err != nil {
+					return nil, rs, err
+				}
+				rs.LogReplayCycles += applied
+			}
+			shardReplayed += len(batches)
+			if final {
+				w = &WAL{
+					name: walName, key: ds.walKeys[i], epoch: s.Epoch,
+					seq:     uint64(len(batches)),
+					buf:     append([]byte(nil), s.Bytes[:prefix]...),
+					records: len(batches),
+				}
+			}
 		}
-		rs.RecordsReplayed += len(batches)
+		retained := append([]WALSegment(nil), stale...)
+		if len(replay) > 1 {
+			retained = append(retained, replay[:len(replay)-1]...)
+		}
+		w.attachSegments(retained)
+		ds.wals[i] = w
+		// Replayed records are state the next snapshot must pack — a reuse
+		// record here would point at a manifest missing the tail.
+		ds.dirty[i] = shardReplayed > 0
+		rs.RecordsReplayed += shardReplayed
 	}
 	return ds, rs, nil
 }

@@ -65,6 +65,16 @@ func applyToMap(m map[string][]byte, batch []Pair) {
 	}
 }
 
+// cloneSegments deep-copies a crash image so a test can tear one shard's
+// tail without disturbing the shared original.
+func cloneSegments(segs [][]WALSegment) [][]WALSegment {
+	out := make([][]WALSegment, len(segs))
+	for i, ss := range segs {
+		out[i] = append([]WALSegment(nil), ss...)
+	}
+	return out
+}
+
 // mapDigest renders a reference map the way StateDigest renders a store.
 func mapDigest(t testing.TB, m map[string][]byte) cryptbox.Digest {
 	t.Helper()
@@ -107,7 +117,7 @@ func TestDurableSnapshotRecovery(t *testing.T) {
 	}
 	delete(ref, "key-000")
 
-	rec, rs, err := RecoverDurableStore(cfg, ds.WALBytes())
+	rec, rs, err := RecoverDurableStore(cfg, ds.WALSegments())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +137,7 @@ func TestDurableSnapshotRecovery(t *testing.T) {
 
 	// A second recovery from the same survivors rides the now-warm node
 	// cache — nothing fetched — and lands on the same state.
-	rec2, rs2, err := RecoverDurableStore(cfg, ds.WALBytes())
+	rec2, rs2, err := RecoverDurableStore(cfg, ds.WALSegments())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,8 +157,8 @@ func TestDurableSnapshotRecovery(t *testing.T) {
 	if err := rec.PutBatch(batches[0]); err != nil {
 		t.Fatal(err)
 	}
-	if seq, err := rec.Snapshot(); err != nil || seq != 2 {
-		t.Fatalf("post-recovery snapshot: seq %d, %v", seq, err)
+	if st, err := rec.Snapshot(); err != nil || st.Seq != 2 {
+		t.Fatalf("post-recovery snapshot: %+v, %v", st, err)
 	}
 }
 
@@ -172,14 +182,14 @@ func TestDurableColdRecoveryFetches(t *testing.T) {
 	eng.PullWorkers = cfg.Workers
 	cold.Engine = eng
 
-	_, rs1, err := RecoverDurableStore(cold, ds.WALBytes())
+	_, rs1, err := RecoverDurableStore(cold, ds.WALSegments())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rs1.ChunksFetched == 0 || rs1.CacheHits != 0 {
 		t.Fatalf("cold recovery: %+v", rs1)
 	}
-	_, rs2, err := RecoverDurableStore(cold, ds.WALBytes())
+	_, rs2, err := RecoverDurableStore(cold, ds.WALSegments())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,8 +232,9 @@ func TestDurableCrashEveryBoundary(t *testing.T) {
 						tailBatches = nil // compacted into the snapshot
 					}
 				}
-				wal := ds.WALBytes()
-				bounds := recordBoundaries(t, wal[0])
+				segs := ds.WALSegments()
+				tail := segs[0][len(segs[0])-1]
+				bounds := recordBoundaries(t, tail.Bytes)
 				if len(bounds)-1 != len(tailBatches) {
 					t.Fatalf("%d shard-0 records, %d tail batches", len(bounds)-1, len(tailBatches))
 				}
@@ -256,9 +267,9 @@ func TestDurableCrashEveryBoundary(t *testing.T) {
 
 				crashAt := func(name string, pos, survivors int) {
 					t.Run(name, func(t *testing.T) {
-						torn := make([][]byte, len(wal))
-						copy(torn, wal)
-						torn[0] = wal[0][:pos]
+						torn := cloneSegments(segs)
+						last := len(torn[0]) - 1
+						torn[0][last].Bytes = tail.Bytes[:pos]
 						rec, rs, err := RecoverDurableStore(cfg, torn)
 						if err != nil {
 							t.Fatal(err)
@@ -270,7 +281,7 @@ func TestDurableCrashEveryBoundary(t *testing.T) {
 						if want := mapDigest(t, refAt(survivors)); got != want {
 							t.Fatalf("recovered state wrong with %d surviving records", survivors)
 						}
-						wantReplayed := survivors + (len(bounds)-1)*(len(wal)-1)
+						wantReplayed := survivors + (len(bounds)-1)*(len(segs)-1)
 						if rs.RecordsReplayed != wantReplayed && shards > 1 {
 							// Other shards' record counts can differ when a
 							// batch left a shard empty; just require no
@@ -323,7 +334,7 @@ func TestDurableRecoveryWorkerInvariance(t *testing.T) {
 		eng.Cache = container.NewBlobCache()
 		eng.PullWorkers = workers
 		cold.Engine = eng
-		rec, rs, err := RecoverDurableStore(cold, ds.WALBytes())
+		rec, rs, err := RecoverDurableStore(cold, ds.WALSegments())
 		if err != nil {
 			t.Fatal(err)
 		}

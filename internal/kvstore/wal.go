@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"securecloud/internal/cryptbox"
 	"securecloud/internal/fsshield"
@@ -156,18 +157,33 @@ func sealDeterministic(key cryptbox.Key, plaintext, aad []byte) ([]byte, error) 
 	return box.Seal(plaintext, aad)
 }
 
-// WAL is one shard's sealed write-ahead log. Its buffer models the durable
-// medium: everything in it survives the process; nothing else does. Epochs
-// tie the log to snapshots — publishing a snapshot resets the WAL into the
-// next epoch, and recovery replays only the current epoch's records over
-// the snapshot.
+// WALSegment is one sealed epoch of a shard's log: the byte extent a Roll
+// closed (or the live tail, for the current epoch). Segments are the unit
+// of retention — a snapshot makes the epochs it covers collectible, and GC
+// retires whole segments, never record prefixes.
+type WALSegment struct {
+	Epoch   uint64
+	Bytes   []byte
+	Records int
+}
+
+// WAL is one shard's sealed write-ahead log. Its buffers model the durable
+// medium: everything in them survives the process; nothing else does.
+// Epochs tie the log to snapshots — publishing a snapshot rolls the WAL
+// into the next epoch, sealing the previous one as a segment that stays on
+// the durable medium until GC retires it. Recovery replays only the epochs
+// at or after the snapshot's; GC may only retire epochs strictly before it.
 type WAL struct {
+	mu      sync.Mutex
 	name    string
 	key     cryptbox.Key
 	epoch   uint64
 	seq     uint64
 	buf     []byte
 	records int
+	// segs holds the sealed (rolled, not yet GC'd) earlier epochs in
+	// ascending epoch order; buf/records above are the live tail epoch.
+	segs []WALSegment
 }
 
 // NewWAL opens an empty log for one shard.
@@ -178,23 +194,91 @@ func NewWAL(key cryptbox.Key, name string, epoch uint64) *WAL {
 // Name returns the log's position-binding name.
 func (w *WAL) Name() string { return w.name }
 
-// Epoch returns the current epoch.
-func (w *WAL) Epoch() uint64 { return w.epoch }
+// Epoch returns the current (live tail) epoch.
+func (w *WAL) Epoch() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
 
-// Records returns how many records the log holds.
-func (w *WAL) Records() int { return w.records }
+// Records returns how many records the live tail epoch holds.
+func (w *WAL) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
 
-// Bytes returns a copy of the durable log bytes — what a crashed process
-// leaves behind.
-func (w *WAL) Bytes() []byte { return append([]byte(nil), w.buf...) }
+// Bytes returns a copy of the live tail epoch's log bytes.
+func (w *WAL) Bytes() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]byte(nil), w.buf...)
+}
 
-// Reset discards the log and starts the given epoch — the compaction step
-// after the state it covered was published as a snapshot.
+// Reset discards the whole log — sealed segments included — and starts the
+// given epoch with nothing durable behind it. Snapshots use Roll instead;
+// Reset is for abandoning a log.
 func (w *WAL) Reset(epoch uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.epoch = epoch
 	w.seq = 0
 	w.records = 0
 	w.buf = nil
+	w.segs = nil
+}
+
+// Roll seals the live tail as a segment (kept on the durable medium until
+// GC) and starts the given epoch — the snapshot step. Empty tails seal
+// too, preserving epoch contiguity on the medium.
+func (w *WAL) Roll(epoch uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.segs = append(w.segs, WALSegment{Epoch: w.epoch, Bytes: w.buf, Records: w.records})
+	w.epoch = epoch
+	w.seq = 0
+	w.records = 0
+	w.buf = nil
+}
+
+// Segments returns a copy of everything on the durable medium: the sealed
+// earlier epochs in ascending order, then the live tail epoch — what a
+// crashed process leaves behind for RecoverDurableStore.
+func (w *WAL) Segments() []WALSegment {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]WALSegment, 0, len(w.segs)+1)
+	for _, s := range w.segs {
+		out = append(out, WALSegment{Epoch: s.Epoch, Bytes: append([]byte(nil), s.Bytes...), Records: s.Records})
+	}
+	out = append(out, WALSegment{Epoch: w.epoch, Bytes: append([]byte(nil), w.buf...), Records: w.records})
+	return out
+}
+
+// GC retires sealed segments with epoch strictly below floor, keeping the
+// newest retain sealed epochs as a retention margin. The live tail is
+// never touched, so with floor capped at the newest durable snapshot's
+// epoch the crash window never widens. Returns segments and bytes retired.
+func (w *WAL) GC(floor uint64, retain int) (retired int, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if retain < 0 {
+		retain = 0
+	}
+	keep := w.segs[:0]
+	for idx, s := range w.segs {
+		// Segments newer than (len - retain) stay as the retention margin;
+		// everything else below floor goes.
+		inMargin := idx >= len(w.segs)-retain
+		if s.Epoch < floor && !inMargin {
+			retired++
+			bytes += int64(len(s.Bytes))
+			continue
+		}
+		keep = append(keep, s)
+	}
+	w.segs = keep
+	return retired, bytes
 }
 
 // Append group-commits one batch as a single sealed record.
@@ -202,6 +286,8 @@ func (w *WAL) Append(ops []WALOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	payload, err := encodeWALOps(ops)
 	if err != nil {
 		return err
@@ -338,4 +424,13 @@ func RecoverWAL(key cryptbox.Key, name string, epoch uint64, buf []byte) (*WAL, 
 		records: len(batches),
 	}
 	return w, batches, nil
+}
+
+// attachSegments installs sealed earlier-epoch segments on a freshly
+// recovered WAL so a post-recovery GC can still retire them
+// (construction-time plumbing for RecoverDurableStore).
+func (w *WAL) attachSegments(segs []WALSegment) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.segs = segs
 }

@@ -165,3 +165,70 @@ func TestRunValidatesSpec(t *testing.T) {
 		}
 	}
 }
+
+// openLoopSpec is testSpec with open-loop pacing under an injected clock:
+// 4 clients at an aggregate 800 RPS over 10ms ticks — 2 requests per
+// client per tick at multiplier 1, 8 during the 4× inject phase.
+func openLoopSpec(rps float64) Spec {
+	spec := testSpec()
+	spec.OpenLoop = &OpenLoopSpec{TargetRPS: rps, TickMillis: 10}
+	return spec
+}
+
+func TestRunOpenLoopDeterministicRate(t *testing.T) {
+	r1, err := Run(openLoopSpec(800), newEchoDriver(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(openLoopSpec(800), newEchoDriver(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 800 RPS * 10ms / 4 clients = 2 per client per tick at multiplier 1:
+	// warmup 3 ticks * 2 * 2, inject 5 ticks * 8 * 4... PerClient scales the
+	// rate, so the phase plan is (3*2*2 + 5*2*4 + 3*2*1) per client.
+	wantSent := uint64(4 * (3*2*2 + 5*2*4 + 3*2*1))
+	if r1.Sent != wantSent {
+		t.Fatalf("sent %d, want %d", r1.Sent, wantSent)
+	}
+	if r1.Sent != r2.Sent || r1.Served != r2.Served || r1.Shed != r2.Shed || r1.BytesSent != r2.BytesSent {
+		t.Fatalf("open-loop counters differ across identical runs: %+v vs %+v", r1, r2)
+	}
+	if !reflect.DeepEqual(r1.Sizes.BucketCounts(), r2.Sizes.BucketCounts()) {
+		t.Fatal("open-loop size histograms differ across identical runs")
+	}
+	if r1.Lost != 0 || r1.Served+r1.Shed != r1.Sent {
+		t.Fatalf("open-loop run lost replies: %+v", r1)
+	}
+}
+
+// TestRunOpenLoopFractionalCredit pins the credit accumulator: a rate that
+// works out to a fractional per-tick count must inject floor(rate*ticks)
+// requests per client — fractions carry across ticks instead of rounding
+// away (or up) every tick.
+func TestRunOpenLoopFractionalCredit(t *testing.T) {
+	var tick int64
+	spec := Spec{
+		Clients: 4, Seed: 7, Keys: 8, PayloadMin: 16, PayloadMax: 64,
+		Phases:   []Phase{{Name: "steady", Ticks: 40, PerClient: 1}},
+		OpenLoop: &OpenLoopSpec{TargetRPS: 350, TickMillis: 3},
+		Now:      func() int64 { tick += 1000; return tick },
+	}
+	r, err := Run(spec, newEchoDriver(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 350 RPS * 3ms / 4 clients = 0.2625 per client per tick; over 40
+	// ticks the credit sums to 10.5, so each client sends exactly 10.
+	if want := uint64(4 * 10); r.Sent != want {
+		t.Fatalf("sent %d, want %d", r.Sent, want)
+	}
+}
+
+func TestRunOpenLoopValidatesRate(t *testing.T) {
+	spec := testSpec()
+	spec.OpenLoop = &OpenLoopSpec{TargetRPS: 0}
+	if _, err := Run(spec, newEchoDriver(0)); err == nil {
+		t.Fatal("zero target RPS should fail validation")
+	}
+}

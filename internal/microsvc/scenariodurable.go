@@ -21,7 +21,14 @@ type DurabilitySpec struct {
 	// Shards is the durable store's shard count (topology).
 	Shards int
 	// SnapshotEvery publishes a snapshot every N ticks (0 = never).
+	// Snapshots are incremental: shards untouched since their last packed
+	// snapshot publish reuse records chaining to the parent manifest.
 	SnapshotEvery int
+	// GCEvery runs WAL-segment GC every N ticks (0 = never).
+	GCEvery int
+	// RetainEpochs is GC's retention margin (kvstore.DurableConfig
+	// .GCRetainEpochs; 0 = kvstore default of 1).
+	RetainEpochs int
 	// ShardBytes sizes each shard enclave (0 = kvstore default).
 	ShardBytes uint64
 }
@@ -47,6 +54,15 @@ type durabilityHarness struct {
 	cacheHits     int
 	bootCycles    sim.Cycles
 	replayCycles  sim.Cycles
+
+	shardsPacked    int
+	shardsReused    int
+	chunksPublished int
+	chunksDeduped   int
+	packCycles      sim.Cycles
+	chainLinks      int
+	gcSegments      int
+	gcBytes         int64
 }
 
 func newDurabilityHarness(spec ScenarioSpec, svc *attest.Service, kb *attest.KeyBroker) (*durabilityHarness, error) {
@@ -80,6 +96,7 @@ func newDurabilityHarness(spec ScenarioSpec, svc *attest.Service, kb *attest.Key
 		Service:    "durable/" + scenarioService,
 		SealKey:    sealKey,
 		Registry:   reg, Engine: eng,
+		GCRetainEpochs: d.RetainEpochs,
 	}
 	store, err := kvstore.NewDurableStore(cfg)
 	if err != nil {
@@ -105,25 +122,46 @@ func (h *durabilityHarness) put(pairs []kvstore.Pair) error {
 	return h.twin.PutBatch(pairs)
 }
 
-// maybeSnapshot publishes on the spec's cadence, returning a trace line.
+// maybeSnapshot publishes an incremental snapshot on the spec's cadence,
+// returning a trace line.
 func (h *durabilityHarness) maybeSnapshot(t, every int) (string, error) {
 	if every <= 0 || t%every != 0 {
 		return "", nil
 	}
-	seq, err := h.store.Snapshot()
+	st, err := h.store.Snapshot()
 	if err != nil {
 		return "", err
 	}
 	h.snapshots++
-	return fmt.Sprintf("t%04d snapshot seq=%d", t, seq), nil
+	h.shardsPacked += st.ShardsPacked
+	h.shardsReused += st.ShardsReused
+	h.chunksPublished += st.ChunksPublished
+	h.chunksDeduped += st.ChunksDeduped
+	h.packCycles += st.PackCycles
+	return fmt.Sprintf("t%04d snapshot seq=%d packed=%d reused=%d chunks=%d",
+		t, st.Seq, st.ShardsPacked, st.ShardsReused, st.ChunksPublished), nil
 }
 
-// crash kills the durable store with total state loss — only the WAL bytes
-// and the off-node registry survive — then recovers a fresh store and
-// checks it bit-identical to the never-crashed twin. Returns a trace line.
+// maybeGC retires snapshot-covered WAL segments on the spec's cadence,
+// returning a trace line when a pass ran.
+func (h *durabilityHarness) maybeGC(t, every int) (string, error) {
+	if every <= 0 || t%every != 0 {
+		return "", nil
+	}
+	g := h.store.GC()
+	h.gcSegments += g.SegmentsRetired
+	h.gcBytes += g.BytesRetired
+	return fmt.Sprintf("t%04d gc retired=%d bytes=%d", t, g.SegmentsRetired, g.BytesRetired), nil
+}
+
+// crash kills the durable store with total state loss — only the WAL
+// segments and the off-node registry survive — then recovers a fresh store
+// (walking the snapshot delta chain, pulling only cache-missing chunks)
+// and checks it bit-identical to the never-crashed twin. Returns a trace
+// line.
 func (h *durabilityHarness) crash(t int) (string, error) {
-	walBytes := h.store.WALBytes()
-	recovered, rstats, err := kvstore.RecoverDurableStore(h.cfg, walBytes)
+	segs := h.store.WALSegments()
+	recovered, rstats, err := kvstore.RecoverDurableStore(h.cfg, segs)
 	if err != nil {
 		return "", err
 	}
@@ -135,6 +173,7 @@ func (h *durabilityHarness) crash(t int) (string, error) {
 	h.cacheHits += rstats.CacheHits
 	h.bootCycles += rstats.SnapshotBootstrapCycles
 	h.replayCycles += rstats.LogReplayCycles
+	h.chainLinks += rstats.ChainLinks
 	got, err := recovered.StateDigest()
 	if err != nil {
 		return "", err
@@ -166,4 +205,12 @@ func (h *durabilityHarness) metrics(m map[string]float64) {
 	m["recovery_cache_hits"] = float64(h.cacheHits)
 	m["snapshot_bootstrap_cycles"] = float64(h.bootCycles)
 	m["log_replay_cycles"] = float64(h.replayCycles)
+	m["snapshot_shards_packed"] = float64(h.shardsPacked)
+	m["snapshot_shards_reused"] = float64(h.shardsReused)
+	m["snapshot_chunks_published"] = float64(h.chunksPublished)
+	m["snapshot_chunks_deduped"] = float64(h.chunksDeduped)
+	m["snapshot_pack_cycles"] = float64(h.packCycles)
+	m["recovery_chain_links"] = float64(h.chainLinks)
+	m["gc_segments_retired"] = float64(h.gcSegments)
+	m["gc_bytes_retired"] = float64(h.gcBytes)
 }

@@ -248,5 +248,38 @@ func LabScenarios() []ScenarioSpec {
 		},
 	}
 
-	return []ScenarioSpec{overload, noisy, cascade, slownet, recovery, crashState, revocation}
+	// delta-durability: a narrow working set (4 hot keys over 8 shards)
+	// makes most shards cold, so the 8-tick snapshot cadence exercises the
+	// incremental path: cold shards publish reuse records chaining to their
+	// last packed manifest, GC retires snapshot-covered WAL epochs behind a
+	// one-epoch retention margin, and each crash recovers by walking the
+	// delta chain — still bit-identical to the never-crashed twin.
+	deltaDurability := ScenarioSpec{
+		Name: "delta-durability", Seed: 42,
+		Ticks: 36, WarmupTicks: 8, InjectTicks: 16,
+		Replicas: 2, TickMillis: 1, RequestCycles: 60_000,
+		Target: pinnedTarget,
+		Admission: &AdmissionConfig{
+			Default:        TenantPolicy{Weight: 1, MaxQueue: 256},
+			MaxGlobalQueue: 512,
+			TickMillis:     1,
+		},
+		Durability: &DurabilitySpec{Shards: 8, SnapshotEvery: 8, GCEvery: 8, RetainEpochs: 1},
+		Tenants:    []TenantLoad{{Tenant: "web", BaseLoad: 24, Keys: 4, BodyBytes: 192}},
+		Faults: []FaultSpec{
+			{Kind: "crash-state", At: 20, Replica: 0},
+			{Kind: "crash-state", At: 28, Replica: 1},
+		},
+		Assert: []Assertion{
+			Equals("recovered_state_equal", 1),
+			Equals("recoveries", 2),
+			AtLeast("snapshot_shards_reused", 1),
+			AtLeast("gc_segments_retired", 1),
+			AtLeast("recovery_chain_links", 1),
+			AtLeast("wal_records_replayed", 1),
+			Equals("failed", 0),
+		},
+	}
+
+	return []ScenarioSpec{overload, noisy, cascade, slownet, recovery, crashState, revocation, deltaDurability}
 }

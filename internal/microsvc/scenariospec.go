@@ -521,6 +521,13 @@ func RunSpec(spec ScenarioSpec) (ScenarioResult, error) {
 			if line != "" {
 				res.Trace = append(res.Trace, line)
 			}
+			line, err = durH.maybeGC(t, spec.Durability.GCEvery)
+			if err != nil {
+				return res, err
+			}
+			if line != "" {
+				res.Trace = append(res.Trace, line)
+			}
 		}
 
 		st, err := rs.Step()

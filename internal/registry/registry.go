@@ -68,17 +68,21 @@ type Registry struct {
 	layers    map[cryptbox.Digest]transfer.Manifest // layer digest -> chunk manifest
 	blobs     map[cryptbox.Digest][]byte            // chunk digest -> sealed chunk
 	snapshots map[string]snapshotRecord             // snapshot name -> latest record
-	blobBytes int64
-	dedupHits uint64
+	// snapshotHist keeps every published record per name: the links of the
+	// delta chains incremental publishers build (SnapshotAt serves them).
+	snapshotHist map[string]map[uint64][]byte
+	blobBytes    int64
+	dedupHits    uint64
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		manifests: make(map[string]image.Manifest),
-		layers:    make(map[cryptbox.Digest]transfer.Manifest),
-		blobs:     make(map[cryptbox.Digest][]byte),
-		snapshots: make(map[string]snapshotRecord),
+		manifests:    make(map[string]image.Manifest),
+		layers:       make(map[cryptbox.Digest]transfer.Manifest),
+		blobs:        make(map[cryptbox.Digest][]byte),
+		snapshots:    make(map[string]snapshotRecord),
+		snapshotHist: make(map[string]map[uint64][]byte),
 	}
 }
 

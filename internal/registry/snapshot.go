@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"securecloud/internal/httpx"
@@ -30,34 +31,60 @@ type snapshotRecord struct {
 // PutBlobSet stores the chunks of a packed blob set under their manifest's
 // leaf digests — the push half of the chunk-granular pull path, reusable by
 // anything that packs with transfer.PackConvergent. Chunks already present
-// (earlier snapshots, image layers) count as dedup hits.
-func (r *Registry) PutBlobSet(m *transfer.Manifest, chunks [][]byte) error {
+// (earlier snapshots, image layers) count as dedup hits; the return value
+// is how many chunks were newly stored, so publishers can see their delta.
+func (r *Registry) PutBlobSet(m *transfer.Manifest, chunks [][]byte) (stored int, err error) {
 	if err := m.Validate(); err != nil {
-		return err
+		return 0, err
 	}
 	if len(chunks) != len(m.Leaves) {
-		return fmt.Errorf("%w: %d chunks, %d leaves", ErrManifest, len(chunks), len(m.Leaves))
+		return 0, fmt.Errorf("%w: %d chunks, %d leaves", ErrManifest, len(chunks), len(m.Leaves))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i, c := range chunks {
+		_, had := r.blobs[m.Leaves[i]]
 		if err := r.storeBlobLocked(m.Leaves[i], c); err != nil {
-			return err
+			return stored, err
+		}
+		if !had {
+			stored++
 		}
 	}
-	return nil
+	return stored, nil
 }
 
 // PublishSnapshot binds name to a new sealed snapshot record. Sequence
-// numbers must strictly increase per name — the rollback guard.
+// numbers must strictly increase per name — the rollback guard. Earlier
+// records stay retrievable through SnapshotAt: they are the links of the
+// delta chains incremental snapshots publish.
 func (r *Registry) PublishSnapshot(name string, seq uint64, sealed []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if have, ok := r.snapshots[name]; ok && seq <= have.Seq {
 		return fmt.Errorf("%w: snapshot %s seq %d not after %d", ErrConflict, name, seq, have.Seq)
 	}
-	r.snapshots[name] = snapshotRecord{Seq: seq, Sealed: append([]byte(nil), sealed...)}
+	cp := append([]byte(nil), sealed...)
+	r.snapshots[name] = snapshotRecord{Seq: seq, Sealed: cp}
+	hist := r.snapshotHist[name]
+	if hist == nil {
+		hist = make(map[uint64][]byte)
+		r.snapshotHist[name] = hist
+	}
+	hist[seq] = cp
 	return nil
+}
+
+// SnapshotAt returns the sealed snapshot record published under name at
+// exactly seq — the chain-walk lookup for delta recovery.
+func (r *Registry) SnapshotAt(name string, seq uint64) (sealed []byte, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rec, ok := r.snapshotHist[name][seq]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), rec...), true
 }
 
 // LatestSnapshot returns the newest sealed snapshot record under name.
@@ -79,7 +106,8 @@ func (r *Registry) Snapshots() int {
 }
 
 // snapshotHandler serves GET /v2/snapshots/{name} (names may contain
-// slashes) as a JSON snapshot record.
+// slashes) as a JSON snapshot record — the latest by default, or the
+// historical record at ?seq=N for chain walks.
 func (r *Registry) snapshotHandler(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
 		httpx.MethodNotAllowed(w)
@@ -87,7 +115,21 @@ func (r *Registry) snapshotHandler(w http.ResponseWriter, req *http.Request) {
 	}
 	name := strings.TrimPrefix(req.URL.Path, "/v2/snapshots/")
 	if name == "" {
-		http.Error(w, "want /v2/snapshots/{name}", http.StatusBadRequest)
+		http.Error(w, "want /v2/snapshots/{name}[?seq=N]", http.StatusBadRequest)
+		return
+	}
+	if q := req.URL.Query().Get("seq"); q != "" {
+		seq, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "seq must be an unsigned integer", http.StatusBadRequest)
+			return
+		}
+		sealed, ok := r.SnapshotAt(name, seq)
+		if !ok {
+			http.Error(w, fmt.Sprintf("%v: snapshot %s seq %d", ErrNotFound, name, seq), http.StatusNotFound)
+			return
+		}
+		httpx.WriteJSON(w, snapshotRecord{Seq: seq, Sealed: sealed})
 		return
 	}
 	seq, sealed, ok := r.LatestSnapshot(name)
@@ -109,4 +151,18 @@ func (c *Client) LatestSnapshot(name string) (seq uint64, sealed []byte, ok bool
 		return 0, nil, false
 	}
 	return rec.Seq, rec.Sealed, true
+}
+
+// SnapshotAt mirrors Registry.SnapshotAt over HTTP (?seq=N).
+func (c *Client) SnapshotAt(name string, seq uint64) (sealed []byte, ok bool) {
+	raw, err := c.get(fmt.Sprintf("%s/v2/snapshots/%s?seq=%d", c.BaseURL, name, seq),
+		fmt.Sprintf("snapshot %s seq %d", name, seq))
+	if err != nil {
+		return nil, false
+	}
+	var rec snapshotRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, false
+	}
+	return rec.Sealed, true
 }

@@ -22,14 +22,28 @@ func TestPutBlobSetDedup(t *testing.T) {
 	r := New()
 	payload := bytes.Repeat([]byte("shard-table."), 40)
 	m, chunks := packSnapshot(t, "snap/a", payload)
-	if err := r.PutBlobSet(m, chunks); err != nil {
+	stored, err := r.PutBlobSet(m, chunks)
+	if err != nil {
 		t.Fatal(err)
+	}
+	// The repeating payload chunks convergently to repeating sealed bytes, so
+	// duplicates dedup even within the first set: stored = unique leaves.
+	unique := map[string]bool{}
+	for _, d := range m.Leaves {
+		unique[d.String()] = true
+	}
+	if stored != len(unique) {
+		t.Fatalf("first publish stored %d, want %d unique of %d chunks", stored, len(unique), len(chunks))
 	}
 	before := r.Stats()
 	// Re-publishing the identical blob set stores nothing new: every chunk
 	// is a dedup hit against the convergent-sealed blobs already present.
-	if err := r.PutBlobSet(m, chunks); err != nil {
+	stored, err = r.PutBlobSet(m, chunks)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if stored != 0 {
+		t.Fatalf("identical republish stored %d chunks", stored)
 	}
 	after := r.Stats()
 	if after.Blobs != before.Blobs {
@@ -43,14 +57,14 @@ func TestPutBlobSetDedup(t *testing.T) {
 func TestPutBlobSetRejectsMismatch(t *testing.T) {
 	r := New()
 	m, chunks := packSnapshot(t, "snap/a", bytes.Repeat([]byte("x"), 300))
-	if err := r.PutBlobSet(m, chunks[:len(chunks)-1]); err == nil {
+	if _, err := r.PutBlobSet(m, chunks[:len(chunks)-1]); err == nil {
 		t.Fatal("accepted short chunk list")
 	}
 	tampered := make([][]byte, len(chunks))
 	copy(tampered, chunks)
 	tampered[0] = append([]byte(nil), chunks[0]...)
 	tampered[0][0] ^= 0xFF
-	if err := r.PutBlobSet(m, tampered); err == nil {
+	if _, err := r.PutBlobSet(m, tampered); err == nil {
 		t.Fatal("accepted chunk that does not match its manifest digest")
 	}
 }
@@ -85,6 +99,28 @@ func TestLatestSnapshotMissing(t *testing.T) {
 	}
 }
 
+func TestSnapshotAtServesHistory(t *testing.T) {
+	r := New()
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := r.PublishSnapshot("svc/shard-0", seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every published link stays retrievable — delta chains walk backwards.
+	for seq := uint64(1); seq <= 3; seq++ {
+		sealed, ok := r.SnapshotAt("svc/shard-0", seq)
+		if !ok || !bytes.Equal(sealed, []byte{byte(seq)}) {
+			t.Fatalf("seq %d: %q %v", seq, sealed, ok)
+		}
+	}
+	if _, ok := r.SnapshotAt("svc/shard-0", 4); ok {
+		t.Fatal("found a record that was never published")
+	}
+	if _, ok := r.SnapshotAt("svc/shard-9", 1); ok {
+		t.Fatal("found a record under an unbound name")
+	}
+}
+
 func TestHTTPSnapshotRoundTrip(t *testing.T) {
 	r := New()
 	if err := r.PublishSnapshot("svc/shard-1", 7, []byte("sealed-manifest")); err != nil {
@@ -99,5 +135,14 @@ func TestHTTPSnapshotRoundTrip(t *testing.T) {
 	}
 	if _, _, ok := c.LatestSnapshot("svc/shard-2"); ok {
 		t.Fatal("client found a snapshot that was never published")
+	}
+	if err := r.PublishSnapshot("svc/shard-1", 8, []byte("sealed-manifest-8")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.SnapshotAt("svc/shard-1", 7); !ok || !bytes.Equal(got, []byte("sealed-manifest")) {
+		t.Fatalf("client seq 7 = %q %v", got, ok)
+	}
+	if _, ok := c.SnapshotAt("svc/shard-1", 9); ok {
+		t.Fatal("client found a historical record that was never published")
 	}
 }

@@ -37,7 +37,7 @@ go run ./cmd/kv-bench -json >"$TMP/kv.json"
 # Application plane: the four closed-loop fault-injection scenarios
 # (crash, load spike, hot-key skew, slow replica) plus the declarative
 # admission lab (overload, noisy-neighbor, cascade, slow-network,
-# recovery, crash-state, key-revocation), the simulated multi-node
+# recovery, crash-state, key-revocation, delta-durability), the simulated multi-node
 # cluster lab (node-crash, node-partition, byzantine-registry — placement
 # locality, partition fail-closed and cache-poisoning tripwires) and the
 # overload admission-on/off contrast arm, each swept across worker counts
@@ -65,6 +65,21 @@ go run ./cmd/pull-bench -json >"$TMP/pull.json"
 # quantiles in "wallclock" measure the host and are informational.
 echo "bench-smoke: wire-bench (HTTP plane + SCBR closed-loop load, run twice)" >&2
 go run ./cmd/wire-bench -json >"$TMP/wire.json"
+
+# HTTP-vs-in-process timing: the same plane probed one request at a time
+# through the HTTP PlaneTransport and an in-process bus client, across
+# payload sizes. Pure wall-clock (it measures the host's loopback stack),
+# so the whole section is informational — never gated.
+echo "bench-smoke: wire-bench -timing (HTTP vs in-process per-request latency)" >&2
+go run ./cmd/wire-bench -timing -timing-requests 100 -json >"$TMP/wire_timing.json"
+
+# Delta durability: incremental snapshot vs full-snapshot baseline, warm
+# delta recovery vs cold recovery, WAL-segment GC — swept across worker
+# counts 1,2,4,8. The driver itself asserts worker invariance and that the
+# delta strictly beats the baseline in chunks, cycles and fetches; the
+# "deterministic" object is gated by scripts/bench_check.sh.
+echo "bench-smoke: durability-bench (delta snapshots + warm recovery + WAL GC, workers 1,2,4,8)" >&2
+go run ./cmd/durability-bench -json >"$TMP/durability.json"
 
 echo "bench-smoke: go test -bench=CacheMissVsSwap -benchtime=1x" >&2
 go test -run '^$' -bench 'CacheMissVsSwap' -benchtime=1x . >"$TMP/bench.txt" 2>&1 \
@@ -130,6 +145,8 @@ SEED_BASELINE="scripts/seed_baseline.json"
     echo "  \"app_bench\": $(cat "$TMP/app.json"),"
     echo "  \"pull_bench\": $(cat "$TMP/pull.json"),"
     echo "  \"wire_bench\": $(cat "$TMP/wire.json"),"
+    echo "  \"wire_timing\": $(cat "$TMP/wire_timing.json"),"
+    echo "  \"durability_bench\": $(cat "$TMP/durability.json"),"
     echo "  \"cache_miss_vs_swap\": $(cat "$TMP/cachemiss.json"),"
     echo "  \"broker_publish_parallel\": $(cat "$TMP/par.json"),"
     echo "  \"figure3_reduced_sweep\": $(cat "$TMP/sweep.json"),"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# wire_timing.sh — the HTTP-tax measurement: per-request round-trip latency
+# through the wire front end's HTTP PlaneTransport vs an in-process
+# PlaneClient on the event bus, across payload sizes, one request in flight
+# at a time. Everything it prints is wall-clock (it measures the host's
+# loopback stack and JSON/HTTP overhead), so the output is informational
+# only — folded into BENCH_<n>.json as "wire_timing" but never gated by
+# bench-check. Run from the repo root:
+#
+#   scripts/wire_timing.sh [requests]
+#
+# requests sets the sample count per transport per payload size (default
+# 200).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUESTS="${1:-200}"
+exec go run ./cmd/wire-bench -timing -timing-requests "$REQUESTS" -json
